@@ -1,0 +1,11 @@
+//! Ablations A1/A2/A4: BTB size, L2 capacity, prefetch distance.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::ablations::{btb_sweep, l2_sweep, prefetch_sweep};
+
+fn main() {
+    let ctx = ctx_with_banner("Ablations — BTB / L2 / prefetch");
+    println!("{}", btb_sweep(&ctx).expect("btb sweep"));
+    println!("{}", l2_sweep(&ctx).expect("l2 sweep"));
+    println!("{}", prefetch_sweep(&ctx).expect("prefetch sweep"));
+}

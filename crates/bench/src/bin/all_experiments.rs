@@ -1,0 +1,47 @@
+//! Runs every experiment and claim validation in one pass; the source of
+//! EXPERIMENTS.md's measured numbers.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::dss::DssComparison;
+use wdtg_core::figures::{L1iHypotheses, MicrobenchGrid, RecordSizeSweep, SelectivitySweep};
+use wdtg_core::validate::*;
+use wdtg_memdb::SystemId;
+use wdtg_workloads::{TpccScale, TpcdScale};
+
+fn main() {
+    let ctx = ctx_with_banner("All experiments");
+
+    let grid = MicrobenchGrid::run(&ctx).expect("grid");
+    println!("{}", grid.render_fig5_1());
+    println!("{}", grid.render_fig5_2());
+    println!("{}", grid.render_fig5_3());
+    println!("{}", grid.render_fig5_4_left());
+    println!("{}", grid.render_fig5_5());
+
+    let sweep = SelectivitySweep::run(&ctx).expect("selectivity");
+    println!("{}", sweep.render());
+
+    let rs = RecordSizeSweep::run(&ctx, SystemId::D).expect("record size");
+    println!("{}", rs.render());
+
+    let hyp = L1iHypotheses::run(&ctx).expect("hypotheses");
+    println!("{}", hyp.render());
+
+    let dss = DssComparison::run(&ctx, TpcdScale::from_env()).expect("dss");
+    println!("{}", dss.render_fig5_6());
+    println!("{}", dss.render_fig5_7());
+
+    let txns = if std::env::var("WDTG_SCALE").as_deref() == Ok("paper") { 2_000 } else { 400 };
+    let (tpcc_ms, tpcc_out) =
+        wdtg_core::oltp::tpcc_report(TpccScale::from_env(), &ctx.cfg, txns).expect("tpcc");
+    println!("{tpcc_out}");
+
+    let mut claims = validate_grid(&grid);
+    claims.extend(validate_selectivity(&sweep));
+    claims.extend(validate_record_size(&rs));
+    claims.extend(validate_dss(&dss));
+    claims.extend(validate_tpcc(&tpcc_ms));
+    println!("=== paper-claim validation ===\n{}", render_claims(&claims));
+    let failed = claims.iter().filter(|c| !c.pass).count();
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

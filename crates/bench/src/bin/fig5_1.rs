@@ -1,0 +1,12 @@
+//! Figure 5.1: query execution time breakdown into T_C / T_M / T_B / T_R.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::MicrobenchGrid;
+use wdtg_core::validate::{render_claims, validate_grid};
+
+fn main() {
+    let ctx = ctx_with_banner("Figure 5.1 — execution time breakdown");
+    let grid = MicrobenchGrid::run(&ctx).expect("grid runs");
+    println!("{}", grid.render_fig5_1());
+    println!("{}", render_claims(&validate_grid(&grid)));
+}

@@ -1,0 +1,10 @@
+//! Figure 5.2: memory stall time breakdown into its five components.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::MicrobenchGrid;
+
+fn main() {
+    let ctx = ctx_with_banner("Figure 5.2 — memory stall breakdown");
+    let grid = MicrobenchGrid::run(&ctx).expect("grid runs");
+    println!("{}", grid.render_fig5_2());
+}

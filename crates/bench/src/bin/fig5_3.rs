@@ -1,0 +1,10 @@
+//! Figure 5.3: instructions retired per record.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::MicrobenchGrid;
+
+fn main() {
+    let ctx = ctx_with_banner("Figure 5.3 — instructions retired per record");
+    let grid = MicrobenchGrid::run(&ctx).expect("grid runs");
+    println!("{}", grid.render_fig5_3());
+}

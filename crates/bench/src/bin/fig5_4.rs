@@ -1,0 +1,15 @@
+//! Figure 5.4: branch misprediction rates (left) and the selectivity sweep
+//! coupling T_B to T_L1I (right).
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::{MicrobenchGrid, SelectivitySweep};
+use wdtg_core::validate::{render_claims, validate_selectivity};
+
+fn main() {
+    let ctx = ctx_with_banner("Figure 5.4 — branch behaviour");
+    let grid = MicrobenchGrid::run(&ctx).expect("grid runs");
+    println!("{}", grid.render_fig5_4_left());
+    let sweep = SelectivitySweep::run(&ctx).expect("sweep runs");
+    println!("{}", sweep.render());
+    println!("{}", render_claims(&validate_selectivity(&sweep)));
+}

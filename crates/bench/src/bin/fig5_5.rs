@@ -1,0 +1,10 @@
+//! Figure 5.5: T_DEP and T_FU contributions to execution time.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::MicrobenchGrid;
+
+fn main() {
+    let ctx = ctx_with_banner("Figure 5.5 — resource stalls");
+    let grid = MicrobenchGrid::run(&ctx).expect("grid runs");
+    println!("{}", grid.render_fig5_5());
+}

@@ -1,0 +1,13 @@
+//! Figure 5.6: CPI breakdown, sequential range selection vs TPC-D.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::dss::DssComparison;
+use wdtg_core::validate::{render_claims, validate_dss};
+use wdtg_workloads::TpcdScale;
+
+fn main() {
+    let ctx = ctx_with_banner("Figure 5.6 — CPI: SRS vs TPC-D");
+    let cmp = DssComparison::run(&ctx, TpcdScale::from_env()).expect("comparison runs");
+    println!("{}", cmp.render_fig5_6());
+    println!("{}", render_claims(&validate_dss(&cmp)));
+}

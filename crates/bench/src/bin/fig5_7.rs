@@ -1,0 +1,11 @@
+//! Figure 5.7: cache-related stall breakdown, SRS vs TPC-D.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::dss::DssComparison;
+use wdtg_workloads::TpcdScale;
+
+fn main() {
+    let ctx = ctx_with_banner("Figure 5.7 — cache stalls: SRS vs TPC-D");
+    let cmp = DssComparison::run(&ctx, TpcdScale::from_env()).expect("comparison runs");
+    println!("{}", cmp.render_fig5_7());
+}

@@ -1,0 +1,12 @@
+//! §5.2.2 / ablation A3: testing the paper's three hypotheses for why larger
+//! records cause more L1 instruction misses (OS interrupts, L2 inclusion,
+//! page-boundary crossings) — the experiment the authors called for.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::L1iHypotheses;
+
+fn main() {
+    let ctx = ctx_with_banner("§5.2.2 — L1I growth hypotheses (ablation A3)");
+    let h = L1iHypotheses::run(&ctx).expect("hypothesis runs");
+    println!("{}", h.render());
+}

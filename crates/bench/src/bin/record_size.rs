@@ -1,0 +1,18 @@
+//! §5.2: record-size sweep — T_L2D and L1I misses grow with record size;
+//! execution time per record grows 2.5-4x from 20B to 200B.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::RecordSizeSweep;
+use wdtg_core::validate::{render_claims, validate_record_size};
+use wdtg_memdb::SystemId;
+
+fn main() {
+    let ctx = ctx_with_banner("§5.2 — record size sweep");
+    for sys in SystemId::ALL {
+        let sweep = RecordSizeSweep::run(&ctx, sys).expect("sweep runs");
+        println!("{}", sweep.render());
+        if sys == SystemId::D {
+            println!("{}", render_claims(&validate_record_size(&sweep)));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Table 3.1: the execution-time component hierarchy (definitional).
+
+use wdtg_sim::Component;
+
+fn main() {
+    println!("Table 3.1: Execution time components");
+    println!("  T_Q = T_C + T_M + T_B + T_R - T_OVL\n");
+    for c in Component::ALL {
+        let group = if c.is_memory() {
+            "memory stall (T_M)"
+        } else if c.is_resource() {
+            "resource stall (T_R)"
+        } else if c == Component::Tb {
+            "branch misprediction"
+        } else {
+            "computation"
+        };
+        println!("  {:6} {}", c.label(), group);
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 4.2: the measurement method per stall component — emon's
+//! count×penalty reconstruction side-by-side with the simulator's ground
+//! truth, which the real hardware could never provide.
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::methodology::{measure_query, Methodology};
+use wdtg_core::tables::TextTable;
+use wdtg_memdb::SystemId;
+use wdtg_workloads::MicroQuery;
+
+fn main() {
+    let ctx = ctx_with_banner("Table 4.2 — measurement methods (emon vs ground truth)");
+    let m = Methodology { with_emon: true, ..Methodology::default() };
+    let meas = measure_query(
+        SystemId::D,
+        MicroQuery::SequentialRangeSelection,
+        0.1,
+        ctx.scale,
+        &ctx.cfg,
+        &m,
+    )
+    .expect("measurement runs");
+    let est = meas.estimate.expect("emon requested");
+    let t = &meas.truth;
+    let mut table = TextTable::new(["component", "method (Table 4.2)", "emon estimate", "ground truth"]);
+    let row = |n: &str, meth: &str, e: f64, g: f64| {
+        [n.to_string(), meth.to_string(), format!("{e:.0}"), format!("{g:.0}")]
+    };
+    table.row(row("TC", "µops retired / 3", est.tc, t.tc));
+    table.row(row("TL1D", "#misses x 4 cycles", est.tl1d, t.tl1d));
+    table.row(row("TL1I", "actual stall time (IFU_MEM_STALL)", est.tl1i, t.tl1i));
+    table.row(row("TL2D", "#misses x measured latency", est.tl2d, t.tl2d));
+    table.row(row("TL2I", "#misses x measured latency", est.tl2i, t.tl2i));
+    table.row([
+        "TDTLB".into(),
+        "not measured (no event code)".into(),
+        "-".into(),
+        format!("{:.0}", t.tdtlb.unwrap_or(0.0)),
+    ]);
+    table.row(row("TITLB", "#misses x 32 cycles", est.titlb, t.titlb));
+    table.row(row("TB", "#mispredictions x 17 cycles", est.tb, t.tb));
+    table.row(row("TFU", "actual stall time (RESOURCE_STALLS)", est.tfu, t.tfu));
+    table.row(row("TDEP", "actual stall time (PARTIAL_RAT_STALLS)", est.tdep, t.tdep));
+    table.row(row("TILD", "actual stall time (ILD_STALL)", est.tild, t.tild));
+    table.row([
+        "TOVL".into(),
+        "not measured; = estimates - T_Q".into(),
+        format!("{:.0}", est.tovl()),
+        "0 (exact attribution)".into(),
+    ]);
+    println!("{table}");
+    println!(
+        "cycles: emon {:.0} vs ground truth {:.0} (System D, 10% SRS, per query)",
+        est.cycles, t.cycles
+    );
+}

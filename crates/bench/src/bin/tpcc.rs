@@ -1,0 +1,14 @@
+//! §5.5: the TPC-C contrast (CPI 2.5-4.5, 60-80% memory stalls, L2-dominated).
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::validate::{render_claims, validate_tpcc};
+use wdtg_workloads::TpccScale;
+
+fn main() {
+    let ctx = ctx_with_banner("§5.5 — TPC-C contrast");
+    let txns = if std::env::var("WDTG_SCALE").as_deref() == Ok("paper") { 2_000 } else { 400 };
+    let (ms, report) =
+        wdtg_core::oltp::tpcc_report(TpccScale::from_env(), &ctx.cfg, txns).expect("tpcc runs");
+    println!("{report}");
+    println!("{}", render_claims(&validate_tpcc(&ms)));
+}

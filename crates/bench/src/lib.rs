@@ -1,0 +1,23 @@
+//! # wdtg-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p wdtg-bench --bin <name>`; set `WDTG_SCALE=paper`
+//! for full-size datasets) plus Criterion micro/macro benchmarks
+//! (`cargo bench`). See DESIGN.md §4 for the experiment index.
+
+#![warn(missing_docs)]
+
+use wdtg_core::figures::FigureCtx;
+
+/// Builds the default experiment context and prints its parameters.
+pub fn ctx_with_banner(name: &str) -> FigureCtx {
+    let ctx = FigureCtx::default_ctx();
+    println!(
+        "== {name} ==\nscale: R={} S={} record={}B (WDTG_SCALE={})\n",
+        ctx.scale.r_records,
+        ctx.scale.s_records,
+        ctx.scale.record_bytes,
+        std::env::var("WDTG_SCALE").unwrap_or_else(|_| "dev".into()),
+    );
+    ctx
+}

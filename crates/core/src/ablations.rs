@@ -1,0 +1,104 @@
+//! Ablation experiments for the design points the paper discusses but could
+//! not vary on real hardware.
+//!
+//! * **A1 — BTB size** (§5.3 cites [7]: larger BTBs, up to 16 K entries,
+//!   improve OLTP-style branch streams);
+//! * **A2 — L2 capacity** (§5.2.1: "The size of today's L2 caches has
+//!   increased to 8 MB, and continues to increase");
+//! * **A4 — prefetch distance** (System B's cache-conscious scan mechanism).
+
+use wdtg_memdb::{DbResult, EngineProfile, SystemId};
+use wdtg_workloads::MicroQuery;
+
+use crate::figures::FigureCtx;
+use crate::methodology::{measure_query, measure_query_with};
+use crate::tables::{pct, TextTable};
+
+/// A1: BTB entry-count sweep on System D's sequential selection.
+pub fn btb_sweep(ctx: &FigureCtx) -> DbResult<String> {
+    let mut out = String::from(
+        "Ablation A1: BTB size sweep (System D, 10% SRS) — ref [7] suggests\n\
+         larger BTBs help database branch streams\n",
+    );
+    let mut t =
+        TextTable::new(["BTB entries", "BTB miss rate", "mispredict rate", "T_B % of time"]);
+    for entries in [512u32, 1024, 4096, 16 * 1024] {
+        let cfg = ctx.cfg.clone().with_btb_entries(entries);
+        let m = measure_query(
+            SystemId::D,
+            MicroQuery::SequentialRangeSelection,
+            0.1,
+            ctx.scale,
+            &cfg,
+            &ctx.methodology,
+        )?;
+        let total = m.truth.component_sum().max(1e-9);
+        t.row([
+            entries.to_string(),
+            pct(m.rates.btb_miss),
+            pct(m.rates.br_mispredict),
+            pct(m.truth.tb / total),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// A2: L2 capacity sweep on System C (sequential + indexed selections).
+pub fn l2_sweep(ctx: &FigureCtx) -> DbResult<String> {
+    let mut out = String::from(
+        "Ablation A2: L2 capacity sweep (System C) — §5.2.1 anticipates\n\
+         larger L2 caches\n",
+    );
+    let mut t = TextTable::new(["L2 size", "query", "T_L2D % of time", "cycles/record"]);
+    for mb in [512 * 1024u32, 2 * 1024 * 1024, 8 * 1024 * 1024] {
+        let cfg = ctx.cfg.clone().with_l2_size(mb);
+        for q in [MicroQuery::SequentialRangeSelection, MicroQuery::IndexedRangeSelection] {
+            let m = measure_query(SystemId::C, q, 0.1, ctx.scale, &cfg, &ctx.methodology)?;
+            let total = m.truth.component_sum().max(1e-9);
+            t.row([
+                format!("{} KB", mb / 1024),
+                q.label().to_string(),
+                pct(m.truth.tl2d / total),
+                format!("{:.0}", m.cycles_per_record()),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// A4: prefetch-distance sweep on System B's scan (its §5.2.1 mechanism).
+pub fn prefetch_sweep(ctx: &FigureCtx) -> DbResult<String> {
+    let mut out = String::from(
+        "Ablation A4: scan prefetch distance (System B, 10% SRS) — the\n\
+         mechanism behind B's 2% L2 data miss rate (§5.2.1)\n",
+    );
+    let mut t = TextTable::new([
+        "distance (lines)",
+        "L2 data miss rate",
+        "T_L2D % of time",
+        "cycles/record",
+    ]);
+    for distance in [0u32, 4, 8, 16, 24, 32] {
+        let mut profile = EngineProfile::system(SystemId::B);
+        profile.prefetch_lines_ahead = distance;
+        let m = measure_query_with(
+            profile,
+            MicroQuery::SequentialRangeSelection,
+            0.1,
+            ctx.scale,
+            &ctx.cfg,
+            &ctx.methodology,
+        )?;
+        let total = m.truth.component_sum().max(1e-9);
+        t.row([
+            distance.to_string(),
+            pct(m.rates.l2d_miss),
+            pct(m.truth.tl2d / total),
+            format!("{:.0}", m.cycles_per_record()),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}

@@ -1,0 +1,229 @@
+//! The execution-time breakdown — the paper's central abstraction.
+//!
+//! `T_Q = T_C + T_M + T_B + T_R − T_OVL` (§3.1), with T_M and T_R split per
+//! Table 3.1. A [`TimeBreakdown`] can come from two sources:
+//!
+//! * **ground truth** — the simulator's stall ledger, where every cycle is
+//!   attributed exactly and T_OVL folds into the per-component charges;
+//! * **emon estimate** — the Table 4.2 count×penalty reconstruction, where
+//!   several components are upper bounds and T_OVL appears as the excess
+//!   over measured cycles (unmeasurable on the real machine).
+
+use wdtg_emon::EstimatedBreakdown;
+use wdtg_sim::{Component, Event, Mode, Snapshot};
+
+/// Where a breakdown's numbers came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownSource {
+    /// Exact per-cycle attribution from the simulator's ledger.
+    GroundTruth,
+    /// Table 4.2 reconstruction from (two-at-a-time) counter readings.
+    EmonEstimate,
+}
+
+/// The four top-level shares of Figure 5.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FourWay {
+    /// Computation share (T_C).
+    pub computation: f64,
+    /// Memory-stall share (T_M).
+    pub memory: f64,
+    /// Branch-misprediction share (T_B).
+    pub branch: f64,
+    /// Resource-stall share (T_R).
+    pub resource: f64,
+}
+
+/// A complete execution-time breakdown in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Computation time.
+    pub tc: f64,
+    /// L1 data stalls.
+    pub tl1d: f64,
+    /// L1 instruction stalls.
+    pub tl1i: f64,
+    /// L2 data stalls.
+    pub tl2d: f64,
+    /// L2 instruction stalls.
+    pub tl2i: f64,
+    /// DTLB stalls (`None` when the source cannot measure them — emon).
+    pub tdtlb: Option<f64>,
+    /// ITLB stalls.
+    pub titlb: f64,
+    /// Branch misprediction penalty.
+    pub tb: f64,
+    /// Functional-unit stalls.
+    pub tfu: f64,
+    /// Dependency stalls.
+    pub tdep: f64,
+    /// Instruction-length decoder stalls.
+    pub tild: f64,
+    /// Measured total cycles (T_Q).
+    pub cycles: f64,
+    /// Instructions retired (for CPI).
+    pub inst_retired: u64,
+    /// Provenance.
+    pub source: BreakdownSource,
+}
+
+impl TimeBreakdown {
+    /// Builds the ground-truth breakdown for `mode` from a snapshot delta.
+    pub fn from_snapshot(delta: &Snapshot, mode: Mode) -> TimeBreakdown {
+        let l = &delta.ledger;
+        let g = |c: Component| l.get(mode, c);
+        TimeBreakdown {
+            tc: g(Component::Tc),
+            tl1d: g(Component::Tl1d),
+            tl1i: g(Component::Tl1i),
+            tl2d: g(Component::Tl2d),
+            tl2i: g(Component::Tl2i),
+            tdtlb: Some(g(Component::Tdtlb)),
+            titlb: g(Component::Titlb),
+            tb: g(Component::Tb),
+            tfu: g(Component::Tfu),
+            tdep: g(Component::Tdep),
+            tild: g(Component::Tild),
+            cycles: l.mode_total(mode),
+            inst_retired: delta.counters.get(mode, Event::InstRetired),
+            source: BreakdownSource::GroundTruth,
+        }
+    }
+
+    /// Wraps an emon Table 4.2 reconstruction.
+    pub fn from_estimate(e: &EstimatedBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            tc: e.tc,
+            tl1d: e.tl1d,
+            tl1i: e.tl1i,
+            tl2d: e.tl2d,
+            tl2i: e.tl2i,
+            tdtlb: e.tdtlb,
+            titlb: e.titlb,
+            tb: e.tb,
+            tfu: e.tfu,
+            tdep: e.tdep,
+            tild: e.tild,
+            cycles: e.cycles,
+            inst_retired: e.inst_retired,
+            source: BreakdownSource::EmonEstimate,
+        }
+    }
+
+    /// Memory-stall total T_M.
+    pub fn tm(&self) -> f64 {
+        self.tl1d + self.tl1i + self.tl2d + self.tl2i + self.titlb + self.tdtlb.unwrap_or(0.0)
+    }
+
+    /// Resource-stall total T_R.
+    pub fn tr(&self) -> f64 {
+        self.tfu + self.tdep + self.tild
+    }
+
+    /// Sum of all components (= cycles for ground truth; ≥ cycles for
+    /// estimates, the excess being overlap).
+    pub fn component_sum(&self) -> f64 {
+        self.tc + self.tm() + self.tb + self.tr()
+    }
+
+    /// Reconstructed overlap T_OVL (0 for ground truth by construction).
+    pub fn tovl(&self) -> f64 {
+        (self.component_sum() - self.cycles).max(0.0)
+    }
+
+    /// Clocks per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.inst_retired == 0 {
+            0.0
+        } else {
+            self.cycles / self.inst_retired as f64
+        }
+    }
+
+    /// The Figure 5.1 shares (fractions of the component sum, so they add to
+    /// 1 for both sources, like the paper's 100%-stacked bars).
+    pub fn four_way(&self) -> FourWay {
+        let total = self.component_sum().max(1e-9);
+        FourWay {
+            computation: self.tc / total,
+            memory: self.tm() / total,
+            branch: self.tb / total,
+            resource: self.tr() / total,
+        }
+    }
+
+    /// Stall share of execution: 1 − computation share (§5.1: "almost half
+    /// of the execution time is spent on stalls").
+    pub fn stall_fraction(&self) -> f64 {
+        1.0 - self.four_way().computation
+    }
+
+    /// The Figure 5.2 memory-stall shares `(l1d, l1i, l2d, l2i, itlb)` as
+    /// fractions of T_M (DTLB excluded: the paper could not measure it).
+    pub fn memory_shares(&self) -> [f64; 5] {
+        let tm = (self.tl1d + self.tl1i + self.tl2d + self.tl2i + self.titlb).max(1e-9);
+        [self.tl1d / tm, self.tl1i / tm, self.tl2d / tm, self.tl2i / tm, self.titlb / tm]
+    }
+
+    /// CPI contribution of each Figure 5.1 component (for Figure 5.6).
+    pub fn cpi_four_way(&self) -> FourWay {
+        let f = self.four_way();
+        let cpi = self.cpi();
+        FourWay {
+            computation: f.computation * cpi,
+            memory: f.memory * cpi,
+            branch: f.branch * cpi,
+            resource: f.resource * cpi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdtg_sim::{segment, CodeBlock, Cpu, CpuConfig, InterruptCfg, MemDep};
+
+    fn measured() -> TimeBreakdown {
+        let mut cpu = Cpu::new(
+            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+        );
+        let block = CodeBlock::builder("w", 2000).private(segment::PRIVATE, 1024).at(segment::CODE);
+        let before = cpu.snapshot();
+        for i in 0..200u64 {
+            cpu.exec_block(&block);
+            cpu.load(segment::HEAP + i * 100, 8, MemDep::Demand);
+        }
+        let delta = cpu.snapshot().delta(&before);
+        TimeBreakdown::from_snapshot(&delta, Mode::User)
+    }
+
+    #[test]
+    fn ground_truth_components_sum_to_cycles() {
+        let b = measured();
+        assert!((b.component_sum() - b.cycles).abs() < 1e-6);
+        assert!(b.tovl() < 1e-6, "ground truth has no unexplained overlap");
+        assert_eq!(b.source, BreakdownSource::GroundTruth);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let b = measured();
+        let f = b.four_way();
+        let sum = f.computation + f.memory + f.branch + f.resource;
+        assert!((sum - 1.0).abs() < 1e-9);
+        let mem: f64 = b.memory_shares().iter().sum();
+        if b.tm() > 0.0 {
+            assert!((mem - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cpi_is_cycles_over_instructions() {
+        let b = measured();
+        assert!(b.cpi() > 0.0);
+        assert!((b.cpi() - b.cycles / b.inst_retired as f64).abs() < 1e-12);
+        let c = b.cpi_four_way();
+        let total = c.computation + c.memory + c.branch + c.resource;
+        assert!((total - b.cpi()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! §5.5 DSS comparison: the TPC-D-like suite versus the sequential range
+//! selection (Figures 5.6 and 5.7).
+//!
+//! The paper's methodological claim: "TPC-D execution time breakdown is
+//! similar to the breakdown of the simpler query" — simple microbenchmarks
+//! are a valid proxy for full DSS suites. Figure 5.6 compares CPI
+//! breakdowns; Figure 5.7 compares cache-related stall breakdowns, where
+//! "first-level instruction stalls dominate the TPC-D workload".
+
+use wdtg_memdb::{Database, DbResult, EngineProfile, SystemId};
+use wdtg_sim::Mode;
+use wdtg_workloads::tpcd::{self, TpcdScale};
+use wdtg_workloads::MicroQuery;
+
+use crate::breakdown::TimeBreakdown;
+use crate::figures::FigureCtx;
+use crate::methodology::{measure_query, Rates};
+use crate::tables::{pct, TextTable};
+
+/// Systems the paper's §5.5 DSS experiment covers ("We executed a TPC-D
+/// workload against three out of four of the commercial DBMSs, namely A, B,
+/// and D").
+pub const DSS_SYSTEMS: [SystemId; 3] = [SystemId::A, SystemId::B, SystemId::D];
+
+/// Result of running the 17-query suite on one system.
+#[derive(Debug, Clone)]
+pub struct TpcdMeasurement {
+    /// System measured.
+    pub system: SystemId,
+    /// Aggregate breakdown over all 17 queries (user mode).
+    pub truth: TimeBreakdown,
+    /// Per-query breakdowns, labelled Q1..Q17.
+    pub per_query: Vec<(String, TimeBreakdown)>,
+    /// Aggregate hardware rates.
+    pub rates: Rates,
+}
+
+/// Runs the 17-query TPC-D-like suite on `system` (warm per query).
+pub fn measure_tpcd(
+    system: SystemId,
+    scale: TpcdScale,
+    cfg: &wdtg_sim::CpuConfig,
+) -> DbResult<TpcdMeasurement> {
+    let mut db = Database::with_capacity(
+        EngineProfile::system(system),
+        cfg.clone(),
+        scale.lineitems / 40 + scale.orders / 40 + 2048,
+    );
+    db.ctx.instrument = false;
+    tpcd::load(&mut db, scale, wdtg_workloads::DEFAULT_SEED)?;
+    db.ctx.instrument = true;
+
+    let mut per_query = Vec::new();
+    let suite_before = db.cpu().snapshot();
+    for (label, q) in tpcd::queries() {
+        db.run(&q)?; // warm this query's code paths and data
+        let before = db.cpu().snapshot();
+        db.run(&q)?;
+        let delta = db.cpu().snapshot().delta(&before);
+        per_query.push((label, TimeBreakdown::from_snapshot(&delta, Mode::User)));
+    }
+    let suite_delta = db.cpu().snapshot().delta(&suite_before);
+    let truth = TimeBreakdown::from_snapshot(&suite_delta, Mode::User);
+    let rates = Rates::from_delta(&suite_delta);
+    Ok(TpcdMeasurement { system, truth, per_query, rates })
+}
+
+/// Figures 5.6 + 5.7: SRS (left) vs TPC-D (right) for systems A, B, D.
+#[derive(Debug, Clone)]
+pub struct DssComparison {
+    /// SRS measurements (10% selectivity).
+    pub srs: Vec<(SystemId, TimeBreakdown)>,
+    /// TPC-D suite measurements.
+    pub tpcd: Vec<TpcdMeasurement>,
+}
+
+impl DssComparison {
+    /// Runs both sides of the comparison.
+    pub fn run(ctx: &FigureCtx, tpcd_scale: TpcdScale) -> DbResult<DssComparison> {
+        let mut srs = Vec::new();
+        for sys in DSS_SYSTEMS {
+            let m = measure_query(
+                sys,
+                MicroQuery::SequentialRangeSelection,
+                0.1,
+                ctx.scale,
+                &ctx.cfg,
+                &ctx.methodology,
+            )?;
+            srs.push((sys, m.truth));
+        }
+        let mut tpcd_ms = Vec::new();
+        for sys in DSS_SYSTEMS {
+            tpcd_ms.push(measure_tpcd(sys, tpcd_scale, &ctx.cfg)?);
+        }
+        Ok(DssComparison { srs, tpcd: tpcd_ms })
+    }
+
+    /// Figure 5.6: CPI breakdown, SRS vs TPC-D.
+    pub fn render_fig5_6(&self) -> String {
+        let mut out = String::from(
+            "Figure 5.6: Clocks-per-instruction breakdown, SRS (left) vs TPC-D (right)\n",
+        );
+        let mut t = TextTable::new([
+            "system",
+            "SRS CPI (comp/mem/br/res)",
+            "TPC-D CPI (comp/mem/br/res)",
+        ]);
+        for (i, (sys, srs)) in self.srs.iter().enumerate() {
+            let fmt = |b: &TimeBreakdown| {
+                let c = b.cpi_four_way();
+                format!(
+                    "{:.2} ({:.2}/{:.2}/{:.2}/{:.2})",
+                    b.cpi(),
+                    c.computation,
+                    c.memory,
+                    c.branch,
+                    c.resource
+                )
+            };
+            t.row([sys.letter().to_string(), fmt(srs), fmt(&self.tpcd[i].truth)]);
+        }
+        out.push_str(&t.render());
+        out.push_str("paper: CPI between 1.2 and 1.8 for both workloads\n");
+        out
+    }
+
+    /// Figure 5.7: cache-related stall breakdown, SRS vs TPC-D.
+    pub fn render_fig5_7(&self) -> String {
+        let mut out = String::from(
+            "Figure 5.7: cache-related stall time breakdown, SRS (left) vs TPC-D (right)\n\
+             (shares of L1D/L1I/L2D/L2I within cache stalls)\n",
+        );
+        let mut t = TextTable::new(["system", "workload", "L1D", "L1I", "L2D", "L2I"]);
+        for (i, (sys, srs)) in self.srs.iter().enumerate() {
+            for (label, b) in [("SRS", srs), ("TPC-D", &self.tpcd[i].truth)] {
+                let cache = (b.tl1d + b.tl1i + b.tl2d + b.tl2i).max(1e-9);
+                t.row([
+                    sys.letter().to_string(),
+                    label.to_string(),
+                    pct(b.tl1d / cache),
+                    pct(b.tl1i / cache),
+                    pct(b.tl2d / cache),
+                    pct(b.tl2i / cache),
+                ]);
+            }
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// The §5.5 similarity check: for each system, the SRS and TPC-D
+    /// four-way shares differ by at most `tol` in each component.
+    pub fn max_share_difference(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, (_, srs)) in self.srs.iter().enumerate() {
+            let a = srs.four_way();
+            let b = self.tpcd[i].truth.four_way();
+            for (x, y) in [
+                (a.computation, b.computation),
+                (a.memory, b.memory),
+                (a.branch, b.branch),
+                (a.resource, b.resource),
+            ] {
+                worst = worst.max((x - y).abs());
+            }
+        }
+        worst
+    }
+}

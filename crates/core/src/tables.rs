@@ -1,0 +1,116 @@
+//! Plain-text table and bar rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (padded/truncated to the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                let _ = write!(out, "+{}", "-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "| {:width$} ", h, width = widths[i]);
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Renders a 0..=1 fraction as an ASCII bar of the given width (the paper's
+/// stacked-bar figures, one component per row).
+pub fn bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width.saturating_sub(filled)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(["sys", "TC", "TM"]);
+        t.row(["A", "45.0%", "20.1%"]);
+        t.row(["B", "38.2%", "30.0%"]);
+        let s = t.render();
+        assert!(s.contains("| sys | TC    | TM    |"));
+        assert!(s.lines().count() >= 6);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only"]);
+        assert!(t.render().contains("| only |"));
+    }
+
+    #[test]
+    fn pct_and_bar() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "....");
+    }
+}

@@ -1,0 +1,81 @@
+//! Unit-level tests of the framework pieces on synthetic data (no DBMS runs).
+
+use wdtg_core::breakdown::{BreakdownSource, TimeBreakdown};
+use wdtg_core::tables::{bar, pct, TextTable};
+
+fn synthetic(tc: f64, tl1i: f64, tl2d: f64, tb: f64, tdep: f64) -> TimeBreakdown {
+    let cycles = tc + tl1i + tl2d + tb + tdep;
+    TimeBreakdown {
+        tc,
+        tl1d: 0.0,
+        tl1i,
+        tl2d,
+        tl2i: 0.0,
+        tdtlb: Some(0.0),
+        titlb: 0.0,
+        tb,
+        tfu: 0.0,
+        tdep,
+        tild: 0.0,
+        cycles,
+        inst_retired: (tc * 1.5) as u64,
+        source: BreakdownSource::GroundTruth,
+    }
+}
+
+#[test]
+fn four_way_shares_partition_unity() {
+    let b = synthetic(500.0, 100.0, 200.0, 100.0, 100.0);
+    let f = b.four_way();
+    assert!((f.computation + f.memory + f.branch + f.resource - 1.0).abs() < 1e-12);
+    assert!((f.computation - 0.5).abs() < 1e-12);
+    assert!((f.memory - 0.3).abs() < 1e-12);
+    assert!((b.stall_fraction() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn memory_shares_exclude_unmeasurable_dtlb() {
+    let mut b = synthetic(10.0, 30.0, 70.0, 0.0, 0.0);
+    b.tdtlb = None; // emon-style source
+    let shares = b.memory_shares();
+    assert!((shares[1] - 0.3).abs() < 1e-12);
+    assert!((shares[2] - 0.7).abs() < 1e-12);
+    assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn cpi_four_way_scales_to_cpi() {
+    let b = synthetic(300.0, 50.0, 50.0, 50.0, 50.0);
+    let c = b.cpi_four_way();
+    assert!((c.computation + c.memory + c.branch + c.resource - b.cpi()).abs() < 1e-9);
+}
+
+#[test]
+fn zero_work_breakdown_is_safe() {
+    let b = synthetic(0.0, 0.0, 0.0, 0.0, 0.0);
+    assert_eq!(b.cpi(), 0.0);
+    let f = b.four_way();
+    assert!(f.computation.is_finite() && f.memory.is_finite());
+}
+
+#[test]
+fn table_renderer_handles_empty_and_wide() {
+    let empty = TextTable::new(["a"]);
+    assert!(empty.is_empty());
+    assert!(empty.render().contains("| a |"));
+    let mut wide = TextTable::new(["x", "yyyyyyyyyy"]);
+    wide.row(["long-cell-content", "s"]);
+    let s = wide.render();
+    assert!(s.contains("long-cell-content"));
+    // All rows have equal width.
+    let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
+    assert!(widths.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn pct_and_bar_formatting() {
+    assert_eq!(pct(0.5), "50.0%");
+    assert_eq!(pct(0.0), "0.0%");
+    assert_eq!(bar(0.0, 8), "........");
+    assert_eq!(bar(1.0, 8), "########");
+}

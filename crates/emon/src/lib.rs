@@ -1,0 +1,26 @@
+//! # wdtg-emon — the measurement tool
+//!
+//! A faithful stand-in for Intel's `emon` as the paper used it (§4.3):
+//!
+//! * event specifications in emon's command-line syntax
+//!   (`INST_RETIRED:USER`) — [`spec`];
+//! * the Pentium II's **two-counter** restriction: a full breakdown requires
+//!   one run of the measurement unit per event *pair*, multiplexed across
+//!   repeated executions — [`runner`];
+//! * the Table 4.2 formulae mapping counts to stall-time components,
+//!   including the measured memory latency, the unmeasurable T_DTLB and the
+//!   reconstructed overlap T_OVL — [`formulae`].
+//!
+//! The simulator's ground-truth ledger (which no real machine has) lets the
+//! reproduction *validate* the paper's count×penalty approximations; the
+//! integration suite does exactly that.
+
+#![warn(missing_docs)]
+
+pub mod formulae;
+pub mod runner;
+pub mod spec;
+
+pub use formulae::{breakdown, measure_breakdown, required_events, EstimatedBreakdown, Penalties};
+pub use runner::{measure, plan, Readings, Target};
+pub use spec::{EventSpec, ModeSel, SpecError};

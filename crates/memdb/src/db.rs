@@ -1,0 +1,834 @@
+//! The database facade: catalog, storage, instrumented execution context and
+//! the query planner/runner.
+
+use std::rc::Rc;
+
+use wdtg_sim::{segment, BranchSite, CodeBlock, Cpu, CpuConfig, MemDep};
+
+use crate::arena::SimArena;
+use crate::buffer::BufferPool;
+use crate::error::{DbError, DbResult};
+use crate::exec::agg::AggExec;
+use crate::exec::filter::{Filter, PredicateExec};
+use crate::exec::indexscan::{descend_to_leaf, IndexRangeScan, LeafCursor};
+use crate::exec::join_hash::HashJoin;
+use crate::exec::join_nl::IndexNlJoin;
+use crate::exec::seqscan::SeqScan;
+use crate::exec::{ExecEnv, Operator};
+use crate::heap::{HeapFile, Rid, HDR_NRECS, PAGE_HDR};
+use crate::index::btree::BTree;
+use crate::profiles::{EngineProfile, EvalMode, JoinAlgo};
+use crate::query::{AggKind, Query, QueryPredicate, QueryResult};
+use crate::schema::Schema;
+
+/// Instrumented access to simulated memory: every load/store both returns
+/// real bytes and drives the cache simulator, unless instrumentation is off
+/// (bulk loads and index builds happen before measurement, as in §4.3).
+#[derive(Debug)]
+pub struct DbCtx {
+    /// The simulated processor.
+    pub cpu: Cpu,
+    /// Relation heap pages.
+    pub heap: SimArena,
+    /// Index structures (B+trees, join hash tables).
+    pub index: SimArena,
+    /// Catalog/page-table/miscellaneous structures.
+    pub misc: SimArena,
+    /// Whether accesses are simulated (off during data loading).
+    pub instrument: bool,
+}
+
+impl DbCtx {
+    /// Creates a context with a fresh processor.
+    pub fn new(cfg: CpuConfig) -> Self {
+        DbCtx {
+            cpu: Cpu::new(cfg),
+            heap: SimArena::new(segment::HEAP, 0x3000_0000),
+            index: SimArena::new(segment::INDEX, 0x2000_0000),
+            misc: SimArena::new(segment::MISC, 0x1000_0000),
+            instrument: true,
+        }
+    }
+
+    fn arena(&self, addr: u64) -> &SimArena {
+        if addr >= segment::MISC {
+            &self.misc
+        } else if addr >= segment::INDEX {
+            &self.index
+        } else {
+            &self.heap
+        }
+    }
+
+    fn arena_mut(&mut self, addr: u64) -> &mut SimArena {
+        if addr >= segment::MISC {
+            &mut self.misc
+        } else if addr >= segment::INDEX {
+            &mut self.index
+        } else {
+            &mut self.heap
+        }
+    }
+
+    /// Instrumented 4-byte load.
+    #[inline]
+    pub fn load_i32(&mut self, addr: u64, dep: MemDep) -> i32 {
+        if self.instrument {
+            self.cpu.load(addr, 4, dep);
+        }
+        self.arena(addr).read_i32(addr)
+    }
+
+    /// Instrumented 8-byte load.
+    #[inline]
+    pub fn load_u64(&mut self, addr: u64, dep: MemDep) -> u64 {
+        if self.instrument {
+            self.cpu.load(addr, 8, dep);
+        }
+        self.arena(addr).read_u64(addr)
+    }
+
+    /// Instrumented 4-byte store.
+    #[inline]
+    pub fn store_i32(&mut self, addr: u64, v: i32, dep: MemDep) {
+        if self.instrument {
+            self.cpu.store(addr, 4, dep);
+        }
+        self.arena_mut(addr).write_i32(addr, v);
+    }
+
+    /// Instrumented 8-byte store.
+    #[inline]
+    pub fn store_u64(&mut self, addr: u64, v: u64, dep: MemDep) {
+        if self.instrument {
+            self.cpu.store(addr, 8, dep);
+        }
+        self.arena_mut(addr).write_u64(addr, v);
+    }
+
+    /// Charges a read of `len` bytes without transferring data (used when a
+    /// record is materialized wholesale; values are then read raw).
+    #[inline]
+    pub fn touch(&mut self, addr: u64, len: u32, dep: MemDep) {
+        if self.instrument {
+            self.cpu.load(addr, len, dep);
+        }
+    }
+
+    /// Charges a write of `len` bytes (e.g. into a private tuple buffer that
+    /// has no arena backing).
+    #[inline]
+    pub fn store_touch(&mut self, addr: u64, len: u32, dep: MemDep) {
+        if self.instrument {
+            self.cpu.store(addr, len, dep);
+        }
+    }
+
+    /// Uninstrumented raw read (after the covering [`DbCtx::touch`]).
+    #[inline]
+    pub fn read_raw_i32(&self, addr: u64) -> i32 {
+        self.arena(addr).read_i32(addr)
+    }
+
+    /// Executes an instrumented code block.
+    #[inline]
+    pub fn exec(&mut self, block: &CodeBlock) {
+        if self.instrument {
+            self.cpu.exec_block(block);
+        }
+    }
+
+    /// Executes `times` back-to-back invocations of a block (fetched once).
+    #[inline]
+    pub fn exec_scaled(&mut self, block: &CodeBlock, times: u32) {
+        if self.instrument {
+            self.cpu.exec_block_scaled(block, times);
+        }
+    }
+
+    /// Executes a data-dependent branch.
+    #[inline]
+    pub fn branch(&mut self, site: BranchSite, taken: bool) {
+        if self.instrument {
+            self.cpu.branch(site, taken);
+        }
+    }
+
+    /// Issues a data prefetch.
+    #[inline]
+    pub fn prefetch(&mut self, addr: u64) {
+        if self.instrument {
+            self.cpu.prefetch_data(addr);
+        }
+    }
+}
+
+/// A table: schema plus heap file.
+#[derive(Debug)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Schema (fixed-length integer columns).
+    pub schema: Schema,
+    /// Heap storage.
+    pub heap: HeapFile,
+}
+
+/// A secondary index registered in the catalog.
+#[derive(Debug)]
+pub struct IndexMeta {
+    /// Index of the table in the catalog.
+    pub table: usize,
+    /// Indexed column.
+    pub col: usize,
+    /// The B+tree.
+    pub btree: BTree,
+}
+
+/// A memory-resident single-user relational database bound to one simulated
+/// processor and one engine profile (one of the paper's four systems).
+#[derive(Debug)]
+pub struct Database {
+    /// Execution context (processor + arenas).
+    pub ctx: DbCtx,
+    tables: Vec<Table>,
+    indexes: Vec<IndexMeta>,
+    bufpool: BufferPool,
+    profile: EngineProfile,
+}
+
+impl Database {
+    /// Creates an empty database for `profile` on a processor configured by
+    /// `cfg`, sized for up to `expected_pages` heap pages.
+    pub fn with_capacity(profile: EngineProfile, cfg: CpuConfig, expected_pages: u64) -> Self {
+        let mut ctx = DbCtx::new(cfg);
+        let bufpool = BufferPool::new(&mut ctx.misc, expected_pages);
+        Database { ctx, tables: Vec::new(), indexes: Vec::new(), bufpool, profile }
+    }
+
+    /// Creates an empty database with a default page-table capacity (64 K
+    /// pages = 512 MB of heap).
+    pub fn new(profile: EngineProfile, cfg: CpuConfig) -> Self {
+        Self::with_capacity(profile, cfg, 64 * 1024)
+    }
+
+    /// The engine profile in use.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    /// The simulated processor (counters, ledger, cycles).
+    pub fn cpu(&self) -> &Cpu {
+        &self.ctx.cpu
+    }
+
+    /// Mutable access to the processor (snapshots, stat resets).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.ctx.cpu
+    }
+
+    fn table_idx(&self, name: &str) -> DbResult<usize> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        Ok(&self.tables[self.table_idx(name)?])
+    }
+
+    fn index_on(&self, table: usize, col: usize) -> Option<&IndexMeta> {
+        self.indexes.iter().find(|i| i.table == table && i.col == col)
+    }
+
+    /// Creates an empty table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<usize> {
+        if self.tables.iter().any(|t| t.name == name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        // Global page-id space: 2^20 pages per table.
+        let first_page_id = (self.tables.len() as u64) << 20;
+        let heap = HeapFile::new(schema.record_bytes(), first_page_id);
+        self.tables.push(Table { name: name.to_string(), schema, heap });
+        Ok(self.tables.len() - 1)
+    }
+
+    /// Bulk-loads rows (uninstrumented, like the paper's pre-measurement
+    /// load). Returns the number of rows loaded.
+    pub fn load_rows<I>(&mut self, name: &str, rows: I) -> DbResult<u64>
+    where
+        I: IntoIterator<Item = Vec<i32>>,
+    {
+        let ti = self.table_idx(name)?;
+        let arity = self.tables[ti].schema.arity();
+        let mut buf = Vec::with_capacity(arity * 4);
+        let mut n = 0u64;
+        for row in rows {
+            if row.len() != arity {
+                return Err(DbError::ArityMismatch { expected: arity, got: row.len() });
+            }
+            buf.clear();
+            for v in &row {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            let table = &mut self.tables[ti];
+            let pages_before = table.heap.n_pages();
+            let rid = table.heap.insert_raw(&mut self.ctx.heap, &buf);
+            if table.heap.n_pages() != pages_before {
+                let page_no = table.heap.n_pages() - 1;
+                let addr = table.heap.page_addr(page_no)?;
+                self.bufpool.register(&mut self.ctx.misc, table.heap.page_id(page_no), addr);
+            }
+            // Maintain any existing indexes.
+            let indexed: Vec<(usize, usize)> = self
+                .indexes
+                .iter()
+                .enumerate()
+                .filter(|(_, ix)| ix.table == ti)
+                .map(|(i, ix)| (i, ix.col))
+                .collect();
+            for (ix_pos, col) in indexed {
+                let key = row[col];
+                self.indexes[ix_pos].btree.insert(&mut self.ctx.index, key, rid.pack());
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Builds a non-clustered B+tree index on `table.col` (uninstrumented —
+    /// "the range selection was resubmitted after constructing a
+    /// non-clustered index on R.a2", §3.3).
+    pub fn create_index(&mut self, name: &str, col: &str) -> DbResult<()> {
+        let ti = self.table_idx(name)?;
+        let ci = self.tables[ti].schema.col(col)?;
+        if self.index_on(ti, ci).is_some() {
+            return Err(DbError::IndexExists(format!("{name}.{col}")));
+        }
+        let mut btree = BTree::new(&mut self.ctx.index);
+        let table = &self.tables[ti];
+        let off = table.schema.col_offset(ci) as u64;
+        for page_no in 0..table.heap.n_pages() {
+            let page = table.heap.page_addr(page_no)?;
+            let nrecs = self.ctx.heap.read_i32(page + HDR_NRECS) as u32;
+            for slot in 0..nrecs {
+                let addr = page + PAGE_HDR + slot as u64 * table.heap.record_size as u64;
+                let key = self.ctx.heap.read_i32(addr + off);
+                btree.insert(&mut self.ctx.index, key, Rid { page: page_no, slot }.pack());
+            }
+        }
+        self.indexes.push(IndexMeta { table: ti, col: ci, btree });
+        Ok(())
+    }
+
+    /// Charges the per-transaction begin/commit overhead path (logging,
+    /// latching, connection bookkeeping). OLTP drivers call this once per
+    /// transaction; its large, rarely-resident footprint is one reason the
+    /// paper's TPC-C profile is instruction-miss heavy (§5.5).
+    pub fn txn_overhead(&mut self) {
+        let blocks = Rc::clone(&self.profile.blocks);
+        self.ctx.exec(&blocks.txn_begin_commit);
+    }
+
+    /// Touches one client connection's session working memory (sort areas,
+    /// private SQL area, network buffers). With ~10 concurrent clients the
+    /// combined session state exceeds the L2, so every transaction drags its
+    /// client's state back through memory — a large share of TPC-C's L2
+    /// data stalls (§5.5: "60%-80% of the time is spent in memory-related
+    /// stalls", dominated by L2).
+    pub fn session_touch(&mut self, client: u32, bytes: u32) {
+        const CLIENT_STRIDE: u64 = 128 * 1024;
+        let base = segment::MISC + 0x0800_0000 + client as u64 * CLIENT_STRIDE;
+        let lines = (bytes.min(CLIENT_STRIDE as u32) / 32).max(1);
+        for l in 0..lines as u64 {
+            let addr = base + l * 32;
+            if l % 3 == 0 {
+                self.ctx.store_touch(addr, 8, MemDep::Demand);
+            } else {
+                self.ctx.touch(addr, 8, MemDep::Demand);
+            }
+        }
+    }
+
+    /// Runs a grouped aggregation: `select group_col, AGG(agg_col) from
+    /// table [where predicate] group by group_col`, returning
+    /// `(group, value)` pairs in ascending group order. TPC-D's original
+    /// queries are grouped aggregates (e.g. Q1 groups on return flag).
+    pub fn run_grouped(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        predicate: Option<&QueryPredicate>,
+        agg: &crate::query::AggSpec,
+    ) -> DbResult<Vec<(i32, f64)>> {
+        let ti = self.table_idx(table)?;
+        let schema = &self.tables[ti].schema;
+        let gc = schema.col(group_col)?;
+        let ac = schema.col(&agg.col)?;
+        let blocks = Rc::clone(&self.profile.blocks);
+
+        let mut cols = vec![gc, ac];
+        let pred_remapped = match predicate {
+            None => None,
+            Some(QueryPredicate::Range { col, lo, hi }) => {
+                let ci = schema.col(col)?;
+                cols.push(ci);
+                Some((ci, *lo, *hi))
+            }
+            Some(QueryPredicate::Expr(_)) => {
+                return Err(DbError::PlanError(
+                    "run_grouped supports range predicates; use run() for expressions".into(),
+                ))
+            }
+        };
+        cols.sort_unstable();
+        cols.dedup();
+        let g_pos = cols.iter().position(|&c| c == gc).expect("present");
+        let a_pos = cols.iter().position(|&c| c == ac).expect("present");
+
+        let scan = SeqScan::new(
+            self.tables[ti].heap.clone(),
+            cols.clone(),
+            Rc::clone(&blocks),
+            self.profile.materialize,
+            self.profile.prefetch_lines_ahead,
+        );
+        let child: Box<dyn Operator> = match pred_remapped {
+            None => Box::new(scan),
+            Some((ci, lo, hi)) => {
+                let pos = cols.iter().position(|&c| c == ci).expect("present");
+                Box::new(Filter::new(
+                    Box::new(scan),
+                    PredicateExec::Range { col: pos, lo, hi },
+                    Rc::clone(&blocks),
+                    self.profile.eval_mode == EvalMode::Interpreted,
+                ))
+            }
+        };
+        let mut gb = crate::exec::groupby::GroupByExec::new(
+            child,
+            g_pos,
+            a_pos,
+            agg.kind,
+            Rc::clone(&blocks),
+        );
+        let Database { ctx, bufpool, profile, .. } = self;
+        let mut env = ExecEnv { ctx, bufpool };
+        env.ctx.exec(&profile.blocks.query_setup);
+        gb.run_to_end(&mut env)
+    }
+
+    /// Explains how this engine would execute `q` (the plan shape and the
+    /// profile-specific execution strategy) without running it.
+    pub fn explain(&self, q: &Query) -> DbResult<String> {
+        let strategy = |interp: bool| if interp { "interpreted" } else { "compiled" };
+        let interp = self.profile.eval_mode == EvalMode::Interpreted;
+        match q {
+            Query::SelectAgg { table, predicate, agg } => {
+                let ti = self.table_idx(table)?;
+                let schema = &self.tables[ti].schema;
+                let agg_str = format!("{:?}({})", agg.kind, agg.col);
+                match predicate {
+                    Some(QueryPredicate::Range { col, lo, hi }) => {
+                        let ci = schema.col(col)?;
+                        if self.profile.use_index_for_range && self.index_on(ti, ci).is_some() {
+                            Ok(format!(
+                                "Agg[{agg_str}]\n  IndexRangeScan[{table}.{col} in ({lo},{hi}), \
+                                 non-clustered B+tree, fetch via buffer pool]"
+                            ))
+                        } else {
+                            Ok(format!(
+                                "Agg[{agg_str}]\n  Filter[{lo} < {col} < {hi}, {} range check]\n    \
+                                 SeqScan[{table}, {:?}{}]",
+                                strategy(interp),
+                                self.profile.materialize,
+                                if self.profile.prefetch_lines_ahead > 0 {
+                                    format!(
+                                        ", prefetch {} lines ahead",
+                                        self.profile.prefetch_lines_ahead
+                                    )
+                                } else {
+                                    String::new()
+                                }
+                            ))
+                        }
+                    }
+                    Some(QueryPredicate::Expr(e)) => Ok(format!(
+                        "Agg[{agg_str}]\n  Filter[{} expression, {} nodes]\n    SeqScan[{table}]",
+                        strategy(interp),
+                        e.node_count()
+                    )),
+                    None => Ok(format!("Agg[{agg_str}]\n  SeqScan[{table}]")),
+                }
+            }
+            Query::JoinAgg { left, right, left_col, right_col, agg } => {
+                let ri = self.table_idx(right)?;
+                let rkey = self.tables[ri].schema.col(right_col)?;
+                let algo = match self.profile.join_algo {
+                    JoinAlgo::IndexNestedLoop if self.index_on(ri, rkey).is_some() => {
+                        format!("IndexNLJoin[{right}.{right_col} B+tree probe per outer row]")
+                    }
+                    _ => format!("HashJoin[build {right}.{right_col}, probe {left}.{left_col}]"),
+                };
+                Ok(format!(
+                    "Agg[{:?}({})]\n  {algo}\n    SeqScan[{left}] / SeqScan[{right}]",
+                    agg.kind, agg.col
+                ))
+            }
+            Query::PointSelect { table, key_col, key, .. } => Ok(format!(
+                "PointSelect[{table}.{key_col} = {key} via B+tree, fetch via buffer pool]"
+            )),
+            Query::UpdateAdd { table, key_col, key, set_col, delta } => Ok(format!(
+                "Update[{table}.{set_col} += {delta} where {key_col} = {key}, via B+tree]"
+            )),
+            Query::InsertRow { table, .. } => {
+                Ok(format!("Insert[{table} heap append + index maintenance]"))
+            }
+        }
+    }
+
+    /// Runs a query through the engine's planner and instrumented executor.
+    pub fn run(&mut self, q: &Query) -> DbResult<QueryResult> {
+        let blocks = Rc::clone(&self.profile.blocks);
+        match q {
+            Query::SelectAgg { table, predicate, agg } => {
+                let ti = self.table_idx(table)?;
+                let schema = &self.tables[ti].schema;
+                let agg_col = if matches!(agg.kind, AggKind::Count) && agg.col.is_empty() {
+                    0
+                } else {
+                    schema.col(&agg.col)?
+                };
+
+                // Column set the scan must produce: aggregate column plus
+                // predicate columns.
+                let mut cols = vec![agg_col];
+                let pred = match predicate {
+                    None => None,
+                    Some(QueryPredicate::Range { col, lo, hi }) => {
+                        let ci = schema.col(col)?;
+                        cols.push(ci);
+                        Some((PredKind::Range(ci, *lo, *hi), ci))
+                    }
+                    Some(QueryPredicate::Expr(e)) => {
+                        if e.max_col().unwrap_or(0) >= schema.arity() {
+                            return Err(DbError::PlanError("predicate column out of range".into()));
+                        }
+                        cols.extend(e.cols());
+                        Some((PredKind::Expr(e.clone()), 0))
+                    }
+                };
+                cols.sort_unstable();
+                cols.dedup();
+                let agg_pos = cols.iter().position(|&c| c == agg_col).expect("present");
+
+                // Index path: range predicate on an indexed column, if the
+                // engine's optimizer uses indexes for range selections.
+                if let Some((PredKind::Range(ci, lo, hi), _)) = &pred {
+                    if self.profile.use_index_for_range {
+                        if let Some(ix) = self.index_on(ti, *ci) {
+                            let scan = IndexRangeScan::new(
+                                ix.btree.clone(),
+                                *lo,
+                                *hi,
+                                self.tables[ti].heap.clone(),
+                                cols.clone(),
+                                Rc::clone(&blocks),
+                            )
+                            .with_full_materialization(
+                                self.profile.materialize
+                                    == crate::profiles::Materialize::FullRecord,
+                            );
+                            let mut agg_exec =
+                                AggExec::new(Box::new(scan), agg.kind, agg_pos, Rc::clone(&blocks));
+                            return self.finish_agg(&mut agg_exec);
+                        }
+                    }
+                }
+
+                // Sequential scan + filter path.
+                let scan = SeqScan::new(
+                    self.tables[ti].heap.clone(),
+                    cols.clone(),
+                    Rc::clone(&blocks),
+                    self.profile.materialize,
+                    self.profile.prefetch_lines_ahead,
+                );
+                let child: Box<dyn Operator> = match pred {
+                    None => Box::new(scan),
+                    Some((kind, _)) => {
+                        let pexec = match kind {
+                            PredKind::Range(ci, lo, hi) => {
+                                let pos = cols.iter().position(|&c| c == ci).expect("present");
+                                PredicateExec::Range { col: pos, lo, hi }
+                            }
+                            PredKind::Expr(e) => {
+                                // Remap expression columns to scan output.
+                                let remapped = remap_expr(&e, &cols);
+                                PredicateExec::Expr(remapped)
+                            }
+                        };
+                        Box::new(Filter::new(
+                            Box::new(scan),
+                            pexec,
+                            Rc::clone(&blocks),
+                            self.profile.eval_mode == EvalMode::Interpreted,
+                        ))
+                    }
+                };
+                let mut agg_exec = AggExec::new(child, agg.kind, agg_pos, Rc::clone(&blocks));
+                self.finish_agg(&mut agg_exec)
+            }
+
+            Query::JoinAgg { left, right, left_col, right_col, agg } => {
+                let li = self.table_idx(left)?;
+                let ri = self.table_idx(right)?;
+                let lschema = &self.tables[li].schema;
+                let rschema = &self.tables[ri].schema;
+                let lkey = lschema.col(left_col)?;
+                let rkey = rschema.col(right_col)?;
+                let agg_col = lschema.col(&agg.col)?;
+                let mut lcols = vec![lkey, agg_col];
+                lcols.sort_unstable();
+                lcols.dedup();
+                let lkey_pos = lcols.iter().position(|&c| c == lkey).expect("present");
+                let agg_pos = lcols.iter().position(|&c| c == agg_col).expect("present");
+
+                let probe = SeqScan::new(
+                    self.tables[li].heap.clone(),
+                    lcols,
+                    Rc::clone(&blocks),
+                    self.profile.materialize,
+                    self.profile.prefetch_lines_ahead,
+                );
+
+                let join: Box<dyn Operator> = match self.profile.join_algo {
+                    JoinAlgo::IndexNestedLoop if self.index_on(ri, rkey).is_some() => {
+                        let ix = self.index_on(ri, rkey).expect("checked");
+                        Box::new(IndexNlJoin::new(
+                            Box::new(probe),
+                            lkey_pos,
+                            ix.btree.clone(),
+                            self.tables[ri].heap.clone(),
+                            vec![rkey],
+                            Rc::clone(&blocks),
+                        ))
+                    }
+                    _ => {
+                        let build = SeqScan::new(
+                            self.tables[ri].heap.clone(),
+                            vec![rkey],
+                            Rc::clone(&blocks),
+                            self.profile.materialize,
+                            self.profile.prefetch_lines_ahead,
+                        );
+                        Box::new(HashJoin::new(
+                            Box::new(build),
+                            0,
+                            Box::new(probe),
+                            lkey_pos,
+                            Rc::clone(&blocks),
+                        ))
+                    }
+                };
+                let mut agg_exec = AggExec::new(join, agg.kind, agg_pos, Rc::clone(&blocks));
+                self.finish_agg(&mut agg_exec)
+            }
+
+            Query::PointSelect { table, key_col, key, read_col } => {
+                self.point_select(table, key_col, *key, read_col)
+            }
+            Query::UpdateAdd { table, key_col, key, set_col, delta } => {
+                self.update_add(table, key_col, *key, set_col, *delta)
+            }
+            Query::InsertRow { table, values } => self.insert_row(table, values.clone()),
+        }
+    }
+
+    fn finish_agg(&mut self, agg: &mut AggExec) -> DbResult<QueryResult> {
+        let Database { ctx, bufpool, profile, .. } = self;
+        let mut env = ExecEnv { ctx, bufpool };
+        env.ctx.exec(&profile.blocks.query_setup);
+        agg.run(&mut env)
+    }
+
+    /// Instrumented point lookup through the index on `key_col`; returns the
+    /// value of `read_col` of the first match plus the match count.
+    pub fn point_select(
+        &mut self,
+        table: &str,
+        key_col: &str,
+        key: i32,
+        read_col: &str,
+    ) -> DbResult<QueryResult> {
+        let ti = self.table_idx(table)?;
+        let kc = self.tables[ti].schema.col(key_col)?;
+        let rc = self.tables[ti].schema.col(read_col)?;
+        let ix = self
+            .index_on(ti, kc)
+            .ok_or_else(|| DbError::IndexNotFound(format!("{table}.{key_col}")))?;
+        let btree = ix.btree.clone();
+        let heap = self.tables[ti].heap.clone();
+        let read_off = self.tables[ti].schema.col_offset(rc) as u64;
+        let blocks = Rc::clone(&self.profile.blocks);
+
+        let Database { ctx, bufpool, .. } = self;
+        let mut env = ExecEnv { ctx, bufpool };
+        let mut cursor: LeafCursor = descend_to_leaf(&mut env, &btree, key, &blocks);
+        let mut value = 0f64;
+        let mut rows = 0u64;
+        while let Some((k, rid)) = cursor.next_entry(&mut env, &blocks) {
+            if k != key {
+                break;
+            }
+            let rid = Rid::unpack(rid);
+            let addr = fetch_record(&mut env, &heap, rid, &blocks)?;
+            let v = env.ctx.load_i32(addr + read_off, MemDep::Chase);
+            if rows == 0 {
+                value = v as f64;
+            }
+            rows += 1;
+        }
+        Ok(QueryResult { value, rows })
+    }
+
+    /// Instrumented single-row update: adds `delta` to `set_col` of every
+    /// row whose `key_col` equals `key` (found via the index).
+    pub fn update_add(
+        &mut self,
+        table: &str,
+        key_col: &str,
+        key: i32,
+        set_col: &str,
+        delta: i32,
+    ) -> DbResult<QueryResult> {
+        let ti = self.table_idx(table)?;
+        let kc = self.tables[ti].schema.col(key_col)?;
+        let sc = self.tables[ti].schema.col(set_col)?;
+        let ix = self
+            .index_on(ti, kc)
+            .ok_or_else(|| DbError::IndexNotFound(format!("{table}.{key_col}")))?;
+        let btree = ix.btree.clone();
+        let heap = self.tables[ti].heap.clone();
+        let set_off = self.tables[ti].schema.col_offset(sc) as u64;
+        let blocks = Rc::clone(&self.profile.blocks);
+
+        let Database { ctx, bufpool, .. } = self;
+        let mut env = ExecEnv { ctx, bufpool };
+        let mut cursor = descend_to_leaf(&mut env, &btree, key, &blocks);
+        let mut rows = 0u64;
+        let mut last = 0i32;
+        while let Some((k, rid)) = cursor.next_entry(&mut env, &blocks) {
+            if k != key {
+                break;
+            }
+            let rid = Rid::unpack(rid);
+            let addr = fetch_record(&mut env, &heap, rid, &blocks)?;
+            env.ctx.exec(&blocks.update_step);
+            let v = env.ctx.load_i32(addr + set_off, MemDep::Chase);
+            last = v.wrapping_add(delta);
+            env.ctx.store_i32(addr + set_off, last, MemDep::Demand);
+            rows += 1;
+        }
+        Ok(QueryResult { value: last as f64, rows })
+    }
+
+    /// Instrumented single-row insert (heap append + index maintenance).
+    pub fn insert_row(&mut self, table: &str, values: Vec<i32>) -> DbResult<QueryResult> {
+        let ti = self.table_idx(table)?;
+        let arity = self.tables[ti].schema.arity();
+        if values.len() != arity {
+            return Err(DbError::ArityMismatch { expected: arity, got: values.len() });
+        }
+        let blocks = Rc::clone(&self.profile.blocks);
+        let mut buf = Vec::with_capacity(arity * 4);
+        for v in &values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        // Heap append.
+        let table_ref = &mut self.tables[ti];
+        let pages_before = table_ref.heap.n_pages();
+        let rid = table_ref.heap.insert_raw(&mut self.ctx.heap, &buf);
+        let rec_addr = table_ref.heap.record_addr(rid)?;
+        let rec_size = table_ref.heap.record_size;
+        if table_ref.heap.n_pages() != pages_before {
+            let page_no = table_ref.heap.n_pages() - 1;
+            let addr = table_ref.heap.page_addr(page_no)?;
+            self.bufpool.register(&mut self.ctx.misc, table_ref.heap.page_id(page_no), addr);
+        }
+        // Charge the work: insert path + record store + header update.
+        self.ctx.exec(&blocks.insert_step);
+        let page_addr = self.tables[ti].heap.page_addr(rid.page)?;
+        self.ctx.store_touch(rec_addr, rec_size, MemDep::Demand);
+        self.ctx.store_touch(page_addr + HDR_NRECS, 4, MemDep::Demand);
+
+        // Index maintenance (instrumented descend, charged leaf shift).
+        let maintained: Vec<usize> = (0..self.indexes.len())
+            .filter(|&i| self.indexes[i].table == ti)
+            .collect();
+        for i in maintained {
+            let key = values[self.indexes[i].col];
+            let btree_snapshot = self.indexes[i].btree.clone();
+            {
+                let Database { ctx, bufpool, .. } = &mut *self;
+                let mut env = ExecEnv { ctx, bufpool };
+                let _ = descend_to_leaf(&mut env, &btree_snapshot, key, &blocks);
+            }
+            self.indexes[i].btree.insert(&mut self.ctx.index, key, rid.pack());
+            // Entry shift within the leaf: charge a bounded write burst.
+            let leaf = *self.indexes[i].btree.descend(&self.ctx.index, key).last().expect("leaf");
+            self.ctx.store_touch(leaf + 24, 12 * 32, MemDep::Demand);
+        }
+        Ok(QueryResult { value: 0.0, rows: 1 })
+    }
+}
+
+/// Fetches a record by rid through the buffer pool (instrumented); returns
+/// the record's simulated address. Shared by index scans and point ops.
+pub(crate) fn fetch_record(
+    env: &mut ExecEnv<'_>,
+    heap: &HeapFile,
+    rid: Rid,
+    blocks: &crate::profiles::EngineBlocks,
+) -> DbResult<u64> {
+    env.ctx.exec(&blocks.rid_fetch);
+    env.ctx.exec(&blocks.bufpool_get);
+    let page_id = heap.page_id(rid.page);
+    let lookup = env.bufpool.lookup(&env.ctx.misc, page_id);
+    let (frame, probed) = lookup.ok_or(DbError::BadRid)?;
+    for entry in probed {
+        env.ctx.touch(entry, 16, MemDep::Chase);
+    }
+    // Page header read (latch/validity check) — the page is random, so this
+    // is usually another cold line.
+    env.ctx.touch(frame + HDR_NRECS, 8, MemDep::Chase);
+    debug_assert_eq!(frame, heap.page_addr(rid.page)?);
+    heap.record_addr(rid)
+}
+
+enum PredKind {
+    Range(usize, i32, i32),
+    Expr(crate::expr::Expr),
+}
+
+/// Rewrites an expression over table columns into one over the scan's output
+/// column positions.
+fn remap_expr(e: &crate::expr::Expr, cols: &[usize]) -> crate::expr::Expr {
+    use crate::expr::Expr;
+    match e {
+        Expr::Col(c) => Expr::Col(cols.iter().position(|&x| x == *c).expect("col in scan set")),
+        Expr::Const(v) => Expr::Const(*v),
+        Expr::Cmp(op, a, b) => {
+            Expr::Cmp(*op, Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols)))
+        }
+        Expr::And(a, b) => Expr::And(Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols))),
+        Expr::Or(a, b) => Expr::Or(Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols))),
+        Expr::Not(a) => Expr::Not(Box::new(remap_expr(a, cols))),
+        Expr::Arith(op, a, b) => {
+            Expr::Arith(*op, Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols)))
+        }
+    }
+}

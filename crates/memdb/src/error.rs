@@ -1,0 +1,51 @@
+//! Error type for the DBMS substrate.
+
+use std::fmt;
+
+/// Errors raised by catalog, storage and execution operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Named table does not exist.
+    TableNotFound(String),
+    /// Named column does not exist in the table's schema.
+    ColumnNotFound(String),
+    /// No index exists on the requested (table, column).
+    IndexNotFound(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// An index on this column already exists.
+    IndexExists(String),
+    /// Row arity does not match the table schema.
+    ArityMismatch {
+        /// Columns the schema defines.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A record id referenced a slot that does not exist.
+    BadRid,
+    /// The query referenced tables/columns in an unsupported combination.
+    PlanError(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            DbError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            DbError::IndexNotFound(c) => write!(f, "no index on: {c}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::IndexExists(c) => write!(f, "index already exists on: {c}"),
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} columns, row has {got}")
+            }
+            DbError::BadRid => write!(f, "invalid record id"),
+            DbError::PlanError(m) => write!(f, "cannot plan query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias used across the crate.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,76 @@
+//! Scalar aggregation (AVG / SUM / COUNT / MIN / MAX).
+//!
+//! The paper's queries aggregate (`select avg(a3) …`) so the DBMS returns a
+//! single row and client/server communication does not pollute the
+//! measurements (§3.3). The accumulator lives in engine-private memory, part
+//! of the hot working set that §5.2 observes stays L1-resident.
+
+use std::rc::Rc;
+
+use wdtg_sim::MemDep;
+
+use crate::error::DbResult;
+use crate::exec::{ExecEnv, Operator};
+use crate::profiles::EngineBlocks;
+use crate::query::{AggKind, QueryResult};
+
+/// Aggregate executor: drains a child operator into one scalar.
+pub struct AggExec {
+    child: Box<dyn Operator>,
+    kind: AggKind,
+    col: usize,
+    blocks: Rc<EngineBlocks>,
+}
+
+impl AggExec {
+    /// Aggregates column position `col` of `child`'s output.
+    pub fn new(child: Box<dyn Operator>, kind: AggKind, col: usize, blocks: Rc<EngineBlocks>) -> Self {
+        AggExec { child, kind, col, blocks }
+    }
+
+    /// Runs the aggregation to completion.
+    pub fn run(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
+        self.child.open(env)?;
+        let mut row = Vec::with_capacity(self.child.arity());
+        let mut sum = 0i64;
+        let mut count = 0u64;
+        let mut min = i32::MAX;
+        let mut max = i32::MIN;
+        while self.child.next(env, &mut row)? {
+            let v = row[self.col];
+            env.ctx.exec(&self.blocks.agg_step);
+            // Accumulator update in private memory (hot, L1-resident).
+            env.ctx.store_touch(self.blocks.agg_buf, 16, MemDep::Demand);
+            sum += v as i64;
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let value = match self.kind {
+            AggKind::Avg => {
+                if count == 0 {
+                    0.0
+                } else {
+                    sum as f64 / count as f64
+                }
+            }
+            AggKind::Sum => sum as f64,
+            AggKind::Count => count as f64,
+            AggKind::Min => {
+                if count == 0 {
+                    0.0
+                } else {
+                    min as f64
+                }
+            }
+            AggKind::Max => {
+                if count == 0 {
+                    0.0
+                } else {
+                    max as f64
+                }
+            }
+        };
+        Ok(QueryResult { value, rows: count })
+    }
+}

@@ -1,0 +1,137 @@
+//! Selection filter.
+//!
+//! The qualify branch is simulated individually ([`wdtg_sim::BranchSite`]):
+//! its direction depends on the data, so its misprediction behaviour varies
+//! with selectivity exactly as §5.3/Fig 5.4 studies. Interpreted engines
+//! additionally dispatch one `pred_node` block per expression node per row —
+//! branch-dense code that pressures the BTB and the L1 I-cache.
+
+use std::rc::Rc;
+
+use crate::error::DbResult;
+use crate::exec::{ExecEnv, Operator};
+use crate::expr::Expr;
+use crate::profiles::EngineBlocks;
+
+/// Executable predicate form.
+pub enum PredicateExec {
+    /// The paper's range predicate `lo < col < hi` over output column `col`.
+    Range {
+        /// Output-row position of the filter column.
+        col: usize,
+        /// Exclusive lower bound.
+        lo: i32,
+        /// Exclusive upper bound.
+        hi: i32,
+    },
+    /// General expression over output-row positions.
+    Expr(Expr),
+}
+
+impl PredicateExec {
+    fn eval(&self, row: &[i32]) -> bool {
+        match self {
+            PredicateExec::Range { col, lo, hi } => {
+                let v = row[*col];
+                v > *lo && v < *hi
+            }
+            PredicateExec::Expr(e) => e.eval_bool(row),
+        }
+    }
+
+    /// Interpreter handler class for each node of the tree, in evaluation
+    /// order: 0 = comparison, 1 = logic, 2 = column load, 3 = constant /
+    /// arithmetic.
+    fn handler_sequence(&self) -> Vec<u8> {
+        fn walk(e: &Expr, out: &mut Vec<u8>) {
+            match e {
+                Expr::Cmp(_, a, b) => {
+                    out.push(0);
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expr::And(a, b) | Expr::Or(a, b) => {
+                    out.push(1);
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expr::Not(a) => {
+                    out.push(1);
+                    walk(a, out);
+                }
+                Expr::Col(_) => out.push(2),
+                Expr::Const(_) => out.push(3),
+                Expr::Arith(_, a, b) => {
+                    out.push(3);
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        let mut seq = Vec::new();
+        match self {
+            // And + two comparisons over column/constant leaves.
+            PredicateExec::Range { .. } => seq.extend_from_slice(&[1, 0, 2, 3, 0, 2, 3]),
+            PredicateExec::Expr(e) => walk(e, &mut seq),
+        }
+        seq
+    }
+}
+
+/// Filter operator.
+pub struct Filter {
+    child: Box<dyn Operator>,
+    pred: PredicateExec,
+    blocks: Rc<EngineBlocks>,
+    interpreted: bool,
+    handlers: Vec<u8>,
+}
+
+impl Filter {
+    /// Wraps `child` with a predicate; `interpreted` selects the
+    /// tree-walking evaluator cost model.
+    pub fn new(
+        child: Box<dyn Operator>,
+        pred: PredicateExec,
+        blocks: Rc<EngineBlocks>,
+        interpreted: bool,
+    ) -> Self {
+        let handlers = pred.handler_sequence();
+        Filter { child, pred, blocks, interpreted, handlers }
+    }
+}
+
+impl Operator for Filter {
+    fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
+        self.child.open(env)
+    }
+
+    fn next(&mut self, env: &mut ExecEnv<'_>, out: &mut Vec<i32>) -> DbResult<bool> {
+        loop {
+            if !self.child.next(env, out)? {
+                return Ok(false);
+            }
+            if self.interpreted {
+                // Tree-walking evaluation: one dispatch plus one per-node
+                // handler call; the handlers are distinct functions, so the
+                // interpreter's instruction footprint scales with predicate
+                // complexity (→ L1I pressure, §5.2.2).
+                env.ctx.exec(&self.blocks.pred_node);
+                for &h in &self.handlers {
+                    env.ctx.exec(&self.blocks.pred_handlers[h as usize]);
+                }
+            } else {
+                env.ctx.exec(&self.blocks.pred_eval);
+            }
+            let pass = self.pred.eval(out);
+            env.ctx.branch(self.blocks.qualify_site, pass);
+            if pass {
+                return Ok(true);
+            }
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.child.arity()
+    }
+}

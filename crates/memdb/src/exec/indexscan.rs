@@ -1,0 +1,197 @@
+//! Non-clustered index range scan (the paper's indexed range selection).
+//!
+//! The B+tree descent is a pointer chase (each node address depends on the
+//! previous node's contents — `MemDep::Chase`), and every qualifying entry
+//! triggers a record fetch at an essentially random heap page. That loss of
+//! spatial locality is why the paper finds the indexed selection's memory
+//! stall share *larger* than the sequential scan's despite touching fewer
+//! records (§5.1: System B goes from 20% to 50% memory stalls).
+
+use std::rc::Rc;
+
+use wdtg_sim::MemDep;
+
+use crate::db::fetch_record;
+use crate::error::DbResult;
+use crate::exec::{ExecEnv, Operator};
+use crate::heap::{HeapFile, Rid};
+use crate::index::btree::{
+    int_child_addr, int_key_addr, leaf_key_addr, leaf_next, leaf_val_addr, node_is_leaf, node_n,
+    BTree,
+};
+use crate::profiles::EngineBlocks;
+
+/// Cursor positioned inside a leaf chain.
+pub struct LeafCursor {
+    leaf: u64,
+    pos: u32,
+    n: u32,
+}
+
+/// Instrumented root-to-leaf descent: per level charges the descend block, a
+/// binary search's key loads within the node, and the dependent child load.
+/// Returns a cursor at the lower bound of `key`.
+pub fn descend_to_leaf(
+    env: &mut ExecEnv<'_>,
+    btree: &BTree,
+    key: i32,
+    blocks: &EngineBlocks,
+) -> LeafCursor {
+    let mut node = btree.root;
+    loop {
+        env.ctx.exec(&blocks.index_descend);
+        let n = node_n(&env.ctx.index, node);
+        // Root/inner node header read.
+        env.ctx.touch(node, 8, MemDep::Chase);
+        if node_is_leaf(&env.ctx.index, node) {
+            // Binary search for the lower bound within the leaf.
+            let mut lo = 0u32;
+            let mut hi = n;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let k = env.ctx.load_i32(leaf_key_addr(node, mid), MemDep::Demand);
+                if k < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            return LeafCursor { leaf: node, pos: lo, n };
+        }
+        // Binary search among separator keys.
+        let mut lo = 0u32;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let k = env.ctx.load_i32(int_key_addr(node, mid), MemDep::Demand);
+            if k < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        node = env.ctx.load_u64(int_child_addr(node, lo), MemDep::Chase);
+    }
+}
+
+impl LeafCursor {
+    /// Advances to the next `(key, value)` entry, walking the leaf chain.
+    /// Charges the leaf-walk block and the entry loads.
+    pub fn next_entry(&mut self, env: &mut ExecEnv<'_>, blocks: &EngineBlocks) -> Option<(i32, u64)> {
+        loop {
+            if self.pos < self.n {
+                env.ctx.exec(&blocks.index_leaf_next);
+                let k = env.ctx.load_i32(leaf_key_addr(self.leaf, self.pos), MemDep::Demand);
+                let v = env.ctx.load_u64(leaf_val_addr(self.leaf, self.pos), MemDep::Demand);
+                self.pos += 1;
+                return Some((k, v));
+            }
+            let next = {
+                let n = leaf_next(&env.ctx.index, self.leaf);
+                env.ctx.touch(self.leaf + 8, 8, MemDep::Chase);
+                n
+            };
+            if next == 0 {
+                return None;
+            }
+            self.leaf = next;
+            self.pos = 0;
+            self.n = node_n(&env.ctx.index, next);
+            env.ctx.touch(next, 8, MemDep::Chase);
+        }
+    }
+}
+
+/// Index range scan producing projected heap columns for keys in
+/// `(lo, hi)` **exclusive** on both ends (the paper's `a2 < Hi and a2 > Lo`).
+pub struct IndexRangeScan {
+    btree: BTree,
+    lo: i32,
+    hi: i32,
+    heap: HeapFile,
+    cols: Vec<usize>,
+    blocks: Rc<EngineBlocks>,
+    cursor: Option<LeafCursor>,
+    materialize_full: bool,
+}
+
+impl IndexRangeScan {
+    /// Creates the scan; bounds are exclusive.
+    pub fn new(
+        btree: BTree,
+        lo: i32,
+        hi: i32,
+        heap: HeapFile,
+        cols: Vec<usize>,
+        blocks: Rc<EngineBlocks>,
+    ) -> Self {
+        IndexRangeScan {
+            btree,
+            lo,
+            hi,
+            heap,
+            cols,
+            blocks,
+            cursor: None,
+            materialize_full: false,
+        }
+    }
+
+    /// Makes the fetch copy the whole record into the tuple buffer (engines
+    /// with full materialization touch every line of the randomly-placed
+    /// record — a big part of why IRS is *more* memory-bound than SRS,
+    /// §5.1).
+    pub fn with_full_materialization(mut self, on: bool) -> Self {
+        self.materialize_full = on;
+        self
+    }
+}
+
+impl Operator for IndexRangeScan {
+    fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
+        // Lower bound is exclusive: descend to the first key > lo, i.e.
+        // lower_bound(lo + 1) for integer keys.
+        let start = self.lo.saturating_add(1);
+        self.cursor = Some(descend_to_leaf(env, &self.btree, start, &self.blocks));
+        Ok(())
+    }
+
+    fn next(&mut self, env: &mut ExecEnv<'_>, out: &mut Vec<i32>) -> DbResult<bool> {
+        let cursor = self.cursor.as_mut().expect("open() called");
+        {
+            let Some((k, packed)) = cursor.next_entry(env, &self.blocks) else {
+                return Ok(false);
+            };
+            if k >= self.hi {
+                return Ok(false);
+            }
+            // Fetch the record at a (random) heap page through the buffer
+            // pool, then read the projected fields.
+            let rid = Rid::unpack(packed);
+            let addr = fetch_record(env, &self.heap, rid, &self.blocks)?;
+            if self.materialize_full {
+                env.ctx.touch(addr, self.heap.record_size, MemDep::Chase);
+                env.ctx.store_touch(
+                    self.blocks.tuple_buf,
+                    self.heap.record_size,
+                    MemDep::Demand,
+                );
+                env.ctx.exec_scaled(&self.blocks.field_extract, self.heap.record_size / 4);
+            }
+            out.clear();
+            for &c in &self.cols {
+                let v = if self.materialize_full {
+                    env.ctx.read_raw_i32(addr + (c as u64) * 4)
+                } else {
+                    env.ctx.load_i32(addr + (c as u64) * 4, MemDep::Chase)
+                };
+                out.push(v);
+            }
+            return Ok(true);
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.cols.len()
+    }
+}

@@ -1,0 +1,126 @@
+//! In-memory hash join (the paper's sequential join runs without indexes, so
+//! every engine builds a transient hash table over the smaller input S and
+//! probes it with R).
+//!
+//! The bucket directory plus entry pool exceed the 512 KB L2 at paper scale,
+//! so probes are pointer chases into cold memory — the join's memory stalls
+//! come from here, alongside the outer scan.
+
+use std::rc::Rc;
+
+use wdtg_sim::MemDep;
+
+use crate::error::DbResult;
+use crate::exec::{ExecEnv, Operator};
+use crate::index::hash::JoinHashTable;
+use crate::profiles::EngineBlocks;
+
+/// Hash join emitting `probe_row ++ build_row`.
+pub struct HashJoin {
+    build: Box<dyn Operator>,
+    build_key: usize,
+    probe: Box<dyn Operator>,
+    probe_key: usize,
+    blocks: Rc<EngineBlocks>,
+    table: Option<JoinHashTable>,
+    build_rows: Vec<Vec<i32>>,
+    // probe state
+    probe_row: Vec<i32>,
+    chain: u64,
+    have_probe_row: bool,
+}
+
+impl HashJoin {
+    /// Creates a hash join; `build` is drained at `open`.
+    pub fn new(
+        build: Box<dyn Operator>,
+        build_key: usize,
+        probe: Box<dyn Operator>,
+        probe_key: usize,
+        blocks: Rc<EngineBlocks>,
+    ) -> Self {
+        HashJoin {
+            build,
+            build_key,
+            probe,
+            probe_key,
+            blocks,
+            table: None,
+            build_rows: Vec::new(),
+            probe_row: Vec::new(),
+            chain: 0,
+            have_probe_row: false,
+        }
+    }
+}
+
+impl Operator for HashJoin {
+    fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
+        // Build phase: drain the build child into the hash table.
+        self.build.open(env)?;
+        self.build_rows.clear();
+        let mut row = Vec::with_capacity(self.build.arity());
+        let mut staged: Vec<(i32, u64)> = Vec::new();
+        while self.build.next(env, &mut row)? {
+            let key = row[self.build_key];
+            staged.push((key, self.build_rows.len() as u64));
+            self.build_rows.push(row.clone());
+        }
+        let mut table = JoinHashTable::new(&mut env.ctx.index, staged.len().max(1) as u64);
+        for (key, payload) in staged {
+            env.ctx.exec(&self.blocks.hash_build);
+            let bucket_probe = table.bucket_addr(key);
+            // Read old head, write entry (24 B), write new head.
+            env.ctx.touch(bucket_probe, 8, MemDep::Chase);
+            let (bucket, entry) = table.insert(&mut env.ctx.index, key, payload);
+            env.ctx.store_touch(entry, 24, MemDep::Demand);
+            env.ctx.store_touch(bucket, 8, MemDep::Demand);
+        }
+        self.table = Some(table);
+        self.probe.open(env)?;
+        self.have_probe_row = false;
+        self.chain = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, env: &mut ExecEnv<'_>, out: &mut Vec<i32>) -> DbResult<bool> {
+        let table = self.table.as_ref().expect("open() called");
+        loop {
+            if !self.have_probe_row {
+                if !self.probe.next(env, &mut self.probe_row)? {
+                    return Ok(false);
+                }
+                self.have_probe_row = true;
+                env.ctx.exec(&self.blocks.hash_probe);
+                let key = self.probe_row[self.probe_key];
+                // Bucket-head load: random access into the directory.
+                self.chain = {
+                    env.ctx.touch(table.bucket_addr(key), 8, MemDep::Chase);
+                    table.chain_head(&env.ctx.index, key)
+                };
+            }
+            // Walk the chain.
+            while self.chain != 0 {
+                let entry_addr = self.chain;
+                env.ctx.touch(entry_addr, 20, MemDep::Chase);
+                let (k, payload, next) = table.entry(&env.ctx.index, entry_addr);
+                self.chain = next;
+                let key = self.probe_row[self.probe_key];
+                let matched = k == key;
+                env.ctx.branch(self.blocks.match_site, matched);
+                if matched {
+                    env.ctx.exec(&self.blocks.join_match);
+                    out.clear();
+                    out.extend_from_slice(&self.probe_row);
+                    out.extend_from_slice(&self.build_rows[payload as usize]);
+                    return Ok(true);
+                }
+            }
+            self.have_probe_row = false;
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.probe.arity() + self.build.arity()
+    }
+}

@@ -1,0 +1,97 @@
+//! Index nested-loop join: for every outer row, probe a B+tree on the inner
+//! join column and fetch matching inner records.
+//!
+//! Not used for the paper's sequential join (which runs "with no indexes",
+//! §3.3) but part of any complete executor; the TPC-D-like suite and the
+//! ablation experiments exercise it.
+
+use std::rc::Rc;
+
+use wdtg_sim::MemDep;
+
+use crate::db::fetch_record;
+use crate::error::DbResult;
+use crate::exec::indexscan::descend_to_leaf;
+use crate::exec::{ExecEnv, Operator};
+use crate::heap::{HeapFile, Rid};
+use crate::index::btree::BTree;
+use crate::profiles::EngineBlocks;
+
+/// Index nested-loop join emitting `outer_row ++ inner_cols`.
+pub struct IndexNlJoin {
+    outer: Box<dyn Operator>,
+    outer_key: usize,
+    inner_index: BTree,
+    inner_heap: HeapFile,
+    inner_cols: Vec<usize>,
+    blocks: Rc<EngineBlocks>,
+    // state: pending inner matches for the current outer row
+    outer_row: Vec<i32>,
+    pending: Vec<u64>, // packed rids, reversed for pop()
+}
+
+impl IndexNlJoin {
+    /// Creates the join; `inner_index` must index the inner join column.
+    pub fn new(
+        outer: Box<dyn Operator>,
+        outer_key: usize,
+        inner_index: BTree,
+        inner_heap: HeapFile,
+        inner_cols: Vec<usize>,
+        blocks: Rc<EngineBlocks>,
+    ) -> Self {
+        IndexNlJoin {
+            outer,
+            outer_key,
+            inner_index,
+            inner_heap,
+            inner_cols,
+            blocks,
+            outer_row: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Operator for IndexNlJoin {
+    fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
+        self.outer.open(env)?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    fn next(&mut self, env: &mut ExecEnv<'_>, out: &mut Vec<i32>) -> DbResult<bool> {
+        loop {
+            if let Some(packed) = self.pending.pop() {
+                let rid = Rid::unpack(packed);
+                let addr = fetch_record(env, &self.inner_heap, rid, &self.blocks)?;
+                out.clear();
+                out.extend_from_slice(&self.outer_row);
+                for &c in &self.inner_cols {
+                    out.push(env.ctx.load_i32(addr + (c as u64) * 4, MemDep::Chase));
+                }
+                env.ctx.exec(&self.blocks.join_match);
+                return Ok(true);
+            }
+            if !self.outer.next(env, &mut self.outer_row)? {
+                return Ok(false);
+            }
+            // Probe the inner index for all entries equal to the outer key.
+            let key = self.outer_row[self.outer_key];
+            let mut cursor = descend_to_leaf(env, &self.inner_index, key, &self.blocks);
+            while let Some((k, v)) = cursor.next_entry(env, &self.blocks) {
+                let matched = k == key;
+                env.ctx.branch(self.blocks.match_site, matched);
+                if !matched {
+                    break;
+                }
+                self.pending.push(v);
+            }
+            self.pending.reverse();
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.outer.arity() + self.inner_cols.len()
+    }
+}

@@ -1,0 +1,40 @@
+//! Volcano-style instrumented operators.
+//!
+//! Operators pull rows one at a time (`next`) like the iterator model every
+//! late-90s commercial executor used; each call charges the engine-profile
+//! code blocks and the data accesses of the work it performs, so per-tuple
+//! function-call overhead, instruction footprint and data traffic all show up
+//! in the simulated counters.
+
+pub mod agg;
+pub mod filter;
+pub mod groupby;
+pub mod indexscan;
+pub mod join_hash;
+pub mod join_nl;
+pub mod seqscan;
+
+use crate::buffer::BufferPool;
+use crate::db::DbCtx;
+use crate::error::DbResult;
+
+/// Execution environment handed to every operator call: the instrumented
+/// context plus the buffer pool (for page-table lookups).
+pub struct ExecEnv<'a> {
+    /// Instrumented memory/CPU context.
+    pub ctx: &'a mut DbCtx,
+    /// Buffer-pool page table.
+    pub bufpool: &'a BufferPool,
+}
+
+/// A pull-based operator producing rows of `i32` values.
+pub trait Operator {
+    /// Prepares the operator (may consume inputs, e.g. a hash-join build).
+    fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()>;
+
+    /// Produces the next row into `out`; returns false at end of stream.
+    fn next(&mut self, env: &mut ExecEnv<'_>, out: &mut Vec<i32>) -> DbResult<bool>;
+
+    /// Number of columns in produced rows.
+    fn arity(&self) -> usize;
+}

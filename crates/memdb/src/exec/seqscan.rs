@@ -1,0 +1,151 @@
+//! Sequential heap scan.
+//!
+//! The workhorse of the paper's sequential range selection. Per page it runs
+//! the page-open path (buffer-pool lookup + page latch/header decode — the
+//! "buffer pool management instructions" of §5.2.2's third hypothesis); per
+//! record it runs the scan-advance path and touches record bytes according
+//! to the engine's materialization strategy. Cache-conscious engines
+//! (System B) issue line prefetches ahead of the scan cursor, which converts
+//! L2 data misses into hits (§5.2.1: B's L2 data miss rate is ≈2% on SRS).
+
+use std::rc::Rc;
+
+use wdtg_sim::MemDep;
+
+use crate::error::DbResult;
+use crate::exec::{ExecEnv, Operator};
+use crate::heap::{HeapFile, HDR_NRECS, PAGE_HDR};
+use crate::profiles::{EngineBlocks, Materialize};
+
+/// Sequential scan over a heap file, projecting `cols`.
+pub struct SeqScan {
+    heap: HeapFile,
+    cols: Vec<usize>,
+    blocks: Rc<EngineBlocks>,
+    materialize: Materialize,
+    prefetch_lines_ahead: u32,
+    // cursor state
+    cur_page: u32,
+    cur_slot: u32,
+    page_addr: u64,
+    page_records: u32,
+    opened: bool,
+}
+
+impl SeqScan {
+    /// Creates a scan over `heap` producing the given column positions.
+    pub fn new(
+        heap: HeapFile,
+        cols: Vec<usize>,
+        blocks: Rc<EngineBlocks>,
+        materialize: Materialize,
+        prefetch_lines_ahead: u32,
+    ) -> Self {
+        SeqScan {
+            heap,
+            cols,
+            blocks,
+            materialize,
+            prefetch_lines_ahead,
+            cur_page: 0,
+            cur_slot: 0,
+            page_addr: 0,
+            page_records: 0,
+            opened: false,
+        }
+    }
+
+    /// Opens the next page through the buffer pool; false if no more pages.
+    fn open_page(&mut self, env: &mut ExecEnv<'_>) -> DbResult<bool> {
+        if self.cur_page >= self.heap.n_pages() {
+            return Ok(false);
+        }
+        env.ctx.exec(&self.blocks.scan_page);
+        env.ctx.exec(&self.blocks.bufpool_get);
+        let page_id = self.heap.page_id(self.cur_page);
+        let lookup = env.bufpool.lookup(&env.ctx.misc, page_id);
+        let (frame, probed) = lookup.expect("scanned page is registered");
+        for entry in probed {
+            env.ctx.touch(entry, 16, MemDep::Demand);
+        }
+        self.page_addr = frame;
+        self.page_records = env.ctx.load_i32(frame + HDR_NRECS, MemDep::Demand) as u32;
+        self.cur_slot = 0;
+        // A prefetching scan also primes the head of the fresh page so the
+        // scan-ahead window does not stall at every page boundary.
+        if self.prefetch_lines_ahead > 0 {
+            for l in 0..self.prefetch_lines_ahead.min(8) as u64 {
+                env.ctx.prefetch(frame + 32 + l * 32);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl Operator for SeqScan {
+    fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
+        self.cur_page = 0;
+        self.opened = self.open_page(env)?;
+        Ok(())
+    }
+
+    fn next(&mut self, env: &mut ExecEnv<'_>, out: &mut Vec<i32>) -> DbResult<bool> {
+        if !self.opened {
+            return Ok(false);
+        }
+        while self.cur_slot >= self.page_records {
+            self.cur_page += 1;
+            if !self.open_page(env)? {
+                return Ok(false);
+            }
+        }
+        let rec_size = self.heap.record_size as u64;
+        let addr = self.page_addr + PAGE_HDR + self.cur_slot as u64 * rec_size;
+        env.ctx.exec(&self.blocks.scan_next);
+
+        // Cache-conscious scan: prefetch the lines the cursor will need
+        // `prefetch_lines_ahead` lines from now, one record's worth per step
+        // to keep pace with consumption.
+        if self.prefetch_lines_ahead > 0 {
+            let ahead = addr + self.prefetch_lines_ahead as u64 * 32;
+            let lines_per_record = (self.heap.record_size as u64).div_ceil(32);
+            for l in 0..lines_per_record {
+                let target = ahead + l * 32;
+                // Stay within the page; the next page is prefetched when
+                // reached (its address is not known to scan-ahead hardware).
+                if target < self.page_addr + 8192 {
+                    env.ctx.prefetch(target);
+                }
+            }
+        }
+
+        match self.materialize {
+            Materialize::FullRecord => {
+                // Copy the record into the private tuple buffer: read every
+                // line of the record, write the tuple (hot, L1-resident),
+                // and run the per-field extraction path once per column —
+                // the per-record work that scales with record width
+                // (§5.2.2's 2.5-4x growth from 20B to 200B records).
+                env.ctx.touch(addr, self.heap.record_size, MemDep::Demand);
+                env.ctx.store_touch(self.blocks.tuple_buf, self.heap.record_size, MemDep::Demand);
+                env.ctx.exec_scaled(&self.blocks.field_extract, self.heap.record_size / 4);
+            }
+            Materialize::FieldsOnly => {
+                for &c in &self.cols {
+                    env.ctx.touch(addr + (c as u64) * 4, 4, MemDep::Demand);
+                }
+                env.ctx.exec_scaled(&self.blocks.field_extract, self.cols.len() as u32);
+            }
+        }
+        out.clear();
+        for &c in &self.cols {
+            out.push(env.ctx.read_raw_i32(addr + (c as u64) * 4));
+        }
+        self.cur_slot += 1;
+        Ok(true)
+    }
+
+    fn arity(&self) -> usize {
+        self.cols.len()
+    }
+}

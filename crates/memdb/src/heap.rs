@@ -1,0 +1,197 @@
+//! Slotted heap pages and heap files.
+//!
+//! Records are fixed-length (integer columns only, like the paper's relation
+//! R), stored N-ary (NSM) in 8 KB pages: a 32-byte page header followed by
+//! densely packed records. The buffer pool keeps every page memory-resident
+//! (§4.2: "the buffer pool size was large enough to fit the datasets for all
+//! the queries"), so a page's simulated address is stable for its lifetime.
+
+use std::rc::Rc;
+
+use crate::arena::SimArena;
+use crate::error::{DbError, DbResult};
+
+/// Page size in bytes (typical for the era's commercial systems).
+pub const PAGE_SIZE: u64 = 8192;
+/// Page header size: record count, record size, page id, free-space cursor.
+pub const PAGE_HDR: u64 = 32;
+
+/// Byte offset of the record-count field within the page header.
+pub const HDR_NRECS: u64 = 0;
+/// Byte offset of the record-size field within the page header.
+pub const HDR_RECSIZE: u64 = 4;
+/// Byte offset of the page-id field within the page header.
+pub const HDR_PAGEID: u64 = 8;
+
+/// A record identifier: page number within the heap file plus slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rid {
+    /// Page number within the owning heap file.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: u32,
+}
+
+impl Rid {
+    /// Packs the rid into a u64 (for index payloads).
+    pub fn pack(self) -> u64 {
+        ((self.page as u64) << 32) | self.slot as u64
+    }
+
+    /// Unpacks a rid packed with [`Rid::pack`].
+    pub fn unpack(v: u64) -> Rid {
+        Rid { page: (v >> 32) as u32, slot: v as u32 }
+    }
+}
+
+/// A heap file: an append-only list of pages holding fixed-length records.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    /// Fixed record size in bytes.
+    pub record_size: u32,
+    /// Records per page.
+    pub page_cap: u32,
+    /// Simulated base addresses of the pages, in page-number order. `Rc` so
+    /// scan operators can hold a cheap snapshot for the duration of a query.
+    pub pages: Rc<Vec<u64>>,
+    /// Total records.
+    pub n_records: u64,
+    /// Global page-id of this file's first page (buffer-pool key space).
+    pub first_page_id: u64,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file for `record_size`-byte records.
+    /// `first_page_id` is the buffer-pool page id this file's page 0 gets.
+    pub fn new(record_size: u32, first_page_id: u64) -> Self {
+        assert!(record_size >= 4 && record_size as u64 <= PAGE_SIZE - PAGE_HDR);
+        HeapFile {
+            record_size,
+            page_cap: ((PAGE_SIZE - PAGE_HDR) / record_size as u64) as u32,
+            pages: Rc::new(Vec::new()),
+            n_records: 0,
+            first_page_id,
+        }
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Global buffer-pool id of page `page_no`.
+    pub fn page_id(&self, page_no: u32) -> u64 {
+        self.first_page_id + page_no as u64
+    }
+
+    /// Simulated address of the page holding `page_no`.
+    pub fn page_addr(&self, page_no: u32) -> DbResult<u64> {
+        self.pages.get(page_no as usize).copied().ok_or(DbError::BadRid)
+    }
+
+    /// Simulated address of the record at `rid`.
+    pub fn record_addr(&self, rid: Rid) -> DbResult<u64> {
+        if rid.slot >= self.page_cap {
+            return Err(DbError::BadRid);
+        }
+        Ok(self.page_addr(rid.page)? + PAGE_HDR + rid.slot as u64 * self.record_size as u64)
+    }
+
+    /// Appends a record (raw bytes, uninstrumented — used for bulk loading,
+    /// which the paper performs before measurement). Returns its rid.
+    pub fn insert_raw(&mut self, arena: &mut SimArena, rec: &[u8]) -> Rid {
+        assert_eq!(rec.len(), self.record_size as usize);
+        let slot_in_page = (self.n_records % self.page_cap as u64) as u32;
+        if slot_in_page == 0 {
+            // Start a new page.
+            let addr = arena.alloc(PAGE_SIZE, PAGE_SIZE);
+            let page_no = self.pages.len() as u32;
+            arena.write_i32(addr + HDR_NRECS, 0);
+            arena.write_i32(addr + HDR_RECSIZE, self.record_size as i32);
+            arena.write_u64(addr + HDR_PAGEID, self.page_id(page_no));
+            Rc::make_mut(&mut self.pages).push(addr);
+        }
+        let page_no = (self.n_records / self.page_cap as u64) as u32;
+        let page = self.pages[page_no as usize];
+        let rid = Rid { page: page_no, slot: slot_in_page };
+        let addr = page + PAGE_HDR + slot_in_page as u64 * self.record_size as u64;
+        arena.write_bytes(addr, rec);
+        arena.write_i32(page + HDR_NRECS, slot_in_page as i32 + 1);
+        self.n_records += 1;
+        rid
+    }
+
+    /// Records stored in page `page_no` (raw header read).
+    pub fn records_in_page(&self, arena: &SimArena, page_no: u32) -> u32 {
+        arena.read_i32(self.pages[page_no as usize] + HDR_NRECS) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdtg_sim::segment;
+
+    fn arena() -> SimArena {
+        SimArena::new(segment::HEAP, 64 << 20)
+    }
+
+    fn record(size: u32, v: i32) -> Vec<u8> {
+        let mut r = vec![0u8; size as usize];
+        r[..4].copy_from_slice(&v.to_le_bytes());
+        r
+    }
+
+    #[test]
+    fn page_capacity_matches_paper_layout() {
+        // 100-byte records: (8192-32)/100 = 81 records per page.
+        let h = HeapFile::new(100, 0);
+        assert_eq!(h.page_cap, 81);
+    }
+
+    #[test]
+    fn insert_and_address_round_trip() {
+        let mut a = arena();
+        let mut h = HeapFile::new(100, 0);
+        let mut rids = Vec::new();
+        for i in 0..200 {
+            rids.push(h.insert_raw(&mut a, &record(100, i)));
+        }
+        assert_eq!(h.n_records, 200);
+        assert_eq!(h.n_pages(), 3, "81+81+38");
+        for (i, rid) in rids.iter().enumerate() {
+            let addr = h.record_addr(*rid).unwrap();
+            assert_eq!(a.read_i32(addr), i as i32);
+        }
+        assert_eq!(h.records_in_page(&a, 0), 81);
+        assert_eq!(h.records_in_page(&a, 2), 38);
+    }
+
+    #[test]
+    fn rid_pack_unpack() {
+        let rid = Rid { page: 12345, slot: 67 };
+        assert_eq!(Rid::unpack(rid.pack()), rid);
+    }
+
+    #[test]
+    fn bad_rid_is_detected() {
+        let mut a = arena();
+        let mut h = HeapFile::new(100, 0);
+        h.insert_raw(&mut a, &record(100, 1));
+        assert!(h.record_addr(Rid { page: 9, slot: 0 }).is_err());
+        assert!(h.record_addr(Rid { page: 0, slot: 99 }).is_err());
+    }
+
+    #[test]
+    fn pages_are_page_aligned_and_disjoint() {
+        let mut a = arena();
+        let mut h = HeapFile::new(200, 0);
+        for i in 0..100 {
+            h.insert_raw(&mut a, &record(200, i));
+        }
+        for w in h.pages.windows(2) {
+            assert_eq!(w[0] % PAGE_SIZE, 0);
+            assert!(w[1] >= w[0] + PAGE_SIZE);
+        }
+    }
+}

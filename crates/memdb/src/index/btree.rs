@@ -1,0 +1,423 @@
+//! B+tree secondary index (non-clustered: key → rid, like the paper's
+//! `create index on R.a2` for the indexed range selection).
+//!
+//! Nodes are 8 KB blocks in the index arena. Leaves hold `(i32 key, u64 rid)`
+//! entries sorted by key (duplicates allowed — `a2` has ~30 duplicates per
+//! value at paper scale) and are chained left-to-right for range scans.
+//! Interior nodes hold separator keys and child pointers.
+//!
+//! Structure operations are host-logic over arena bytes; *instrumented*
+//! traversal (the loads a real traversal would issue, with pointer-chase
+//! dependence) is performed by the executor cursors in `crate::exec`, which
+//! use the raw node accessors exposed here.
+
+use crate::arena::SimArena;
+
+/// Node size in bytes (one page).
+pub const NODE_SIZE: u64 = 8192;
+/// Node header: `[is_leaf: i32][n: i32][next: u64][first_child: u64]`.
+pub const NODE_HDR: u64 = 24;
+
+/// Entries per leaf: key (4) + rid (8).
+pub const LEAF_CAP: u32 = ((NODE_SIZE - NODE_HDR) / 12) as u32;
+/// Keys per interior node: key (4) + child (8), one extra child in header.
+pub const INT_CAP: u32 = ((NODE_SIZE - NODE_HDR) / 12) as u32;
+
+// Header field offsets.
+const OFF_IS_LEAF: u64 = 0;
+const OFF_N: u64 = 4;
+const OFF_NEXT: u64 = 8;
+const OFF_FIRST_CHILD: u64 = 16;
+
+/// A B+tree over `(i32, u64)` entries stored in a [`SimArena`].
+#[derive(Debug, Clone)]
+pub struct BTree {
+    /// Simulated address of the root node.
+    pub root: u64,
+    /// Tree height (1 = root is a leaf).
+    pub height: u32,
+    /// Total entries.
+    pub n_entries: u64,
+}
+
+/// Simulated address of leaf key slot `i`.
+#[inline]
+pub fn leaf_key_addr(node: u64, i: u32) -> u64 {
+    node + NODE_HDR + 4 * i as u64
+}
+
+/// Simulated address of leaf value (rid) slot `i`.
+#[inline]
+pub fn leaf_val_addr(node: u64, i: u32) -> u64 {
+    node + NODE_HDR + 4 * LEAF_CAP as u64 + 8 * i as u64
+}
+
+/// Simulated address of interior key slot `i`.
+#[inline]
+pub fn int_key_addr(node: u64, i: u32) -> u64 {
+    node + NODE_HDR + 4 * i as u64
+}
+
+/// Simulated address of interior child pointer `i` (0..=n).
+#[inline]
+pub fn int_child_addr(node: u64, i: u32) -> u64 {
+    if i == 0 {
+        node + OFF_FIRST_CHILD
+    } else {
+        node + NODE_HDR + 4 * INT_CAP as u64 + 8 * (i as u64 - 1)
+    }
+}
+
+/// Reads the `is_leaf` flag.
+#[inline]
+pub fn node_is_leaf(arena: &SimArena, node: u64) -> bool {
+    arena.read_i32(node + OFF_IS_LEAF) != 0
+}
+
+/// Reads the entry/key count.
+#[inline]
+pub fn node_n(arena: &SimArena, node: u64) -> u32 {
+    arena.read_i32(node + OFF_N) as u32
+}
+
+/// Reads the next-leaf pointer (0 = none).
+#[inline]
+pub fn leaf_next(arena: &SimArena, node: u64) -> u64 {
+    arena.read_u64(node + OFF_NEXT)
+}
+
+fn set_n(arena: &mut SimArena, node: u64, n: u32) {
+    arena.write_i32(node + OFF_N, n as i32);
+}
+
+fn new_node(arena: &mut SimArena, is_leaf: bool) -> u64 {
+    let addr = arena.alloc(NODE_SIZE, NODE_SIZE);
+    arena.write_i32(addr + OFF_IS_LEAF, is_leaf as i32);
+    arena.write_i32(addr + OFF_N, 0);
+    arena.write_u64(addr + OFF_NEXT, 0);
+    arena.write_u64(addr + OFF_FIRST_CHILD, 0);
+    addr
+}
+
+impl BTree {
+    /// Creates an empty tree (a single empty leaf).
+    pub fn new(arena: &mut SimArena) -> Self {
+        let root = new_node(arena, true);
+        BTree { root, height: 1, n_entries: 0 }
+    }
+
+    /// Inserts `(key, value)`; duplicates are kept (inserted after existing
+    /// equal keys). Uninstrumented — index builds happen before measurement,
+    /// as in the paper.
+    pub fn insert(&mut self, arena: &mut SimArena, key: i32, value: u64) {
+        if let Some((sep, right)) = Self::insert_rec(arena, self.root, key, value) {
+            let new_root = new_node(arena, false);
+            arena.write_u64(new_root + OFF_FIRST_CHILD, self.root);
+            arena.write_i32(int_key_addr(new_root, 0), sep);
+            arena.write_u64(int_child_addr(new_root, 1), right);
+            set_n(arena, new_root, 1);
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.n_entries += 1;
+    }
+
+    fn insert_rec(arena: &mut SimArena, node: u64, key: i32, value: u64) -> Option<(i32, u64)> {
+        if node_is_leaf(arena, node) {
+            return Self::insert_leaf(arena, node, key, value);
+        }
+        let n = node_n(arena, node);
+        // Find child: first key > search key descends left of it.
+        let mut lo = 0u32;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if arena.read_i32(int_key_addr(node, mid)) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let child = arena.read_u64(int_child_addr(node, lo));
+        let split = Self::insert_rec(arena, child, key, value)?;
+        Self::apply_interior(arena, node, lo, split)
+    }
+
+    /// Inserts `(sep, right)` at child position `pos`; splits if full.
+    fn apply_interior(
+        arena: &mut SimArena,
+        node: u64,
+        pos: u32,
+        (sep, right): (i32, u64),
+    ) -> Option<(i32, u64)> {
+        let n = node_n(arena, node);
+        if n < INT_CAP {
+            Self::shift_interior(arena, node, pos, n, sep, right);
+            set_n(arena, node, n + 1);
+            return None;
+        }
+        // Split: move upper half to a new node; middle key moves up.
+        let mid = n / 2;
+        let up_key = arena.read_i32(int_key_addr(node, mid));
+        let new = new_node(arena, false);
+        let moved = n - mid - 1;
+        let first_child = arena.read_u64(int_child_addr(node, mid + 1));
+        arena.write_u64(new + OFF_FIRST_CHILD, first_child);
+        for i in 0..moved {
+            let k = arena.read_i32(int_key_addr(node, mid + 1 + i));
+            let c = arena.read_u64(int_child_addr(node, mid + 2 + i));
+            arena.write_i32(int_key_addr(new, i), k);
+            arena.write_u64(int_child_addr(new, i + 1), c);
+        }
+        set_n(arena, new, moved);
+        set_n(arena, node, mid);
+        // Insert the pending separator into the proper half.
+        if pos <= mid {
+            let nn = node_n(arena, node);
+            Self::shift_interior(arena, node, pos, nn, sep, right);
+            set_n(arena, node, nn + 1);
+        } else {
+            let p = pos - mid - 1;
+            let nn = node_n(arena, new);
+            Self::shift_interior(arena, new, p, nn, sep, right);
+            set_n(arena, new, nn + 1);
+        }
+        Some((up_key, new))
+    }
+
+    fn shift_interior(arena: &mut SimArena, node: u64, pos: u32, n: u32, sep: i32, right: u64) {
+        let mut i = n;
+        while i > pos {
+            let k = arena.read_i32(int_key_addr(node, i - 1));
+            let c = arena.read_u64(int_child_addr(node, i));
+            arena.write_i32(int_key_addr(node, i), k);
+            arena.write_u64(int_child_addr(node, i + 1), c);
+            i -= 1;
+        }
+        arena.write_i32(int_key_addr(node, pos), sep);
+        arena.write_u64(int_child_addr(node, pos + 1), right);
+    }
+
+    fn insert_leaf(arena: &mut SimArena, node: u64, key: i32, value: u64) -> Option<(i32, u64)> {
+        let n = node_n(arena, node);
+        // upper_bound: insert after equal keys.
+        let mut lo = 0u32;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if arena.read_i32(leaf_key_addr(node, mid)) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if n < LEAF_CAP {
+            Self::shift_leaf(arena, node, lo, n, key, value);
+            set_n(arena, node, n + 1);
+            return None;
+        }
+        // Split the leaf.
+        let mid = n / 2;
+        let new = new_node(arena, true);
+        let moved = n - mid;
+        for i in 0..moved {
+            let k = arena.read_i32(leaf_key_addr(node, mid + i));
+            let v = arena.read_u64(leaf_val_addr(node, mid + i));
+            arena.write_i32(leaf_key_addr(new, i), k);
+            arena.write_u64(leaf_val_addr(new, i), v);
+        }
+        set_n(arena, new, moved);
+        set_n(arena, node, mid);
+        let old_next = arena.read_u64(node + OFF_NEXT);
+        arena.write_u64(new + OFF_NEXT, old_next);
+        arena.write_u64(node + OFF_NEXT, new);
+        let sep = arena.read_i32(leaf_key_addr(new, 0));
+        if key < sep {
+            let nn = node_n(arena, node);
+            Self::shift_leaf(arena, node, lo.min(nn), nn, key, value);
+            set_n(arena, node, nn + 1);
+        } else {
+            let nn = node_n(arena, new);
+            let mut lo2 = 0u32;
+            let mut hi2 = nn;
+            while lo2 < hi2 {
+                let m = (lo2 + hi2) / 2;
+                if arena.read_i32(leaf_key_addr(new, m)) <= key {
+                    lo2 = m + 1;
+                } else {
+                    hi2 = m;
+                }
+            }
+            Self::shift_leaf(arena, new, lo2, nn, key, value);
+            set_n(arena, new, nn + 1);
+        }
+        Some((sep, new))
+    }
+
+    fn shift_leaf(arena: &mut SimArena, node: u64, pos: u32, n: u32, key: i32, value: u64) {
+        let mut i = n;
+        while i > pos {
+            let k = arena.read_i32(leaf_key_addr(node, i - 1));
+            let v = arena.read_u64(leaf_val_addr(node, i - 1));
+            arena.write_i32(leaf_key_addr(node, i), k);
+            arena.write_u64(leaf_val_addr(node, i), v);
+            i -= 1;
+        }
+        arena.write_i32(leaf_key_addr(node, pos), key);
+        arena.write_u64(leaf_val_addr(node, pos), value);
+    }
+
+    /// Host-side (uninstrumented) descent: returns the path of node
+    /// addresses from root to the leaf where `key`'s lower bound lives.
+    pub fn descend(&self, arena: &SimArena, key: i32) -> Vec<u64> {
+        let mut path = Vec::with_capacity(self.height as usize);
+        let mut node = self.root;
+        loop {
+            path.push(node);
+            if node_is_leaf(arena, node) {
+                return path;
+            }
+            let n = node_n(arena, node);
+            let mut lo = 0u32;
+            let mut hi = n;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if arena.read_i32(int_key_addr(node, mid)) < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            node = arena.read_u64(int_child_addr(node, lo));
+        }
+    }
+
+    /// Position of the first entry with key >= `key` in `leaf`.
+    pub fn leaf_lower_bound(arena: &SimArena, leaf: u64, key: i32) -> u32 {
+        let n = node_n(arena, leaf);
+        let mut lo = 0u32;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if arena.read_i32(leaf_key_addr(leaf, mid)) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Uninstrumented full range collect (testing / verification oracle).
+    pub fn collect_range(&self, arena: &SimArena, lo: i32, hi_excl: i32) -> Vec<(i32, u64)> {
+        let mut out = Vec::new();
+        let path = self.descend(arena, lo);
+        let mut leaf = *path.last().expect("path nonempty");
+        let mut pos = Self::leaf_lower_bound(arena, leaf, lo);
+        loop {
+            let n = node_n(arena, leaf);
+            while pos < n {
+                let k = arena.read_i32(leaf_key_addr(leaf, pos));
+                if k >= hi_excl {
+                    return out;
+                }
+                out.push((k, arena.read_u64(leaf_val_addr(leaf, pos))));
+                pos += 1;
+            }
+            leaf = leaf_next(arena, leaf);
+            if leaf == 0 {
+                return out;
+            }
+            pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdtg_sim::segment;
+
+    fn arena() -> SimArena {
+        SimArena::new(segment::INDEX, 256 << 20)
+    }
+
+    #[test]
+    fn sorted_insert_and_range_scan() {
+        let mut a = arena();
+        let mut t = BTree::new(&mut a);
+        for k in 0..5000 {
+            t.insert(&mut a, k, k as u64 * 10);
+        }
+        assert_eq!(t.n_entries, 5000);
+        let r = t.collect_range(&a, 100, 200);
+        assert_eq!(r.len(), 100);
+        assert_eq!(r[0], (100, 1000));
+        assert_eq!(r[99], (199, 1990));
+    }
+
+    #[test]
+    fn reverse_and_shuffled_inserts_stay_sorted() {
+        let mut a = arena();
+        let mut t = BTree::new(&mut a);
+        // Deterministic shuffle via multiplicative stepping.
+        let n = 20_000u64;
+        for i in 0..n {
+            let k = ((i * 48271) % n) as i32;
+            t.insert(&mut a, k, k as u64);
+        }
+        let all = t.collect_range(&a, i32::MIN, i32::MAX);
+        assert_eq!(all.len(), n as usize);
+        for w in all.windows(2) {
+            assert!(w[0].0 <= w[1].0, "keys must be sorted");
+        }
+        assert!(t.height >= 2, "20k entries cannot fit one leaf");
+    }
+
+    #[test]
+    fn duplicates_are_all_retained() {
+        let mut a = arena();
+        let mut t = BTree::new(&mut a);
+        // 30 duplicates per key, like a2 at paper scale (1.2M / 40k).
+        for k in 0..500 {
+            for d in 0..30u64 {
+                t.insert(&mut a, k, (k as u64) << 8 | d);
+            }
+        }
+        let r = t.collect_range(&a, 100, 101);
+        assert_eq!(r.len(), 30);
+        assert!(r.iter().all(|(k, _)| *k == 100));
+    }
+
+    #[test]
+    fn range_bounds_are_half_open() {
+        let mut a = arena();
+        let mut t = BTree::new(&mut a);
+        for k in 0..100 {
+            t.insert(&mut a, k * 2, k as u64); // even keys only
+        }
+        let r = t.collect_range(&a, 10, 20);
+        let keys: Vec<i32> = r.iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![10, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut a = arena();
+        let mut t = BTree::new(&mut a);
+        for k in 0..200_000 {
+            t.insert(&mut a, k, k as u64);
+        }
+        // 200k entries / 680 per leaf = ~300 leaves; height 2-3.
+        assert!(t.height == 2 || t.height == 3, "height {}", t.height);
+        let r = t.collect_range(&a, 150_000, 150_010);
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn empty_tree_scans_empty() {
+        let mut a = arena();
+        let t = BTree::new(&mut a);
+        assert!(t.collect_range(&a, i32::MIN, i32::MAX).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Chained-bucket hash table for equijoins (the paper's sequential join runs
+//! with no indexes, so every system builds a transient join table over S).
+//!
+//! The bucket directory and entry pool live in the index arena; the executor
+//! charges the loads/stores of every probe and chain hop (bucket directories
+//! larger than L2 make probes miss — a major source of the join's T_L2D).
+
+use crate::arena::SimArena;
+
+/// Bytes per chain entry: key (4) + pad (4) + payload (8) + next (8).
+pub const ENTRY_BYTES: u64 = 24;
+const OFF_KEY: u64 = 0;
+const OFF_PAYLOAD: u64 = 8;
+const OFF_NEXT: u64 = 16;
+
+/// A chained hash table over `(i32 key, u64 payload)`.
+#[derive(Debug, Clone)]
+pub struct JoinHashTable {
+    /// Simulated address of the bucket-head array (u64 per bucket; 0 = empty).
+    pub buckets_base: u64,
+    /// Number of buckets (power of two).
+    pub n_buckets: u64,
+    /// Entries inserted.
+    pub n_entries: u64,
+}
+
+impl JoinHashTable {
+    /// Creates a table sized for `expected` entries (load factor ≤ 1).
+    pub fn new(arena: &mut SimArena, expected: u64) -> Self {
+        let n_buckets = expected.next_power_of_two().max(16);
+        let buckets_base = arena.alloc(n_buckets * 8, 64);
+        JoinHashTable { buckets_base, n_buckets, n_entries: 0 }
+    }
+
+    /// Hash of `key` (Fibonacci multiplicative hash, like lean join code).
+    #[inline]
+    pub fn bucket_of(&self, key: i32) -> u64 {
+        let h = (key as u32 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h >> (64 - self.n_buckets.trailing_zeros())
+    }
+
+    /// Simulated address of the bucket head for `key`.
+    #[inline]
+    pub fn bucket_addr(&self, key: i32) -> u64 {
+        self.buckets_base + self.bucket_of(key) * 8
+    }
+
+    /// Inserts `(key, payload)` at the chain head. Returns
+    /// `(bucket_addr, new_entry_addr)` so the executor can charge the
+    /// corresponding stores/loads.
+    pub fn insert(&mut self, arena: &mut SimArena, key: i32, payload: u64) -> (u64, u64) {
+        let bucket = self.bucket_addr(key);
+        let entry = arena.alloc(ENTRY_BYTES, 8);
+        let old_head = arena.read_u64(bucket);
+        arena.write_i32(entry + OFF_KEY, key);
+        arena.write_u64(entry + OFF_PAYLOAD, payload);
+        arena.write_u64(entry + OFF_NEXT, old_head);
+        arena.write_u64(bucket, entry);
+        self.n_entries += 1;
+        (bucket, entry)
+    }
+
+    /// Reads the chain head for `key` (0 = empty chain).
+    #[inline]
+    pub fn chain_head(&self, arena: &SimArena, key: i32) -> u64 {
+        arena.read_u64(self.bucket_addr(key))
+    }
+
+    /// Reads one chain entry: `(key, payload, next)`.
+    #[inline]
+    pub fn entry(&self, arena: &SimArena, entry_addr: u64) -> (i32, u64, u64) {
+        (
+            arena.read_i32(entry_addr + OFF_KEY),
+            arena.read_u64(entry_addr + OFF_PAYLOAD),
+            arena.read_u64(entry_addr + OFF_NEXT),
+        )
+    }
+
+    /// Uninstrumented lookup of all payloads for `key` (testing oracle).
+    pub fn get_all(&self, arena: &SimArena, key: i32) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = self.chain_head(arena, key);
+        while cur != 0 {
+            let (k, payload, next) = self.entry(arena, cur);
+            if k == key {
+                out.push(payload);
+            }
+            cur = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdtg_sim::segment;
+
+    fn arena() -> SimArena {
+        SimArena::new(segment::INDEX, 64 << 20)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut a = arena();
+        let mut t = JoinHashTable::new(&mut a, 1000);
+        for k in 0..1000 {
+            t.insert(&mut a, k, (k as u64) * 7);
+        }
+        for k in 0..1000 {
+            assert_eq!(t.get_all(&a, k), vec![(k as u64) * 7]);
+        }
+        assert!(t.get_all(&a, 5000).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_chain() {
+        let mut a = arena();
+        let mut t = JoinHashTable::new(&mut a, 64);
+        t.insert(&mut a, 42, 1);
+        t.insert(&mut a, 42, 2);
+        t.insert(&mut a, 42, 3);
+        let mut v = t.get_all(&a, 42);
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_walk_via_raw_accessors() {
+        let mut a = arena();
+        let mut t = JoinHashTable::new(&mut a, 16);
+        let (_, e1) = t.insert(&mut a, 7, 100);
+        let (_, e2) = t.insert(&mut a, 7, 200);
+        // Head is the most recent insert; its next pointer is the older one.
+        assert_eq!(t.chain_head(&a, 7), e2);
+        let (k, p, next) = t.entry(&a, e2);
+        assert_eq!((k, p, next), (7, 200, e1));
+        let (_, p1, next1) = t.entry(&a, e1);
+        assert_eq!((p1, next1), (100, 0));
+    }
+
+    #[test]
+    fn collisions_do_not_lose_entries() {
+        let mut a = arena();
+        let mut t = JoinHashTable::new(&mut a, 16); // force collisions
+        for k in 0..512 {
+            t.insert(&mut a, k, k as u64);
+        }
+        for k in 0..512 {
+            assert_eq!(t.get_all(&a, k), vec![k as u64], "key {k}");
+        }
+    }
+}

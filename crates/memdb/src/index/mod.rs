@@ -1,0 +1,4 @@
+//! Index structures: B+tree secondary indexes and join hash tables.
+
+pub mod btree;
+pub mod hash;

@@ -1,0 +1,38 @@
+//! # wdtg-memdb — an instrumented memory-resident relational DBMS
+//!
+//! The DBMS substrate for reproducing *"DBMSs On A Modern Processor: Where
+//! Does Time Go?"* (VLDB 1999). One relational engine — slotted heap pages,
+//! buffer pool, B+tree secondary indexes, hash joins, Volcano-style
+//! iterators, interpreted and compiled predicate evaluation — configured
+//! four ways ([`profiles::EngineProfile`]) to model the paper's anonymous
+//! commercial Systems A–D.
+//!
+//! Every byte of table, index and working memory lives at a simulated
+//! address; every operator invocation drives a [`wdtg_sim::Cpu`] with its
+//! declared code path and its real data accesses. Query answers are computed
+//! by ordinary Rust over real bytes (and are checked against naive oracles in
+//! tests); the processor model makes the *cost* of computing them observable
+//! through Pentium II-style counters.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod buffer;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod heap;
+pub mod index;
+pub mod profiles;
+pub mod query;
+pub mod schema;
+
+pub use arena::SimArena;
+pub use db::{Database, DbCtx, IndexMeta, Table};
+pub use error::{DbError, DbResult};
+pub use expr::{ArithOp, CmpOp, Expr};
+pub use heap::{HeapFile, Rid, PAGE_HDR, PAGE_SIZE};
+pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize, SystemId};
+pub use query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
+pub use schema::{Column, Schema};

@@ -1,0 +1,98 @@
+//! Schemas and the catalog.
+//!
+//! The paper's relations are rows of 4-byte integers:
+//! `create table R (a1 int not null, a2 int not null, a3 int not null, <rest>)`
+//! — a 100-byte record is 25 integer columns. All tables in this reproduction
+//! use fixed-length integer columns, which keeps record layout identical to
+//! the paper's and makes record size a single knob (§5.2.1 varies it from 20
+//! to 200 bytes).
+
+use crate::error::{DbError, DbResult};
+
+/// A column definition (4-byte signed integer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (`a1`, `a2`, …).
+    pub name: String,
+}
+
+/// A table schema: an ordered list of integer columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        Schema {
+            columns: names.into_iter().map(|n| Column { name: n.into() }).collect(),
+        }
+    }
+
+    /// The paper's relation layout: `a1..a3` plus filler columns to reach
+    /// `record_bytes` (must be a multiple of 4, at least 12).
+    pub fn paper_relation(record_bytes: u32) -> Self {
+        assert!(record_bytes >= 12 && record_bytes % 4 == 0, "record size must be 4k >= 12");
+        let ncols = (record_bytes / 4) as usize;
+        Schema::new((0..ncols).map(|i| format!("a{}", i + 1)))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Fixed record size in bytes.
+    pub fn record_bytes(&self) -> u32 {
+        (self.columns.len() * 4) as u32
+    }
+
+    /// Columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of the named column.
+    pub fn col(&self, name: &str) -> DbResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| DbError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Byte offset of column `idx` within a record.
+    pub fn col_offset(&self, idx: usize) -> u32 {
+        (idx * 4) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_relation_100_bytes_has_25_int_columns() {
+        let s = Schema::paper_relation(100);
+        assert_eq!(s.arity(), 25);
+        assert_eq!(s.record_bytes(), 100);
+        assert_eq!(s.col("a1").unwrap(), 0);
+        assert_eq!(s.col("a2").unwrap(), 1);
+        assert_eq!(s.col("a3").unwrap(), 2);
+        assert_eq!(s.col_offset(2), 8);
+    }
+
+    #[test]
+    fn record_size_sweep_shapes() {
+        for bytes in [20u32, 48, 100, 200] {
+            let s = Schema::paper_relation(bytes);
+            assert_eq!(s.record_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let s = Schema::paper_relation(20);
+        assert_eq!(s.col("zz"), Err(DbError::ColumnNotFound("zz".into())));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests: storage structures against model oracles, query
+//! answers against naive evaluation, for arbitrary data.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wdtg_sim::{segment, CpuConfig, InterruptCfg};
+use wdtg_memdb::{
+    index::btree::BTree, index::hash::JoinHashTable, AggSpec, Database, EngineProfile, Expr,
+    Query, QueryPredicate, Schema, SimArena, SystemId,
+};
+
+fn quiet() -> CpuConfig {
+    CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// B+tree == BTreeMap<i32, Vec<u64>> for arbitrary inserts + range scans.
+    #[test]
+    fn btree_matches_model(
+        keys in proptest::collection::vec(-1000i32..1000, 1..800),
+        lo in -1100i32..1100,
+        span in 0i32..500,
+    ) {
+        let mut arena = SimArena::new(segment::INDEX, 256 << 20);
+        let mut tree = BTree::new(&mut arena);
+        let mut model: BTreeMap<i32, Vec<u64>> = BTreeMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(&mut arena, k, i as u64);
+            model.entry(k).or_default().push(i as u64);
+        }
+        let hi = lo.saturating_add(span);
+        let got = tree.collect_range(&arena, lo, hi);
+        let mut want: Vec<(i32, u64)> = Vec::new();
+        for (&k, vs) in model.range(lo..hi) {
+            for &v in vs {
+                want.push((k, v));
+            }
+        }
+        // Key order must match; within equal keys insertion order is
+        // unspecified, so compare as multisets per key.
+        prop_assert_eq!(got.len(), want.len());
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got_sorted, want);
+    }
+
+    /// Hash table == HashMap model for arbitrary inserts.
+    #[test]
+    fn hash_table_matches_model(keys in proptest::collection::vec(-50i32..50, 1..300)) {
+        let mut arena = SimArena::new(segment::INDEX, 64 << 20);
+        let mut table = JoinHashTable::new(&mut arena, keys.len() as u64);
+        let mut model: BTreeMap<i32, Vec<u64>> = BTreeMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            table.insert(&mut arena, k, i as u64);
+            model.entry(k).or_default().push(i as u64);
+        }
+        for (&k, vs) in &model {
+            let mut got = table.get_all(&arena, k);
+            got.sort_unstable();
+            let mut want = vs.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+    }
+
+    /// Range-selection answers equal naive evaluation for random tables,
+    /// bounds, and engine profiles — sequential and indexed plans alike.
+    #[test]
+    fn range_select_matches_naive_oracle(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100i32..100, 5..=5), 1..200),
+        lo in -120i32..120,
+        span in 0i32..120,
+        sys_pick in 0usize..4,
+        with_index in any::<bool>(),
+    ) {
+        let hi = lo.saturating_add(span);
+        let sys = SystemId::ALL[sys_pick];
+        let mut db = Database::new(EngineProfile::system(sys), quiet());
+        db.create_table("T", Schema::paper_relation(20)).unwrap();
+        db.load_rows("T", rows.iter().cloned()).unwrap();
+        if with_index {
+            db.create_index("T", "a2").unwrap();
+        }
+        let res = db.run(&Query::range_select_avg("T", lo, hi)).unwrap();
+        let selected: Vec<i64> = rows
+            .iter()
+            .filter(|r| r[1] > lo && r[1] < hi)
+            .map(|r| r[2] as i64)
+            .collect();
+        prop_assert_eq!(res.rows, selected.len() as u64);
+        if !selected.is_empty() {
+            let want = selected.iter().sum::<i64>() as f64 / selected.len() as f64;
+            prop_assert!((res.value - want).abs() < 1e-9);
+        }
+    }
+
+    /// Arbitrary expression predicates agree with direct Expr evaluation.
+    #[test]
+    fn expr_filter_matches_direct_eval(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-20i32..20, 5..=5), 1..150),
+        c1 in 0usize..5, c2 in 0usize..5, k in -20i32..20,
+    ) {
+        let pred = Expr::col(c1).ge(Expr::lit(k)).and(Expr::col(c2).ne(Expr::lit(0)));
+        let mut db = Database::new(EngineProfile::system(SystemId::C), quiet());
+        db.create_table("T", Schema::paper_relation(20)).unwrap();
+        db.load_rows("T", rows.iter().cloned()).unwrap();
+        let res = db.run(&Query::SelectAgg {
+            table: "T".into(),
+            predicate: Some(QueryPredicate::Expr(pred.clone())),
+            agg: AggSpec::count(),
+        }).unwrap();
+        let want = rows.iter().filter(|r| pred.eval_bool(r)).count() as u64;
+        prop_assert_eq!(res.rows, want);
+    }
+
+    /// The join answer equals the nested-loop oracle for random inputs.
+    #[test]
+    fn hash_join_matches_nested_loop_oracle(
+        r_rows in proptest::collection::vec(
+            proptest::collection::vec(-10i32..10, 5..=5), 1..100),
+        s_rows in proptest::collection::vec(
+            proptest::collection::vec(-10i32..10, 5..=5), 1..60),
+    ) {
+        let mut db = Database::new(EngineProfile::system(SystemId::B), quiet());
+        db.create_table("R", Schema::paper_relation(20)).unwrap();
+        db.create_table("S", Schema::paper_relation(20)).unwrap();
+        db.load_rows("R", r_rows.iter().cloned()).unwrap();
+        db.load_rows("S", s_rows.iter().cloned()).unwrap();
+        let res = db.run(&Query::join_avg("R", "S")).unwrap();
+        let mut matches = 0u64;
+        let mut sum = 0i64;
+        for r in &r_rows {
+            for s in &s_rows {
+                if r[1] == s[0] {
+                    matches += 1;
+                    sum += r[2] as i64;
+                }
+            }
+        }
+        prop_assert_eq!(res.rows, matches);
+        if matches > 0 {
+            prop_assert!((res.value - sum as f64 / matches as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Determinism: running the same query twice on identically-built
+    /// databases produces identical cycle counts and counters.
+    #[test]
+    fn identical_runs_are_cycle_exact(seed in 0u64..1000) {
+        let build = || {
+            let mut db = Database::new(EngineProfile::system(SystemId::C), quiet());
+            db.create_table("T", Schema::paper_relation(20)).unwrap();
+            db.load_rows("T", (0..500u64).map(|i| {
+                let x = i.wrapping_mul(seed.wrapping_add(1)).wrapping_mul(2654435761);
+                vec![(x % 100) as i32, (x % 40) as i32, (x % 7) as i32, 0, 0]
+            })).unwrap();
+            db
+        };
+        let q = Query::range_select_avg("T", 5, 30);
+        let mut a = build();
+        let mut b = build();
+        a.run(&q).unwrap();
+        b.run(&q).unwrap();
+        prop_assert_eq!(a.cpu().cycles(), b.cpu().cycles());
+        prop_assert_eq!(
+            a.cpu().counters().total(wdtg_sim::Event::InstRetired),
+            b.cpu().counters().total(wdtg_sim::Event::InstRetired)
+        );
+    }
+}

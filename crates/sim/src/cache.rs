@@ -1,0 +1,312 @@
+//! Set-associative cache model with true LRU replacement.
+//!
+//! Used for the split L1 caches and the unified L2 (Table 4.1). The model is
+//! functional: it tracks which line addresses are resident and reports
+//! hit/miss plus any eviction (so an inclusive outer level can back-invalidate
+//! inner levels, the ablation of §5.2.2). Timing is charged by the caller.
+
+use crate::config::CacheGeom;
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// Line address (not byte address) evicted to make room, if any.
+    /// Only reported for misses in a full set; clean and dirty evictions are
+    /// both reported, `dirty_writeback` distinguishes them.
+    pub evicted: Option<u64>,
+    /// Whether the eviction wrote back a dirty line.
+    pub dirty_writeback: bool,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// One cache level.
+///
+/// Lines are stored as a flat `Vec` of tags (`sets * assoc`); LRU state is an
+/// explicit per-line rank (0 = most recently used) which is exact for the
+/// small associativities used here (Table 4.1: 4-way).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeom,
+    sets: u32,
+    line_shift: u32,
+    tags: Vec<u64>,
+    dirty: Vec<bool>,
+    lru: Vec<u8>,
+    // statistics
+    accesses: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache with the given geometry.
+    pub fn new(geom: CacheGeom) -> Self {
+        let sets = geom.sets();
+        let n = (sets * geom.assoc) as usize;
+        Cache {
+            geom,
+            sets,
+            line_shift: geom.line_shift(),
+            tags: vec![INVALID; n],
+            dirty: vec![false; n],
+            lru: (0..n).map(|i| (i as u32 % geom.assoc) as u8).collect(),
+            accesses: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Geometry this cache was built with.
+    pub fn geom(&self) -> &CacheGeom {
+        &self.geom
+    }
+
+    /// Converts a byte address to a line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> u32 {
+        (line % self.sets as u64) as u32
+    }
+
+    /// Accesses the line containing byte address `addr`.
+    ///
+    /// On a miss the line is allocated (write-allocate); `write` marks the
+    /// line dirty (write-back policy — Table 4.1: L1-D and L2 are write-back).
+    #[inline]
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
+        let line = self.line_of(addr);
+        self.access_line(line, write)
+    }
+
+    /// Same as [`Cache::access`] but takes a pre-computed line address.
+    pub fn access_line(&mut self, line: u64, write: bool) -> CacheAccess {
+        self.accesses += 1;
+        let set = self.set_of(line);
+        let base = (set * self.geom.assoc) as usize;
+        let assoc = self.geom.assoc as usize;
+        let ways = &mut self.tags[base..base + assoc];
+
+        // Hit path.
+        for (w, way) in ways.iter().enumerate() {
+            if *way == line {
+                if write {
+                    self.dirty[base + w] = true;
+                }
+                self.touch(base, w);
+                return CacheAccess { hit: true, evicted: None, dirty_writeback: false };
+            }
+        }
+
+        // Miss: find the LRU way (highest rank), preferring invalid ways.
+        self.misses += 1;
+        let mut victim = 0usize;
+        let mut victim_rank = 0u8;
+        for w in 0..assoc {
+            if ways[w] == INVALID {
+                victim = w;
+                break;
+            }
+            if self.lru[base + w] >= victim_rank {
+                victim = w;
+                victim_rank = self.lru[base + w];
+            }
+        }
+        let old = self.tags[base + victim];
+        let was_dirty = self.dirty[base + victim];
+        let evicted = (old != INVALID).then_some(old);
+        if evicted.is_some() && was_dirty {
+            self.writebacks += 1;
+        }
+        self.tags[base + victim] = line;
+        self.dirty[base + victim] = write;
+        self.touch(base, victim);
+        CacheAccess { hit: false, evicted, dirty_writeback: evicted.is_some() && was_dirty }
+    }
+
+    /// Returns whether the line containing `addr` is resident, without
+    /// updating LRU state or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        let base = (set * self.geom.assoc) as usize;
+        self.tags[base..base + self.geom.assoc as usize].contains(&line)
+    }
+
+    /// Installs a line without counting an access or a miss (used for
+    /// prefetches, which the hardware performs off the demand path).
+    /// Returns the evicted line, if any.
+    pub fn install(&mut self, addr: u64) -> Option<u64> {
+        let line = self.line_of(addr);
+        if self.probe(addr) {
+            return None;
+        }
+        let acc = self.access_line(line, false);
+        // Undo the demand-access accounting performed by `access_line`.
+        self.accesses -= 1;
+        self.misses -= 1;
+        acc.evicted
+    }
+
+    /// Invalidates the line if resident (back-invalidation under inclusion).
+    /// Returns true if a line was removed.
+    pub fn invalidate_line(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = (set * self.geom.assoc) as usize;
+        for w in 0..self.geom.assoc as usize {
+            if self.tags[base + w] == line {
+                self.tags[base + w] = INVALID;
+                self.dirty[base + w] = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn touch(&mut self, base: usize, way: usize) {
+        let assoc = self.geom.assoc as usize;
+        let old_rank = self.lru[base + way];
+        for w in 0..assoc {
+            if self.lru[base + w] < old_rank {
+                self.lru[base + w] += 1;
+            }
+        }
+        self.lru[base + way] = 0;
+    }
+
+    /// Total accesses since construction (demand only).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses since construction (demand only).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty lines written back since construction.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Demand miss rate (misses / accesses), 0 if never accessed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Clears statistics but keeps cache contents (used between the warm-up
+    /// runs and the measured runs, per the §4.3 methodology).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 32-byte lines = 256 bytes.
+        Cache::new(CacheGeom { size_bytes: 256, line_bytes: 32, assoc: 2 })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x101f, false).hit, "same 32-byte line");
+        assert!(!c.access(0x1020, false).hit, "next line");
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Three lines mapping to the same set (set stride = 4 lines = 128 B).
+        let a = 0x0u64;
+        let b = 0x80u64;
+        let d = 0x100u64;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now MRU
+        let acc = c.access(d, false); // evicts b (LRU)
+        assert_eq!(acc.evicted, Some(c.line_of(b)));
+        assert!(c.access(a, false).hit);
+        assert!(!c.access(b, false).hit, "b was evicted");
+    }
+
+    #[test]
+    fn write_back_counts_dirty_evictions_only() {
+        let mut c = small();
+        c.access(0x0, true); // dirty
+        c.access(0x80, false); // clean
+        c.access(0x100, false); // evicts 0x0 (LRU, dirty) -> writeback
+        assert_eq!(c.writebacks(), 1);
+        let acc = c.access(0x180, false); // evicts 0x80, clean
+        assert!(!acc.dirty_writeback);
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn install_does_not_count_stats() {
+        let mut c = small();
+        c.install(0x40);
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(0x40, false).hit);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(0x40, false);
+        let line = c.line_of(0x40);
+        assert!(c.invalidate_line(line));
+        assert!(!c.access(0x40, false).hit);
+        assert!(!c.invalidate_line(line + 99));
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_cache_always_misses_after_warmup() {
+        let mut c = small();
+        // 1 KB scan over a 256-byte cache: every line is evicted before reuse.
+        for rep in 0..3 {
+            for addr in (0..1024u64).step_by(32) {
+                let acc = c.access(addr, false);
+                if rep > 0 {
+                    assert!(!acc.hit, "capacity misses expected on every pass");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_misses_after_warmup() {
+        let mut c = small();
+        for _ in 0..4 {
+            for addr in (0..256u64).step_by(32) {
+                c.access(addr, false);
+            }
+        }
+        c.reset_stats();
+        for addr in (0..256u64).step_by(32) {
+            assert!(c.access(addr, false).hit);
+        }
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+}

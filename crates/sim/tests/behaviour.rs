@@ -1,0 +1,151 @@
+//! Behavioural tests of the simulator's paper-relevant mechanisms.
+
+use wdtg_sim::{
+    measure_memory_latency, segment, CodeBlock, Cpu, CpuConfig, Event, InterruptCfg, MemDep,
+};
+
+fn quiet() -> CpuConfig {
+    CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
+}
+
+#[test]
+fn stream_prefetch_helps_straight_line_code_only() {
+    // Lean, branch-poor code (long sequential runs) benefits from the
+    // Xeon's instruction prefetch; branch-dense interpreter-style code does
+    // not (§3.2) — for the *same* path length.
+    let make = |dynamic: u16| {
+        CodeBlock::builder("w", 16 * 1024 * 3) // 3x L1I so misses persist
+            .branches(dynamic.max(1), dynamic)
+            .taken_frac(0.6)
+            .private(segment::PRIVATE, 1024)
+            .at(segment::CODE)
+    };
+    let run = |block: &CodeBlock| {
+        let mut cpu = Cpu::new(quiet());
+        for _ in 0..10 {
+            cpu.exec_block(block);
+        }
+        let snap = cpu.snapshot();
+        for _ in 0..10 {
+            cpu.exec_block(block);
+        }
+        let d = cpu.snapshot().delta(&snap);
+        (
+            d.counters.total(Event::IfuIfetchMiss),
+            d.counters.total(Event::SimStreamBufHit),
+        )
+    };
+    let lean = make(8); // ~5 taken branches over 48 KB: long runs
+    let branchy = make(2000); // taken branch every ~40 bytes
+    let (lean_misses, lean_streams) = run(&lean);
+    let (branchy_misses, branchy_streams) = run(&branchy);
+    assert!(lean_streams > 0, "sequential code uses the stream buffer");
+    assert_eq!(branchy_streams, 0, "branch-dense code defeats it");
+    // Next-line installs convert every other sequential miss into a hit, so
+    // the lean path misses at most half as often as the branchy one.
+    assert!(
+        lean_misses <= branchy_misses / 2,
+        "stream prefetch must at least halve misses: lean {lean_misses} vs branchy {branchy_misses}"
+    );
+}
+
+#[test]
+fn prefetch_queue_respects_outstanding_limit() {
+    let mut cpu = Cpu::new(quiet());
+    // Issue many prefetches back-to-back: only `outstanding_misses` (4) may
+    // be in flight; the rest are dropped.
+    for i in 0..16u64 {
+        cpu.prefetch_data(segment::HEAP + i * 64);
+    }
+    let issued = cpu.counters().total(Event::SimPrefetchIssued);
+    assert_eq!(issued, 4, "MSHR-full prefetches are dropped, got {issued}");
+}
+
+#[test]
+fn bigger_l2_never_increases_data_misses() {
+    // Sweep a working set through three L2 sizes; misses must be
+    // non-increasing in capacity (the A2 ablation's sanity condition).
+    let mut last = u64::MAX;
+    for size in [512 * 1024u32, 2 * 1024 * 1024, 8 * 1024 * 1024] {
+        let mut cpu = Cpu::new(quiet().with_l2_size(size));
+        for pass in 0..3 {
+            if pass == 1 {
+                cpu.reset_stats();
+            }
+            for i in 0..40_000u64 {
+                cpu.load(segment::HEAP + i * 32, 4, MemDep::Demand);
+            }
+        }
+        let misses = cpu.counters().total(Event::SimL2DataMiss);
+        assert!(misses <= last, "L2 {size}: {misses} > previous {last}");
+        last = misses;
+    }
+    assert_eq!(last, 0, "1.25 MB working set fits an 8 MB L2 after warmup");
+}
+
+#[test]
+fn interrupt_rate_scales_with_cycles_not_work() {
+    // Twice the period ⇒ roughly half the interrupts for the same program —
+    // the foundation of the §5.2.2 hypothesis that slower per-record
+    // processing (larger records) attracts more OS pollution per record.
+    let run = |period: u64| {
+        let mut cpu = Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg {
+            period_cycles: period,
+            kernel_code_bytes: 2048,
+            kernel_data_bytes: 512,
+        }));
+        let b = CodeBlock::builder("w", 3000).private(segment::PRIVATE, 1024).at(segment::CODE);
+        for _ in 0..2_000 {
+            cpu.exec_block(&b);
+        }
+        cpu.counters().total(Event::HwIntRx) as f64
+    };
+    let fast = run(40_000);
+    let slow = run(80_000);
+    let ratio = fast / slow.max(1.0);
+    assert!((1.6..=2.4).contains(&ratio), "interrupt ratio {ratio}");
+}
+
+#[test]
+fn dtlb_misses_tracked_but_only_as_sim_event() {
+    let mut cpu = Cpu::new(quiet());
+    // Touch many pages.
+    for p in 0..512u64 {
+        cpu.load(segment::HEAP + p * 4096, 4, MemDep::Demand);
+    }
+    assert!(cpu.counters().total(Event::SimDtlbMiss) > 256);
+    assert!(!Event::SimDtlbMiss.has_hardware_code(), "no Pentium II event code (§4.3)");
+    // And it was charged to T_DTLB in the ledger.
+    assert!(cpu.ledger().total(wdtg_sim::Component::Tdtlb) > 0.0);
+}
+
+#[test]
+fn latency_microbench_is_insensitive_to_interrupts() {
+    // The measured 60-70 cycle latency should be robust to the OS model
+    // being on (kernel time is attributed to SUP, but the per-load figure
+    // includes it like a real wall-clock measurement would).
+    let mut cpu = Cpu::new(CpuConfig::pentium_ii_xeon());
+    let m = measure_memory_latency(&mut cpu, 8 * 1024 * 1024);
+    assert!((58.0..=75.0).contains(&m.cycles_per_load), "latency {}", m.cycles_per_load);
+}
+
+#[test]
+fn scaled_execution_matches_repeated_execution_counts() {
+    // exec_block_scaled(b, n) retires exactly n invocations' worth of
+    // instructions/branches while fetching the code once.
+    let b = CodeBlock::builder("w", 700).private(segment::PRIVATE, 512).at(segment::CODE);
+    let mut scaled = Cpu::new(quiet());
+    scaled.exec_block_scaled(&b, 25);
+    let mut repeated = Cpu::new(quiet());
+    for _ in 0..25 {
+        repeated.exec_block(&b);
+    }
+    let (s, r) = (scaled.counters(), repeated.counters());
+    assert_eq!(s.total(Event::InstRetired), r.total(Event::InstRetired));
+    assert_eq!(s.total(Event::UopsRetired), r.total(Event::UopsRetired));
+    assert_eq!(s.total(Event::BrInstRetired), r.total(Event::BrInstRetired));
+    assert!(
+        s.total(Event::IfuIfetch) < r.total(Event::IfuIfetch),
+        "scaled execution fetches the loop body once"
+    );
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the processor model's core invariants.
+
+use proptest::prelude::*;
+use wdtg_sim::{
+    segment, BranchSite, BranchUnit, BtbGeom, Cache, CacheGeom, CodeBlock, CpuConfig, Cpu,
+    InterruptCfg, MemDep,
+};
+
+/// Reference model: fully associative LRU over the same trace, used to check
+/// that a 1-set cache with associativity == capacity behaves identically.
+fn reference_lru_misses(trace: &[u64], capacity: usize, line_bytes: u64) -> u64 {
+    let mut stack: Vec<u64> = Vec::new();
+    let mut misses = 0;
+    for &addr in trace {
+        let line = addr / line_bytes;
+        if let Some(pos) = stack.iter().position(|&l| l == line) {
+            stack.remove(pos);
+        } else {
+            misses += 1;
+            if stack.len() == capacity {
+                stack.pop();
+            }
+        }
+        stack.insert(0, line);
+    }
+    misses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single-set cache must match textbook fully-associative LRU exactly.
+    #[test]
+    fn cache_matches_reference_lru(trace in proptest::collection::vec(0u64..4096, 1..400)) {
+        // 8 lines of 32 bytes in one set.
+        let mut c = Cache::new(CacheGeom { size_bytes: 256, line_bytes: 32, assoc: 8 });
+        let mut misses = 0;
+        for &addr in &trace {
+            if !c.access(addr, false).hit {
+                misses += 1;
+            }
+        }
+        prop_assert_eq!(misses, reference_lru_misses(&trace, 8, 32));
+    }
+
+    /// The line just accessed is always resident (LRU never evicts the MRU).
+    #[test]
+    fn most_recent_line_is_always_resident(trace in proptest::collection::vec(0u64..100_000, 1..300)) {
+        let mut c = Cache::new(CacheGeom { size_bytes: 1024, line_bytes: 32, assoc: 4 });
+        for &addr in &trace {
+            c.access(addr, false);
+            prop_assert!(c.probe(addr));
+        }
+    }
+
+    /// Doubling capacity never increases misses for the same trace
+    /// (stack property of LRU within a fixed set mapping: compare a
+    /// fully-associative small cache to a fully-associative larger one).
+    #[test]
+    fn lru_miss_count_monotone_in_capacity(trace in proptest::collection::vec(0u64..8192, 1..400)) {
+        let small = reference_lru_misses(&trace, 4, 32);
+        let large = reference_lru_misses(&trace, 8, 32);
+        prop_assert!(large <= small);
+    }
+
+    /// Every cycle the CPU spends is charged to exactly one Table 3.1
+    /// component: ledger total == cycle counter, always.
+    #[test]
+    fn ledger_identity_holds_for_random_workloads(
+        ops in proptest::collection::vec((0u8..4, 0u64..1_000_000, any::<bool>()), 1..300)
+    ) {
+        let mut cpu = Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(
+            InterruptCfg { period_cycles: 10_000, kernel_code_bytes: 4096, kernel_data_bytes: 512 }));
+        let block = CodeBlock::builder("p", 900)
+            .private(segment::PRIVATE, 4096)
+            .at(segment::CODE);
+        let site = BranchSite { addr: segment::CODE + 64, backward: false };
+        for (kind, addr, flag) in ops {
+            match kind {
+                0 => cpu.exec_block(&block),
+                1 => cpu.load(segment::HEAP + addr, 8, if flag { MemDep::Chase } else { MemDep::Demand }),
+                2 => cpu.store(segment::HEAP + addr, 8, MemDep::Demand),
+                _ => cpu.branch(site, flag),
+            }
+        }
+        let ledger_total = cpu.ledger().grand_total();
+        prop_assert!((ledger_total - cpu.cycles()).abs() < 1e-6,
+            "ledger {} != cycles {}", ledger_total, cpu.cycles());
+    }
+
+    /// Counters never decrease and user+sup cycles equal total cycles.
+    #[test]
+    fn mode_cycles_partition_total(
+        ops in proptest::collection::vec((0u8..2, 0u64..500_000), 1..200)
+    ) {
+        use wdtg_sim::Mode;
+        let mut cpu = Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(
+            InterruptCfg { period_cycles: 7_000, kernel_code_bytes: 2048, kernel_data_bytes: 256 }));
+        let block = CodeBlock::builder("p", 1200).private(segment::PRIVATE, 2048).at(segment::CODE);
+        for (kind, addr) in ops {
+            match kind {
+                0 => cpu.exec_block(&block),
+                _ => cpu.load(segment::HEAP + addr, 4, MemDep::Demand),
+            }
+        }
+        let split = cpu.cycles_in_mode(Mode::User) + cpu.cycles_in_mode(Mode::Sup);
+        prop_assert!((split - cpu.cycles()).abs() < 1e-6);
+    }
+
+    /// A branch with a fixed direction is eventually predicted almost
+    /// perfectly regardless of its address or direction.
+    #[test]
+    fn constant_branches_are_learned(addr in 1u64..1_000_000, taken in any::<bool>()) {
+        let mut bu = BranchUnit::new(BtbGeom { entries: 512, assoc: 4, history_bits: 4, pattern_entries: 1024 });
+        let mut late = 0;
+        for i in 0..100 {
+            let out = bu.execute(addr, taken, false);
+            if i >= 20 && out.mispredicted {
+                late += 1;
+            }
+        }
+        prop_assert!(late == 0, "constant branch still mispredicting {late} times");
+    }
+}

@@ -1,0 +1,168 @@
+//! The paper's microbenchmark: relations R and S plus the three queries
+//! (sequential range selection, indexed range selection, sequential join).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdtg_memdb::{Database, DbResult, Query, Schema};
+
+use crate::scale::Scale;
+
+/// Deterministic seed used for all dataset generation unless overridden.
+pub const DEFAULT_SEED: u64 = 0x5744_5447; // "WDTG"
+
+/// The three microbenchmark queries of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroQuery {
+    /// Sequential range selection (SRS).
+    SequentialRangeSelection,
+    /// Indexed range selection (IRS) — same query with an index on `a2`.
+    IndexedRangeSelection,
+    /// Sequential join (SJ).
+    SequentialJoin,
+}
+
+impl MicroQuery {
+    /// Paper's abbreviations.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroQuery::SequentialRangeSelection => "SRS",
+            MicroQuery::IndexedRangeSelection => "IRS",
+            MicroQuery::SequentialJoin => "SJ",
+        }
+    }
+
+    /// All three, in paper order.
+    pub const ALL: [MicroQuery; 3] = [
+        MicroQuery::SequentialRangeSelection,
+        MicroQuery::IndexedRangeSelection,
+        MicroQuery::SequentialJoin,
+    ];
+}
+
+/// Generates R's rows: `a1` sequential unique, `a2` uniform over the domain
+/// (1..=|S|), `a3` uniform values to aggregate, the rest filler (§3.3:
+/// "<rest of fields> stands for a list of integers that is not used by any
+/// of the queries").
+pub fn r_rows(scale: Scale, seed: u64) -> impl Iterator<Item = Vec<i32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ncols = (scale.record_bytes / 4) as usize;
+    let domain = scale.a2_domain();
+    (0..scale.r_records).map(move |i| {
+        let mut row = vec![0i32; ncols];
+        row[0] = i as i32;
+        row[1] = rng.random_range(1..=domain);
+        row[2] = rng.random_range(0..10_000);
+        for c in row.iter_mut().skip(3) {
+            *c = rng.random_range(0..1_000_000);
+        }
+        row
+    })
+}
+
+/// Generates S's rows: `a1` is the primary key 1..=|S| (every R row joins
+/// with exactly the rows sharing its `a2` value — ~30 on average).
+pub fn s_rows(scale: Scale, seed: u64) -> impl Iterator<Item = Vec<i32>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5353_5353);
+    let ncols = (scale.record_bytes / 4) as usize;
+    (0..scale.s_records).map(move |i| {
+        let mut row = vec![0i32; ncols];
+        row[0] = i as i32 + 1;
+        for c in row.iter_mut().skip(1) {
+            *c = rng.random_range(0..1_000_000);
+        }
+        row
+    })
+}
+
+/// Loads R (and S) into `db` at the given scale, uninstrumented.
+pub fn load_microbench(db: &mut Database, scale: Scale, with_s: bool) -> DbResult<()> {
+    db.create_table("R", Schema::paper_relation(scale.record_bytes))?;
+    db.load_rows("R", r_rows(scale, DEFAULT_SEED))?;
+    if with_s {
+        db.create_table("S", Schema::paper_relation(scale.record_bytes))?;
+        db.load_rows("S", s_rows(scale, DEFAULT_SEED))?;
+    }
+    Ok(())
+}
+
+/// Builds the paper query at the requested selectivity.
+/// For [`MicroQuery::IndexedRangeSelection`], the caller must have created
+/// the index on `R.a2` (see [`prepare`]).
+pub fn query(scale: Scale, q: MicroQuery, selectivity: f64) -> Query {
+    match q {
+        MicroQuery::SequentialRangeSelection | MicroQuery::IndexedRangeSelection => {
+            let (lo, hi) = scale.selectivity_range(selectivity);
+            Query::range_select_avg("R", lo, hi)
+        }
+        MicroQuery::SequentialJoin => Query::join_avg("R", "S"),
+    }
+}
+
+/// Prepares a database for one microbenchmark query: loads R (and S for the
+/// join) and creates the `a2` index for the indexed selection.
+pub fn prepare(db: &mut Database, scale: Scale, q: MicroQuery) -> DbResult<()> {
+    load_microbench(db, scale, q == MicroQuery::SequentialJoin)?;
+    if q == MicroQuery::IndexedRangeSelection {
+        db.create_index("R", "a2")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdtg_memdb::{EngineProfile, SystemId};
+    use wdtg_sim::{CpuConfig, InterruptCfg};
+
+    fn tiny_db() -> Database {
+        Database::new(
+            EngineProfile::system(SystemId::B),
+            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+        )
+    }
+
+    #[test]
+    fn selectivity_is_hit_within_tolerance() {
+        let scale = Scale::tiny();
+        let mut db = tiny_db();
+        prepare(&mut db, scale, MicroQuery::SequentialRangeSelection).unwrap();
+        for sel in [0.01, 0.1, 0.5] {
+            let q = query(scale, MicroQuery::SequentialRangeSelection, sel);
+            let res = db.run(&q).unwrap();
+            let got = res.rows as f64 / scale.r_records as f64;
+            assert!(
+                (got - sel).abs() < 0.02,
+                "target {sel}, got {got} ({} rows)",
+                res.rows
+            );
+        }
+    }
+
+    #[test]
+    fn join_fanout_matches_paper_shape() {
+        let scale = Scale::tiny();
+        let mut db = tiny_db();
+        prepare(&mut db, scale, MicroQuery::SequentialJoin).unwrap();
+        let res = db.run(&query(scale, MicroQuery::SequentialJoin, 0.1)).unwrap();
+        // Every R row joins exactly once with S's primary key.
+        assert_eq!(res.rows, scale.r_records);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let scale = Scale::tiny();
+        let a: Vec<Vec<i32>> = r_rows(scale, 42).take(10).collect();
+        let b: Vec<Vec<i32>> = r_rows(scale, 42).take(10).collect();
+        assert_eq!(a, b);
+        let c: Vec<Vec<i32>> = r_rows(scale, 43).take(10).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn a2_stays_in_domain() {
+        let scale = Scale::tiny();
+        for row in r_rows(scale, DEFAULT_SEED).take(2000) {
+            assert!(row[1] >= 1 && row[1] <= scale.a2_domain());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Workload scale factors.
+//!
+//! The paper's microbenchmark database is R = 1.2 M × 100-byte records with
+//! `a2` uniform over 1..=40 000, and S = 40 000 records whose primary key
+//! `a1` covers that domain, so each S row joins with ~30 R rows (§3.3).
+//! Scaled-down variants keep every *ratio* (R:S = 30, a2 domain = |S|) so
+//! selectivities and join fan-out behave identically; only absolute sizes
+//! change. Tests use [`Scale::tiny`]; figure binaries default to
+//! [`Scale::dev`] and accept `WDTG_SCALE=paper` for full size.
+
+/// Dataset sizing for the microbenchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Rows in R.
+    pub r_records: u64,
+    /// Rows in S (= the `a2` key domain).
+    pub s_records: u64,
+    /// Record size in bytes (multiple of 4; the paper uses 100 and sweeps
+    /// 20–200 in §5.2).
+    pub record_bytes: u32,
+}
+
+impl Scale {
+    /// The paper's full-size database (1.2 M × 100 B; 40 K in S).
+    pub fn paper() -> Scale {
+        Scale { r_records: 1_200_000, s_records: 40_000, record_bytes: 100 }
+    }
+
+    /// Default experiment scale: 1/12 of the paper (100 K rows), preserving
+    /// all ratios. Figures keep their shape; runs take seconds.
+    pub fn dev() -> Scale {
+        Scale { r_records: 100_020, s_records: 3_334, record_bytes: 100 }
+    }
+
+    /// Unit/integration-test scale.
+    pub fn tiny() -> Scale {
+        Scale { r_records: 12_000, s_records: 400, record_bytes: 100 }
+    }
+
+    /// Reads `WDTG_SCALE` (`paper`, `dev`, `tiny`; default `dev`).
+    pub fn from_env() -> Scale {
+        match std::env::var("WDTG_SCALE").as_deref() {
+            Ok("paper") => Scale::paper(),
+            Ok("tiny") => Scale::tiny(),
+            _ => Scale::dev(),
+        }
+    }
+
+    /// Same scale with a different record size (the §5.2 record-size sweep).
+    pub fn with_record_bytes(mut self, bytes: u32) -> Scale {
+        self.record_bytes = bytes;
+        self
+    }
+
+    /// The `a2` domain (1..=domain), which equals |S| so the join fan-out is
+    /// |R| / |S| ≈ 30 like the paper's.
+    pub fn a2_domain(&self) -> i32 {
+        self.s_records as i32
+    }
+
+    /// Range bounds `(lo, hi)` for `a2 > lo AND a2 < hi` hitting the target
+    /// selectivity, centered in the domain. Qualifying values are
+    /// `lo+1 ..= hi-1`.
+    pub fn selectivity_range(&self, selectivity: f64) -> (i32, i32) {
+        let domain = self.a2_domain() as f64;
+        let width = (selectivity.clamp(0.0, 1.0) * domain).round() as i32;
+        let lo = ((self.a2_domain() - width) / 2).max(0);
+        (lo, lo + width + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_section_3_3() {
+        let s = Scale::paper();
+        assert_eq!(s.r_records, 1_200_000);
+        assert_eq!(s.s_records, 40_000);
+        assert_eq!(s.record_bytes, 100);
+        assert_eq!(s.a2_domain(), 40_000);
+        // ~30 R rows per S row.
+        assert_eq!(s.r_records / s.s_records, 30);
+    }
+
+    #[test]
+    fn dev_scale_preserves_ratios() {
+        let s = Scale::dev();
+        assert_eq!(s.r_records / s.s_records, 30);
+    }
+
+    #[test]
+    fn selectivity_ranges_hit_targets() {
+        let s = Scale::paper();
+        for sel in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
+            let (lo, hi) = s.selectivity_range(sel);
+            let qualifying = (hi - lo - 1).max(0) as f64;
+            let got = qualifying / s.a2_domain() as f64;
+            assert!((got - sel).abs() < 0.001, "sel {sel}: got {got}");
+            assert!(lo >= 0 && hi <= s.a2_domain() + 1);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Using the harness the way the paper's conclusions suggest: evaluate a
+//! cache-conscious redesign *before* building it.
+//!
+//! We take System C (interpreted, no prefetching) and apply the two fixes
+//! the paper's findings point to — scan prefetching to attack T_L2D (§5.2.1)
+//! and compiled predicate evaluation to shrink the instruction footprint
+//! (§5.2.2) — then measure each variant on the same simulated processor.
+//!
+//! Run with: `cargo run --release --example cache_conscious`
+
+use wdtg_core::methodology::{measure_query_with, Methodology};
+use wdtg_core::tables::{pct, TextTable};
+use wdtg_memdb::{EngineProfile, EvalMode, SystemId};
+use wdtg_sim::CpuConfig;
+use wdtg_workloads::{MicroQuery, Scale};
+
+fn main() {
+    let scale = Scale::tiny();
+    let cfg = CpuConfig::pentium_ii_xeon();
+    let m = Methodology::default();
+
+    let baseline = EngineProfile::system(SystemId::C);
+
+    let mut prefetching = EngineProfile::system(SystemId::C);
+    prefetching.prefetch_lines_ahead = 24;
+
+    let mut compiled = EngineProfile::system(SystemId::C);
+    compiled.eval_mode = EvalMode::Compiled;
+
+    let mut both = EngineProfile::system(SystemId::C);
+    both.prefetch_lines_ahead = 24;
+    both.eval_mode = EvalMode::Compiled;
+
+    let variants = [
+        ("System C (baseline)", baseline),
+        ("+ scan prefetch", prefetching),
+        ("+ compiled predicates", compiled),
+        ("+ both", both),
+    ];
+
+    println!("Attacking System C's stalls (10% sequential range selection):\n");
+    let mut table = TextTable::new([
+        "variant",
+        "cycles/record",
+        "T_L2D share",
+        "T_L1I share",
+        "T_B share",
+        "speedup",
+    ]);
+    let mut base_cycles = None;
+    for (name, profile) in variants {
+        let meas = measure_query_with(
+            profile,
+            MicroQuery::SequentialRangeSelection,
+            0.1,
+            scale,
+            &cfg,
+            &m,
+        )
+        .expect("measurement runs");
+        let total = meas.truth.component_sum().max(1e-9);
+        let cyc = meas.cycles_per_record();
+        let base = *base_cycles.get_or_insert(cyc);
+        table.row([
+            name.to_string(),
+            format!("{cyc:.0}"),
+            pct(meas.truth.tl2d / total),
+            pct(meas.truth.tl1i / total),
+            pct(meas.truth.tb / total),
+            format!("{:.2}x", base / cyc),
+        ]);
+    }
+    println!("{table}");
+    println!("The paper's conclusion in action: no single fix is a silver bullet —");
+    println!("removing one stall class shifts the bottleneck to the others (§5.1).");
+}

@@ -1,0 +1,48 @@
+//! DSS vs OLTP (§5.5): the same engine shows a completely different
+//! hardware profile under decision-support and transaction workloads.
+//!
+//! Run with: `cargo run --release --example dss_vs_oltp`
+
+use wdtg_core::dss::measure_tpcd;
+use wdtg_core::oltp::measure_tpcc;
+use wdtg_core::tables::{pct, TextTable};
+use wdtg_memdb::SystemId;
+use wdtg_sim::CpuConfig;
+use wdtg_workloads::{TpccScale, TpcdScale};
+
+fn main() {
+    let cfg = CpuConfig::pentium_ii_xeon();
+    let sys = SystemId::B;
+
+    println!("{} under DSS (17 TPC-D-like queries) and OLTP (TPC-C-like mix):\n", sys.name());
+
+    let dss = measure_tpcd(sys, TpcdScale::tiny(), &cfg).expect("dss runs");
+    let oltp = measure_tpcc(sys, TpccScale::tiny(), &cfg, 200).expect("oltp runs");
+
+    let mut t = TextTable::new(["metric", "DSS (TPC-D-like)", "OLTP (TPC-C-like)"]);
+    let fd = dss.truth.four_way();
+    let fo = oltp.truth.four_way();
+    t.row(["CPI".to_string(), format!("{:.2}", dss.truth.cpi()), format!("{:.2}", oltp.truth.cpi())]);
+    t.row(["computation".to_string(), pct(fd.computation), pct(fo.computation)]);
+    t.row(["memory stalls".to_string(), pct(fd.memory), pct(fo.memory)]);
+    t.row(["  L2 share of memory".to_string(),
+        pct((dss.truth.tl2d + dss.truth.tl2i) / dss.truth.tm().max(1e-9)),
+        pct(oltp.l2_share_of_memory())]);
+    t.row(["branch mispredictions".to_string(), pct(fd.branch), pct(fo.branch)]);
+    t.row(["resource stalls".to_string(), pct(fd.resource), pct(fo.resource)]);
+    println!("{t}");
+    println!("Paper §5.5: OLTP runs at 2.5-4.5 CPI with 60-80% memory stalls dominated");
+    println!("by the L2, while DSS looks like the simple scan queries.");
+    println!("\nPer-query DSS breakdown (first 5 of 17):");
+    for (label, b) in dss.per_query.iter().take(5) {
+        let f = b.four_way();
+        println!(
+            "  {label:>3}: CPI {:.2}  comp {} mem {} br {} res {}",
+            b.cpi(),
+            pct(f.computation),
+            pct(f.memory),
+            pct(f.branch),
+            pct(f.resource)
+        );
+    }
+}

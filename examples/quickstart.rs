@@ -1,0 +1,54 @@
+//! Quickstart: where does time go when one engine runs one query?
+//!
+//! Builds System C (an interpreted, full-materialization engine) on a
+//! simulated Pentium II Xeon, loads a small R relation, runs the paper's
+//! sequential range selection and prints the execution-time breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wdtg_core::methodology::{measure_query, Methodology};
+use wdtg_core::tables::pct;
+use wdtg_memdb::SystemId;
+use wdtg_sim::CpuConfig;
+use wdtg_workloads::{MicroQuery, Scale};
+
+fn main() {
+    // select avg(a3) from R where a2 < Hi and a2 > Lo  -- 10% selectivity
+    let measurement = measure_query(
+        SystemId::C,
+        MicroQuery::SequentialRangeSelection,
+        0.10,
+        Scale::tiny(),
+        &CpuConfig::pentium_ii_xeon(),
+        &Methodology::default(),
+    )
+    .expect("measurement runs");
+
+    let b = &measurement.truth;
+    let f = b.four_way();
+    println!("System C, 10% sequential range selection ({} rows selected)\n", measurement.rows);
+    println!("cycles per query:        {:>12.0}", b.cycles);
+    println!("instructions retired:    {:>12}", b.inst_retired);
+    println!("clocks per instruction:  {:>12.2}", b.cpi());
+    println!();
+    println!("where does time go?");
+    println!("  computation      {:>7}   {}", pct(f.computation), bar(f.computation));
+    println!("  memory stalls    {:>7}   {}", pct(f.memory), bar(f.memory));
+    println!("    L1D {:>6}  L1I {:>6}  L2D {:>6}  L2I {:>6}",
+        pct(b.tl1d / b.cycles), pct(b.tl1i / b.cycles),
+        pct(b.tl2d / b.cycles), pct(b.tl2i / b.cycles));
+    println!("  branch mispred.  {:>7}   {}", pct(f.branch), bar(f.branch));
+    println!("  resource stalls  {:>7}   {}", pct(f.resource), bar(f.resource));
+    println!();
+    println!(
+        "hardware rates: L1D miss {:.1}%, L2 data miss {:.1}%, mispredict {:.1}%, BTB miss {:.1}%",
+        measurement.rates.l1d_miss * 100.0,
+        measurement.rates.l2d_miss * 100.0,
+        measurement.rates.br_mispredict * 100.0,
+        measurement.rates.btb_miss * 100.0
+    );
+}
+
+fn bar(f: f64) -> String {
+    wdtg_core::tables::bar(f, 40)
+}

@@ -1,0 +1,25 @@
+//! # wdtg — Where Does Time Go?
+//!
+//! A full reproduction of *"DBMSs On A Modern Processor: Where Does Time
+//! Go?"* (Ailamaki, DeWitt, Hill, Wood — VLDB 1999) as a Rust workspace:
+//! an instrumented memory-resident relational DBMS with four engine
+//! profiles (the paper's anonymous Systems A–D), a Pentium II Xeon-class
+//! processor/memory timing model, an `emon`-style two-counter measurement
+//! tool, the paper's workloads, and a harness that regenerates every table
+//! and figure of the evaluation.
+//!
+//! This facade crate re-exports the public API of all member crates; see
+//! the README for a tour and `examples/` for runnable entry points.
+
+#![warn(missing_docs)]
+
+pub use wdtg_core as core;
+pub use wdtg_emon as emon;
+pub use wdtg_memdb as memdb;
+pub use wdtg_sim as sim;
+pub use wdtg_workloads as workloads;
+
+pub use wdtg_core::{FigureCtx, Methodology, MicrobenchGrid, TimeBreakdown};
+pub use wdtg_memdb::{Database, EngineProfile, Query, SystemId};
+pub use wdtg_sim::{CpuConfig, Event, Mode};
+pub use wdtg_workloads::{MicroQuery, Scale};

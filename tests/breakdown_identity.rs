@@ -1,0 +1,72 @@
+//! The framework identity `T_Q = T_C + T_M + T_B + T_R − T_OVL` (§3.1) and
+//! the component hierarchy of Table 3.1, across workloads and systems.
+
+use wdtg_core::methodology::{build_db, Methodology};
+use wdtg_core::{measure_query, TimeBreakdown};
+use wdtg_memdb::{Database, EngineProfile, SystemId};
+use wdtg_sim::{CpuConfig, Mode};
+use wdtg_workloads::tpcc::{self, TpccScale};
+use wdtg_workloads::{micro, MicroQuery, Scale, TpccDriver};
+
+#[test]
+fn ground_truth_components_partition_cycles_for_every_query() {
+    let scale = Scale::tiny();
+    let cfg = CpuConfig::pentium_ii_xeon();
+    for query in MicroQuery::ALL {
+        for sys in [SystemId::A, SystemId::C] {
+            let mut db = build_db(sys, scale, query, &cfg).expect("build");
+            let q = micro::query(scale, query, 0.1);
+            let before = db.cpu().snapshot();
+            db.run(&q).expect("query runs");
+            let delta = db.cpu().snapshot().delta(&before);
+            let b = TimeBreakdown::from_snapshot(&delta, Mode::User);
+            let residual = (b.component_sum() - b.cycles).abs();
+            assert!(
+                residual < 1e-6 * b.cycles.max(1.0),
+                "{sys:?}/{query:?}: components {} != cycles {}",
+                b.component_sum(),
+                b.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn oltp_transactions_also_satisfy_the_identity() {
+    let cfg = CpuConfig::pentium_ii_xeon();
+    let scale = TpccScale::tiny();
+    let mut db = Database::new(EngineProfile::system(SystemId::D), cfg);
+    db.ctx.instrument = false;
+    tpcc::load(&mut db, scale, 11).expect("load");
+    db.ctx.instrument = true;
+    let mut driver = TpccDriver::new(scale, 11);
+    let before = db.cpu().snapshot();
+    driver.run(&mut db, 50).expect("txns");
+    let delta = db.cpu().snapshot().delta(&before);
+    for mode in [Mode::User, Mode::Sup] {
+        let b = TimeBreakdown::from_snapshot(&delta, mode);
+        assert!(
+            (b.component_sum() - b.cycles).abs() < 1e-6 * b.cycles.max(1.0),
+            "{mode:?} identity violated"
+        );
+    }
+}
+
+#[test]
+fn emon_estimate_reconstructs_overlap_as_nonnegative_residual() {
+    let m = Methodology { with_emon: true, ..Methodology::default() };
+    let meas = measure_query(
+        SystemId::B,
+        MicroQuery::SequentialRangeSelection,
+        0.1,
+        Scale::tiny(),
+        &CpuConfig::pentium_ii_xeon(),
+        &m,
+    )
+    .expect("measurement runs");
+    let est = meas.estimate.expect("estimate");
+    // T_OVL = (T_C + T_M + T_B + T_R) − T_Q ≥ 0: the count×penalty parts
+    // are upper bounds, so the estimate never undershoots measured cycles
+    // by more than rounding.
+    assert!(est.component_sum() + 1.0 >= est.cycles);
+}

@@ -1,0 +1,72 @@
+//! End-to-end determinism: identical builds produce cycle-exact results.
+//! Determinism is what makes the two-counter multiplexing methodology exact
+//! in the simulator (and merely "stddev < 5%" on the real machine, §4.3).
+
+use wdtg_core::methodology::{build_db, measure_query, Methodology};
+use wdtg_memdb::SystemId;
+use wdtg_sim::{CpuConfig, Event, Mode};
+use wdtg_workloads::{micro, MicroQuery, Scale};
+
+#[test]
+fn identical_measurements_are_cycle_exact() {
+    let run = || {
+        measure_query(
+            SystemId::B,
+            MicroQuery::IndexedRangeSelection,
+            0.1,
+            Scale::tiny(),
+            &CpuConfig::pentium_ii_xeon(),
+            &Methodology::default(),
+        )
+        .expect("measurement runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.truth.cycles, b.truth.cycles);
+    assert_eq!(a.truth.inst_retired, b.truth.inst_retired);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.truth.tl2d, b.truth.tl2d);
+    assert_eq!(a.truth.tb, b.truth.tb);
+}
+
+#[test]
+fn all_three_queries_run_on_all_systems_deterministically() {
+    let scale = Scale::tiny();
+    let cfg = CpuConfig::pentium_ii_xeon();
+    for query in MicroQuery::ALL {
+        for sys in SystemId::ALL {
+            if query == MicroQuery::IndexedRangeSelection && sys == SystemId::A {
+                // A still answers the query (by scanning); included.
+            }
+            let mut db = build_db(sys, scale, query, &cfg).expect("build");
+            let q = micro::query(scale, query, 0.1);
+            let r1 = db.run(&q).expect("first run");
+            let c1 = db.cpu().counters().get(Mode::User, Event::InstRetired);
+            let r2 = db.run(&q).expect("second run");
+            assert_eq!(r1.rows, r2.rows, "{sys:?} {query:?} answers must be stable");
+            assert!((r1.value - r2.value).abs() < 1e-9);
+            let c2 = db.cpu().counters().get(Mode::User, Event::InstRetired);
+            assert!(c2 > c1, "second run retires more instructions");
+        }
+    }
+}
+
+#[test]
+fn warm_runs_are_faster_than_cold_runs() {
+    // The §4.3 methodology warms caches before measuring; the first (cold)
+    // execution must cost more cycles than a warmed one.
+    let scale = Scale::tiny();
+    let cfg = CpuConfig::pentium_ii_xeon();
+    let mut db =
+        build_db(SystemId::D, scale, MicroQuery::SequentialRangeSelection, &cfg).expect("build");
+    let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
+
+    let s0 = db.cpu().snapshot();
+    db.run(&q).expect("cold run");
+    let s1 = db.cpu().snapshot();
+    db.run(&q).expect("warm run");
+    let s2 = db.cpu().snapshot();
+    let cold = s1.cycles - s0.cycles;
+    let warm = s2.cycles - s1.cycles;
+    assert!(warm < cold, "warm {warm} vs cold {cold}");
+}

@@ -1,0 +1,60 @@
+//! The reproduction contract: the paper's §5 findings, asserted as tests.
+//!
+//! Runs the microbenchmark grid at a reduced scale (the shapes are scale
+//! invariant because the Scale type preserves every dataset ratio) and
+//! asserts the machine-checked claims of `wdtg_core::validate`.
+
+use wdtg_core::figures::{FigureCtx, MicrobenchGrid, SelectivitySweep};
+use wdtg_core::methodology::Methodology;
+use wdtg_core::validate::{validate_grid, validate_selectivity};
+use wdtg_sim::CpuConfig;
+use wdtg_workloads::Scale;
+
+fn test_ctx() -> FigureCtx {
+    FigureCtx {
+        // Between tiny and dev: large enough for the footprint/locality
+        // effects that drive the shapes, small enough for CI.
+        scale: Scale { r_records: 60_000, s_records: 2_000, record_bytes: 100 },
+        cfg: CpuConfig::pentium_ii_xeon(),
+        methodology: Methodology::default(),
+    }
+}
+
+#[test]
+fn section_5_claims_hold_on_the_microbenchmark_grid() {
+    let ctx = test_ctx();
+    let grid = MicrobenchGrid::run(&ctx).expect("grid runs");
+    let claims = validate_grid(&grid);
+    let failed: Vec<String> = claims
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| format!("{}: {} [{}]", c.id, c.description, c.detail))
+        .collect();
+    assert!(
+        failed.is_empty(),
+        "paper claims failed:\n{}\n\nfull grid:\n{}",
+        failed.join("\n"),
+        grid.render_fig5_1()
+    );
+}
+
+#[test]
+fn selectivity_couples_branch_and_instruction_stalls() {
+    // Fig 5.4 (right): T_B and T_L1I both grow with selectivity on System D.
+    let ctx = test_ctx();
+    let sweep = SelectivitySweep::run(&ctx).expect("sweep runs");
+    for c in validate_selectivity(&sweep) {
+        assert!(c.pass, "{}: {} [{}]", c.id, c.description, c.detail);
+    }
+    // The misprediction *rate* itself must not vary wildly with selectivity
+    // (§5.3: "the branch misprediction rate does not vary significantly with
+    // record size or selectivity").
+    let rates: Vec<f64> = sweep.points.iter().map(|p| p.3).collect();
+    let (min, max) = rates
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), r| (lo.min(*r), hi.max(*r)));
+    assert!(
+        max - min < 0.05,
+        "misprediction rate should be stable across selectivities: {rates:?}"
+    );
+}
