@@ -3,10 +3,10 @@
 //! regenerations live in `src/bin/` (see DESIGN.md §4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use wdtg_core::dss::measure_tpcd;
 use wdtg_core::figures::{FigureCtx, SelectivitySweep};
 use wdtg_core::methodology::{measure_query, Methodology};
 use wdtg_core::oltp::measure_tpcc;
-use wdtg_core::dss::measure_tpcd;
 use wdtg_memdb::SystemId;
 use wdtg_sim::CpuConfig;
 use wdtg_workloads::{MicroQuery, Scale, TpccScale, TpcdScale};
@@ -58,10 +58,14 @@ fn bench_fig5_6_tpcd(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("tpcd_suite_system_b", |b| {
         b.iter(|| {
-            measure_tpcd(SystemId::B, TpcdScale::tiny(), &CpuConfig::pentium_ii_xeon())
-                .unwrap()
-                .truth
-                .cycles
+            measure_tpcd(
+                SystemId::B,
+                TpcdScale::tiny(),
+                &CpuConfig::pentium_ii_xeon(),
+            )
+            .unwrap()
+            .truth
+            .cycles
         })
     });
     g.finish();
@@ -72,14 +76,25 @@ fn bench_tpcc(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("mix_100txns_system_c", |b| {
         b.iter(|| {
-            measure_tpcc(SystemId::C, TpccScale::tiny(), &CpuConfig::pentium_ii_xeon(), 100)
-                .unwrap()
-                .truth
-                .cycles
+            measure_tpcc(
+                SystemId::C,
+                TpccScale::tiny(),
+                &CpuConfig::pentium_ii_xeon(),
+                100,
+            )
+            .unwrap()
+            .truth
+            .cycles
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_fig5_1_cell, bench_fig5_4_sweep, bench_fig5_6_tpcd, bench_tpcc);
+criterion_group!(
+    benches,
+    bench_fig5_1_cell,
+    bench_fig5_4_sweep,
+    bench_fig5_6_tpcd,
+    bench_tpcc
+);
 criterion_main!(benches);

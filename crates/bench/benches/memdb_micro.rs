@@ -2,7 +2,7 @@
 //! instrumentation on and off (the difference is the simulation overhead).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use wdtg_memdb::{Database, EngineProfile, Query, Schema, SystemId};
+use wdtg_memdb::{Database, EngineProfile, ExecMode, Query, Schema, SystemId};
 use wdtg_sim::{CpuConfig, InterruptCfg};
 
 fn db_with_rows(sys: SystemId, rows: u64, instrument: bool) -> Database {
@@ -66,5 +66,22 @@ fn bench_index(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scan, bench_index);
+fn bench_exec_modes(c: &mut Criterion) {
+    // Row-at-a-time vs vectorized execution of the same range selection:
+    // the host-time gap tracks the per-tuple simulation-event collapse.
+    const ROWS: u64 = 20_000;
+    let mut g = c.benchmark_group("memdb/exec_mode");
+    g.throughput(Throughput::Elements(ROWS));
+    g.sample_size(10);
+    for (label, mode) in [("row", ExecMode::Row), ("batch", ExecMode::Batch)] {
+        g.bench_function(label, |b| {
+            let mut db = db_with_rows(SystemId::C, ROWS, true).with_exec_mode(mode);
+            let q = Query::range_select_avg("R", 100, 500);
+            b.iter(|| db.run(&q).unwrap().rows)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_index, bench_exec_modes);
 criterion_main!(benches);

@@ -11,11 +11,17 @@ fn bench_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim/cache");
     g.throughput(Throughput::Elements(1024));
     g.bench_function("l2_access_mixed", |b| {
-        let mut cache = Cache::new(CacheGeom { size_bytes: 512 * 1024, line_bytes: 32, assoc: 4 });
+        let mut cache = Cache::new(CacheGeom {
+            size_bytes: 512 * 1024,
+            line_bytes: 32,
+            assoc: 4,
+        });
         let mut i = 0u64;
         b.iter(|| {
             for _ in 0..1024 {
-                i = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                i = i
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 cache.access(i % (4 << 20), false);
             }
             cache.misses()
@@ -39,7 +45,7 @@ fn bench_branch(c: &mut Criterion) {
             let mut miss = 0u32;
             for _ in 0..1024 {
                 i = i.wrapping_add(1);
-                let out = bu.execute(0x4000 + (i % 700) * 16, i % 3 == 0, false);
+                let out = bu.execute(0x4000 + (i % 700) * 16, i.is_multiple_of(3), false);
                 miss += out.mispredicted as u32;
             }
             miss
@@ -52,13 +58,15 @@ fn bench_cpu(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim/cpu");
     g.throughput(Throughput::Elements(256));
     g.bench_function("exec_block_plus_loads", |b| {
-        let mut cpu = Cpu::new(
-            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
-        );
+        let mut cpu =
+            Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()));
         let block = CodeBlock::builder("bench", 2800)
             .private(segment::PRIVATE, 4096)
             .at(segment::CODE);
-        let site = BranchSite { addr: segment::CODE + 32, backward: false };
+        let site = BranchSite {
+            addr: segment::CODE + 32,
+            backward: false,
+        };
         let mut addr = segment::HEAP;
         b.iter(|| {
             for i in 0..256u64 {

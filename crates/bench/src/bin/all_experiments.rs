@@ -31,7 +31,11 @@ fn main() {
     println!("{}", dss.render_fig5_6());
     println!("{}", dss.render_fig5_7());
 
-    let txns = if std::env::var("WDTG_SCALE").as_deref() == Ok("paper") { 2_000 } else { 400 };
+    let txns = if std::env::var("WDTG_SCALE").as_deref() == Ok("paper") {
+        2_000
+    } else {
+        400
+    };
     let (tpcc_ms, tpcc_out) =
         wdtg_core::oltp::tpcc_report(TpccScale::from_env(), &ctx.cfg, txns).expect("tpcc");
     println!("{tpcc_out}");

@@ -1,0 +1,15 @@
+//! Renders the row-vs-batch executor comparison for the three
+//! microbenchmark queries (the paper's breakdowns regenerated over the
+//! vectorized path next to the original row-at-a-time numbers).
+
+use wdtg_bench::ctx_with_banner;
+use wdtg_core::figures::ExecModeComparison;
+use wdtg_workloads::MicroQuery;
+
+fn main() {
+    let ctx = ctx_with_banner("exec_compare");
+    for q in MicroQuery::ALL {
+        let cmp = ExecModeComparison::run(&ctx, q).expect("comparison runs");
+        println!("{}", cmp.render());
+    }
+}

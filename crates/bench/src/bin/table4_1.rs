@@ -17,13 +17,19 @@ fn main() {
         "  line size          {} bytes                       {} bytes",
         cfg.l1d.line_bytes, cfg.l2.line_bytes
     );
-    println!("  associativity      {}-way                          {}-way", cfg.l1d.assoc, cfg.l2.assoc);
+    println!(
+        "  associativity      {}-way                          {}-way",
+        cfg.l1d.assoc, cfg.l2.assoc
+    );
     println!(
         "  miss penalty       {} cycles (w/ L2 hit)            main memory",
         cfg.pipe.l1_miss_penalty
     );
     println!("  non-blocking       yes                            yes");
-    println!("  misses outstanding {}                              {}", cfg.pipe.outstanding_misses, cfg.pipe.outstanding_misses);
+    println!(
+        "  misses outstanding {}                              {}",
+        cfg.pipe.outstanding_misses, cfg.pipe.outstanding_misses
+    );
     println!("  write policy       L1-D write-back, L1-I read-only  write-back\n");
     let mut cpu = Cpu::new(cfg.with_interrupts(InterruptCfg::disabled()));
     let m = measure_memory_latency(&mut cpu, 8 * 1024 * 1024);

@@ -10,7 +10,10 @@ use wdtg_workloads::MicroQuery;
 
 fn main() {
     let ctx = ctx_with_banner("Table 4.2 — measurement methods (emon vs ground truth)");
-    let m = Methodology { with_emon: true, ..Methodology::default() };
+    let m = Methodology {
+        with_emon: true,
+        ..Methodology::default()
+    };
     let meas = measure_query(
         SystemId::D,
         MicroQuery::SequentialRangeSelection,
@@ -22,13 +25,28 @@ fn main() {
     .expect("measurement runs");
     let est = meas.estimate.expect("emon requested");
     let t = &meas.truth;
-    let mut table = TextTable::new(["component", "method (Table 4.2)", "emon estimate", "ground truth"]);
+    let mut table = TextTable::new([
+        "component",
+        "method (Table 4.2)",
+        "emon estimate",
+        "ground truth",
+    ]);
     let row = |n: &str, meth: &str, e: f64, g: f64| {
-        [n.to_string(), meth.to_string(), format!("{e:.0}"), format!("{g:.0}")]
+        [
+            n.to_string(),
+            meth.to_string(),
+            format!("{e:.0}"),
+            format!("{g:.0}"),
+        ]
     };
     table.row(row("TC", "µops retired / 3", est.tc, t.tc));
     table.row(row("TL1D", "#misses x 4 cycles", est.tl1d, t.tl1d));
-    table.row(row("TL1I", "actual stall time (IFU_MEM_STALL)", est.tl1i, t.tl1i));
+    table.row(row(
+        "TL1I",
+        "actual stall time (IFU_MEM_STALL)",
+        est.tl1i,
+        t.tl1i,
+    ));
     table.row(row("TL2D", "#misses x measured latency", est.tl2d, t.tl2d));
     table.row(row("TL2I", "#misses x measured latency", est.tl2i, t.tl2i));
     table.row([
@@ -39,9 +57,24 @@ fn main() {
     ]);
     table.row(row("TITLB", "#misses x 32 cycles", est.titlb, t.titlb));
     table.row(row("TB", "#mispredictions x 17 cycles", est.tb, t.tb));
-    table.row(row("TFU", "actual stall time (RESOURCE_STALLS)", est.tfu, t.tfu));
-    table.row(row("TDEP", "actual stall time (PARTIAL_RAT_STALLS)", est.tdep, t.tdep));
-    table.row(row("TILD", "actual stall time (ILD_STALL)", est.tild, t.tild));
+    table.row(row(
+        "TFU",
+        "actual stall time (RESOURCE_STALLS)",
+        est.tfu,
+        t.tfu,
+    ));
+    table.row(row(
+        "TDEP",
+        "actual stall time (PARTIAL_RAT_STALLS)",
+        est.tdep,
+        t.tdep,
+    ));
+    table.row(row(
+        "TILD",
+        "actual stall time (ILD_STALL)",
+        est.tild,
+        t.tild,
+    ));
     table.row([
         "TOVL".into(),
         "not measured; = estimates - T_Q".into(),

@@ -6,7 +6,11 @@ use wdtg_workloads::TpccScale;
 
 fn main() {
     let ctx = ctx_with_banner("§5.5 — TPC-C contrast");
-    let txns = if std::env::var("WDTG_SCALE").as_deref() == Ok("paper") { 2_000 } else { 400 };
+    let txns = if std::env::var("WDTG_SCALE").as_deref() == Ok("paper") {
+        2_000
+    } else {
+        400
+    };
     let (ms, report) =
         wdtg_core::oltp::tpcc_report(TpccScale::from_env(), &ctx.cfg, txns).expect("tpcc runs");
     println!("{report}");

@@ -20,8 +20,12 @@ pub fn btb_sweep(ctx: &FigureCtx) -> DbResult<String> {
         "Ablation A1: BTB size sweep (System D, 10% SRS) — ref [7] suggests\n\
          larger BTBs help database branch streams\n",
     );
-    let mut t =
-        TextTable::new(["BTB entries", "BTB miss rate", "mispredict rate", "T_B % of time"]);
+    let mut t = TextTable::new([
+        "BTB entries",
+        "BTB miss rate",
+        "mispredict rate",
+        "T_B % of time",
+    ]);
     for entries in [512u32, 1024, 4096, 16 * 1024] {
         let cfg = ctx.cfg.clone().with_btb_entries(entries);
         let m = measure_query(
@@ -53,7 +57,10 @@ pub fn l2_sweep(ctx: &FigureCtx) -> DbResult<String> {
     let mut t = TextTable::new(["L2 size", "query", "T_L2D % of time", "cycles/record"]);
     for mb in [512 * 1024u32, 2 * 1024 * 1024, 8 * 1024 * 1024] {
         let cfg = ctx.cfg.clone().with_l2_size(mb);
-        for q in [MicroQuery::SequentialRangeSelection, MicroQuery::IndexedRangeSelection] {
+        for q in [
+            MicroQuery::SequentialRangeSelection,
+            MicroQuery::IndexedRangeSelection,
+        ] {
             let m = measure_query(SystemId::C, q, 0.1, ctx.scale, &cfg, &ctx.methodology)?;
             let total = m.truth.component_sum().max(1e-9);
             t.row([

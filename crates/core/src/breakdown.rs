@@ -162,7 +162,13 @@ impl TimeBreakdown {
     /// fractions of T_M (DTLB excluded: the paper could not measure it).
     pub fn memory_shares(&self) -> [f64; 5] {
         let tm = (self.tl1d + self.tl1i + self.tl2d + self.tl2i + self.titlb).max(1e-9);
-        [self.tl1d / tm, self.tl1i / tm, self.tl2d / tm, self.tl2i / tm, self.titlb / tm]
+        [
+            self.tl1d / tm,
+            self.tl1i / tm,
+            self.tl2d / tm,
+            self.tl2i / tm,
+            self.titlb / tm,
+        ]
     }
 
     /// CPI contribution of each Figure 5.1 component (for Figure 5.6).
@@ -184,10 +190,11 @@ mod tests {
     use wdtg_sim::{segment, CodeBlock, Cpu, CpuConfig, InterruptCfg, MemDep};
 
     fn measured() -> TimeBreakdown {
-        let mut cpu = Cpu::new(
-            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
-        );
-        let block = CodeBlock::builder("w", 2000).private(segment::PRIVATE, 1024).at(segment::CODE);
+        let mut cpu =
+            Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()));
+        let block = CodeBlock::builder("w", 2000)
+            .private(segment::PRIVATE, 1024)
+            .at(segment::CODE);
         let before = cpu.snapshot();
         for i in 0..200u64 {
             cpu.exec_block(&block);

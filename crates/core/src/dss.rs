@@ -62,7 +62,12 @@ pub fn measure_tpcd(
     let suite_delta = db.cpu().snapshot().delta(&suite_before);
     let truth = TimeBreakdown::from_snapshot(&suite_delta, Mode::User);
     let rates = Rates::from_delta(&suite_delta);
-    Ok(TpcdMeasurement { system, truth, per_query, rates })
+    Ok(TpcdMeasurement {
+        system,
+        truth,
+        per_query,
+        rates,
+    })
 }
 
 /// Figures 5.6 + 5.7: SRS (left) vs TPC-D (right) for systems A, B, D.

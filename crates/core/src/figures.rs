@@ -75,7 +75,9 @@ impl MicrobenchGrid {
 
     /// The cell for (query, system), if measured.
     pub fn get(&self, query: MicroQuery, sys: SystemId) -> Option<&QueryMeasurement> {
-        self.cells.iter().find(|c| c.query == query && c.system == sys)
+        self.cells
+            .iter()
+            .find(|c| c.query == query && c.system == sys)
     }
 
     /// Figure 5.1: execution-time breakdown into the four components.
@@ -85,7 +87,13 @@ impl MicrobenchGrid {
         );
         for query in MicroQuery::ALL {
             out.push_str(&format!("\n  {} ({})\n", query.label(), query_title(query)));
-            let mut t = TextTable::new(["system", "Computation", "Memory", "Branch mispred", "Resource"]);
+            let mut t = TextTable::new([
+                "system",
+                "Computation",
+                "Memory",
+                "Branch mispred",
+                "Resource",
+            ]);
             for &sys in systems_for(query) {
                 if let Some(c) = self.get(query, sys) {
                     let f = c.truth.four_way();
@@ -105,13 +113,17 @@ impl MicrobenchGrid {
 
     /// Figure 5.2: memory-stall breakdown into the five measurable parts.
     pub fn render_fig5_2(&self) -> String {
-        let mut out = String::from(
-            "Figure 5.2: Contributions of the five memory components to T_M\n",
-        );
+        let mut out =
+            String::from("Figure 5.2: Contributions of the five memory components to T_M\n");
         for query in MicroQuery::ALL {
             out.push_str(&format!("\n  {} ({})\n", query.label(), query_title(query)));
             let mut t = TextTable::new([
-                "system", "L1 D-stalls", "L1 I-stalls", "L2 D-stalls", "L2 I-stalls", "ITLB stalls",
+                "system",
+                "L1 D-stalls",
+                "L1 I-stalls",
+                "L2 D-stalls",
+                "L2 I-stalls",
+                "ITLB stalls",
             ]);
             for &sys in systems_for(query) {
                 if let Some(c) = self.get(query, sys) {
@@ -164,9 +176,7 @@ impl MicrobenchGrid {
         for sys in SystemId::ALL {
             let cell = |q| {
                 self.get(q, sys)
-                    .map(|c| {
-                        format!("{} ({})", pct(c.rates.br_mispredict), pct(c.rates.btb_miss))
-                    })
+                    .map(|c| format!("{} ({})", pct(c.rates.br_mispredict), pct(c.rates.btb_miss)))
                     .unwrap_or_else(|| "-".into())
             };
             t.row([
@@ -182,9 +192,8 @@ impl MicrobenchGrid {
 
     /// Figure 5.5: T_DEP and T_FU contributions to execution time.
     pub fn render_fig5_5(&self) -> String {
-        let mut out = String::from(
-            "Figure 5.5: T_DEP and T_FU contributions to execution time (percent)\n",
-        );
+        let mut out =
+            String::from("Figure 5.5: T_DEP and T_FU contributions to execution time (percent)\n");
         let mut t = TextTable::new(["system", "SRS dep/fu", "IRS dep/fu", "SJ dep/fu"]);
         for sys in SystemId::ALL {
             let cell = |q| {
@@ -219,6 +228,96 @@ fn query_title(q: MicroQuery) -> &'static str {
     }
 }
 
+/// Row-vs-batch executor comparison: the paper's breakdowns regenerated
+/// over both execution paths of the same engine, demonstrating in our own
+/// counters the per-tuple instruction collapse that the vectorized-execution
+/// literature (MonetDB/X100; Sirin & Ailamaki 2019) predicts for the
+/// paper's row-at-a-time engines.
+#[derive(Debug, Clone)]
+pub struct ExecModeComparison {
+    /// Which microbenchmark query was compared.
+    pub query: MicroQuery,
+    /// Per system: (row-mode measurement, batch-mode measurement).
+    pub pairs: Vec<(QueryMeasurement, QueryMeasurement)>,
+}
+
+impl ExecModeComparison {
+    /// Runs `query` at 10% selectivity on every participating system in
+    /// both execution modes.
+    pub fn run(ctx: &FigureCtx, query: MicroQuery) -> DbResult<ExecModeComparison> {
+        let mut pairs = Vec::new();
+        for &sys in systems_for(query) {
+            let row = measure_query(sys, query, 0.1, ctx.scale, &ctx.cfg, &ctx.methodology)?;
+            let batch = measure_query(
+                sys,
+                query,
+                0.1,
+                ctx.scale,
+                &ctx.cfg,
+                &ctx.methodology.batched(),
+            )?;
+            pairs.push((row, batch));
+        }
+        Ok(ExecModeComparison { query, pairs })
+    }
+
+    /// Instruction-per-tuple collapse factor (row / batch) for one system,
+    /// if measured.
+    pub fn collapse_factor(&self, sys: SystemId) -> Option<f64> {
+        self.pairs
+            .iter()
+            .find(|(r, _)| r.system == sys)
+            .map(|(r, b)| r.instructions_per_record() / b.instructions_per_record().max(1e-9))
+    }
+
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Row vs batch execution, {} at 10% selectivity\n\
+             (instructions and cycles per record; memory-stall share of time)\n",
+            self.query.label()
+        );
+        let mut t = TextTable::new([
+            "system",
+            "instr/rec row",
+            "instr/rec batch",
+            "collapse",
+            "cyc/rec row",
+            "cyc/rec batch",
+            "speedup",
+            "mem% row",
+            "mem% batch",
+        ]);
+        for (row, batch) in &self.pairs {
+            let mem = |m: &QueryMeasurement| m.truth.four_way().memory;
+            t.row([
+                row.system.letter().to_string(),
+                format!("{:.0}", row.instructions_per_record()),
+                format!("{:.0}", batch.instructions_per_record()),
+                format!(
+                    "{:.1}x",
+                    row.instructions_per_record() / batch.instructions_per_record().max(1e-9)
+                ),
+                format!("{:.0}", row.cycles_per_record()),
+                format!("{:.0}", batch.cycles_per_record()),
+                format!(
+                    "{:.1}x",
+                    row.cycles_per_record() / batch.cycles_per_record().max(1e-9)
+                ),
+                pct(mem(row)),
+                pct(mem(batch)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(
+            "batching collapses computation and instruction fetch; memory stalls\n\
+             remain, so their *share* of execution time grows — where the time\n\
+             goes after the per-tuple overhead is engineered away.\n",
+        );
+        out
+    }
+}
+
 /// Figure 5.4 (right): T_B and T_L1I versus selectivity, System D running
 /// the sequential range selection.
 #[derive(Debug, Clone)]
@@ -249,7 +348,12 @@ impl SelectivitySweep {
                 &ctx.methodology,
             )?;
             let total = m.truth.component_sum().max(1e-9);
-            points.push((sel, m.truth.tb / total, m.truth.tl1i / total, m.rates.br_mispredict));
+            points.push((
+                sel,
+                m.truth.tb / total,
+                m.truth.tl1i / total,
+                m.rates.br_mispredict,
+            ));
         }
         Ok(SelectivitySweep { points })
     }
@@ -260,8 +364,7 @@ impl SelectivitySweep {
             "Figure 5.4 (right): System D, sequential range selection —\n\
              branch mispred. stalls and L1 I-cache stalls vs selectivity\n",
         );
-        let mut t =
-            TextTable::new(["selectivity", "T_B %", "T_L1I %", "mispredict rate"]);
+        let mut t = TextTable::new(["selectivity", "T_B %", "T_L1I %", "mispredict rate"]);
         for (sel, tb, tl1i, rate) in &self.points {
             t.row([
                 format!("{:.0}%", sel * 100.0),
@@ -310,9 +413,17 @@ impl RecordSizeSweep {
                 // divided by the L1 penalty as the equivalent count.
                 m.truth.tl1i / ctx.cfg.pipe.l1_miss_penalty as f64
             };
-            points.push((size, m.truth.tl2d / recs, ifu_miss / recs, m.truth.cycles / recs));
+            points.push((
+                size,
+                m.truth.tl2d / recs,
+                ifu_miss / recs,
+                m.truth.cycles / recs,
+            ));
         }
-        Ok(RecordSizeSweep { system: sys, points })
+        Ok(RecordSizeSweep {
+            system: sys,
+            points,
+        })
     }
 
     /// Growth factor of cycles/record from the smallest to the largest
@@ -390,9 +501,7 @@ impl L1iHypotheses {
                     &cfg,
                     &ctx.methodology,
                 )?;
-                let v = m.truth.tl1i
-                    / ctx.cfg.pipe.l1_miss_penalty as f64
-                    / m.denominator as f64;
+                let v = m.truth.tl1i / ctx.cfg.pipe.l1_miss_penalty as f64 / m.denominator as f64;
                 if slot == 0 {
                     pair.0 = v;
                 } else {
@@ -417,11 +526,25 @@ impl L1iHypotheses {
         let mut t = TextTable::new(["variant", "20B records", "200B records", "growth"]);
         let row = |label: &str, p: (f64, f64)| {
             let growth = if p.0 > 0.0 { p.1 / p.0 } else { 0.0 };
-            [label.to_string(), format!("{:.3}", p.0), format!("{:.3}", p.1), format!("{growth:.2}x")]
+            [
+                label.to_string(),
+                format!("{:.3}", p.0),
+                format!("{:.3}", p.1),
+                format!("{growth:.2}x"),
+            ]
         };
-        t.row(row("baseline (NT interrupts, no inclusion — the Xeon)", self.baseline));
-        t.row(row("interrupts disabled (tests hypothesis 2: OS pollution)", self.no_interrupts));
-        t.row(row("L2 inclusion forced, no interrupts (hypothesis 1)", self.inclusive_l2));
+        t.row(row(
+            "baseline (NT interrupts, no inclusion — the Xeon)",
+            self.baseline,
+        ));
+        t.row(row(
+            "interrupts disabled (tests hypothesis 2: OS pollution)",
+            self.no_interrupts,
+        ));
+        t.row(row(
+            "L2 inclusion forced, no interrupts (hypothesis 1)",
+            self.inclusive_l2,
+        ));
         out.push_str(&t.render());
         out.push_str(
             "remaining growth with interrupts off comes from page-boundary crossings\n\

@@ -35,7 +35,9 @@ pub mod tables;
 pub mod validate;
 
 pub use breakdown::{BreakdownSource, FourWay, TimeBreakdown};
-pub use figures::{FigureCtx, L1iHypotheses, MicrobenchGrid, RecordSizeSweep, SelectivitySweep};
+pub use figures::{
+    ExecModeComparison, FigureCtx, L1iHypotheses, MicrobenchGrid, RecordSizeSweep, SelectivitySweep,
+};
 pub use methodology::{
     build_db, build_db_with, measure_query, measure_query_with, measured_latency, Methodology,
     QueryMeasurement, Rates,

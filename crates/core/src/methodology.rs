@@ -8,7 +8,7 @@
 //! of numbers exhibit a standard deviation of less than 5 percent."
 
 use wdtg_emon::{measure_breakdown, ModeSel, Penalties, Target};
-use wdtg_memdb::{Database, DbResult, EngineProfile, Query, SystemId};
+use wdtg_memdb::{Database, DbResult, EngineProfile, ExecMode, Query, SystemId};
 use wdtg_sim::{measure_memory_latency, Cpu, CpuConfig, Event, Mode, Snapshot};
 use wdtg_workloads::{micro, MicroQuery, Scale};
 
@@ -30,6 +30,11 @@ pub struct Methodology {
     /// Whether to also reconstruct the breakdown through the emon pipeline
     /// (16 events, two per run — 8 extra unit executions).
     pub with_emon: bool,
+    /// Execution path the engine runs queries under. The paper's systems
+    /// are row-at-a-time ([`ExecMode::Row`], the default); [`ExecMode::Batch`]
+    /// regenerates the same breakdowns over the vectorized executor so the
+    /// two can be compared.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for Methodology {
@@ -40,6 +45,7 @@ impl Default for Methodology {
             repetitions: 1,
             max_rel_stddev: 0.05,
             with_emon: false,
+            exec_mode: ExecMode::Row,
         }
     }
 }
@@ -53,6 +59,15 @@ impl Methodology {
             repetitions: 3,
             max_rel_stddev: 0.05,
             with_emon: true,
+            exec_mode: ExecMode::Row,
+        }
+    }
+
+    /// The same methodology over the vectorized executor.
+    pub fn batched(self) -> Methodology {
+        Methodology {
+            exec_mode: ExecMode::Batch,
+            ..self
         }
     }
 }
@@ -85,8 +100,7 @@ impl Rates {
         let ratio = |n: f64, d: f64| if d > 0.0 { n / d } else { 0.0 };
         let branches = user(Event::BrInstRetired);
         let l2_data_accesses = user(Event::L2Ld) + user(Event::L2St);
-        let total_cycles: f64 =
-            c.total(Event::CpuClkUnhalted) as f64;
+        let total_cycles: f64 = c.total(Event::CpuClkUnhalted) as f64;
         Rates {
             br_mispredict: ratio(user(Event::BrMissPredRetired), branches),
             btb_miss: ratio(user(Event::BtbMisses), branches),
@@ -94,7 +108,10 @@ impl Rates {
             l2d_miss: ratio(user(Event::SimL2DataMiss), l2_data_accesses),
             branch_frac: ratio(branches, user(Event::InstRetired)),
             mem_ref_frac: ratio(user(Event::DataMemRefs), user(Event::InstRetired)),
-            user_mode_frac: ratio(c.get(Mode::User, Event::CpuClkUnhalted) as f64, total_cycles),
+            user_mode_frac: ratio(
+                c.get(Mode::User, Event::CpuClkUnhalted) as f64,
+                total_cycles,
+            ),
         }
     }
 }
@@ -196,7 +213,14 @@ pub fn measure_query(
     cfg: &CpuConfig,
     m: &Methodology,
 ) -> DbResult<QueryMeasurement> {
-    measure_query_with(EngineProfile::system(system), query, selectivity, scale, cfg, m)
+    measure_query_with(
+        EngineProfile::system(system),
+        query,
+        selectivity,
+        scale,
+        cfg,
+        m,
+    )
 }
 
 /// Measures one microbenchmark query with a custom engine profile (used by
@@ -211,6 +235,7 @@ pub fn measure_query_with(
 ) -> DbResult<QueryMeasurement> {
     let system = profile.system;
     let mut db = build_db_with(profile, scale, query, cfg)?;
+    db.set_exec_mode(m.exec_mode);
     let q = micro::query(scale, query, selectivity);
 
     // Warm-up runs (§4.3): caches, TLBs, BTB reach steady state.
@@ -258,7 +283,11 @@ pub fn measure_query_with(
     let estimate = if m.with_emon {
         let latency = measured_latency(cfg);
         let penalties = Penalties::from_config(cfg, latency);
-        let mut target = DbTarget { db: &mut db, query: q.clone(), unit_queries: m.unit_queries };
+        let mut target = DbTarget {
+            db: &mut db,
+            query: q.clone(),
+            unit_queries: m.unit_queries,
+        };
         let (est, _readings) =
             measure_breakdown(&mut target, ModeSel::User, &penalties).expect("specs valid");
         let mut e = TimeBreakdown::from_estimate(&est);
@@ -313,8 +342,7 @@ fn rel_stddev(samples: &[f64]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    let var =
-        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
     var.sqrt() / mean
 }
 
@@ -341,13 +369,19 @@ mod tests {
         assert!(meas.truth.cycles > 0.0);
         assert!((meas.truth.component_sum() - meas.truth.cycles).abs() < 1e-6);
         assert!(meas.rows > 0);
-        assert!(meas.instructions_per_record() > 100.0, "thousands of instrs/record era");
+        assert!(
+            meas.instructions_per_record() > 100.0,
+            "thousands of instrs/record era"
+        );
         assert!(meas.rel_stddev <= 0.05 + 1e-9);
     }
 
     #[test]
     fn emon_estimate_tracks_ground_truth() {
-        let m = Methodology { with_emon: true, ..Methodology::default() };
+        let m = Methodology {
+            with_emon: true,
+            ..Methodology::default()
+        };
         let meas = measure_query(
             SystemId::D,
             MicroQuery::SequentialRangeSelection,
@@ -369,13 +403,21 @@ mod tests {
         // Count×penalty components are near the ground truth (T_L2D is an
         // upper bound; T_C is exact; T_B is exact by construction).
         assert!((est.tc - t.tc).abs() / t.tc.max(1.0) < 0.05);
-        assert!(est.tl2d >= t.tl2d * 0.8, "est {} truth {}", est.tl2d, t.tl2d);
+        assert!(
+            est.tl2d >= t.tl2d * 0.8,
+            "est {} truth {}",
+            est.tl2d,
+            t.tl2d
+        );
         assert!((est.tb - t.tb).abs() / t.tb.max(1.0) < 0.2);
     }
 
     #[test]
     fn repetitions_are_stable() {
-        let m = Methodology { repetitions: 3, ..Methodology::default() };
+        let m = Methodology {
+            repetitions: 3,
+            ..Methodology::default()
+        };
         let meas = measure_query(
             SystemId::A,
             MicroQuery::SequentialRangeSelection,

@@ -71,9 +71,7 @@ pub fn tpcc_report(
     for sys in SystemId::ALL {
         all.push(measure_tpcc(sys, scale, cfg, txns)?);
     }
-    let mut out = String::from(
-        "§5.5 TPC-C contrast (10 clients, 1 warehouse, standard mix)\n",
-    );
+    let mut out = String::from("§5.5 TPC-C contrast (10 clients, 1 warehouse, standard mix)\n");
     let mut t = TextTable::new([
         "system",
         "CPI",

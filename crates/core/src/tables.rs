@@ -12,7 +12,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (padded/truncated to the header count).
@@ -81,7 +84,11 @@ pub fn pct(f: f64) -> String {
 /// stacked-bar figures, one component per row).
 pub fn bar(fraction: f64, width: usize) -> String {
     let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
-    format!("{}{}", "#".repeat(filled), ".".repeat(width.saturating_sub(filled)))
+    format!(
+        "{}{}",
+        "#".repeat(filled),
+        ".".repeat(width.saturating_sub(filled))
+    )
 }
 
 #[cfg(test)]

@@ -29,7 +29,12 @@ pub struct Claim {
 
 impl Claim {
     fn new(id: &'static str, description: &'static str, pass: bool, detail: String) -> Claim {
-        Claim { id, description, pass, detail }
+        Claim {
+            id,
+            description,
+            pass,
+            detail,
+        }
     }
 }
 
@@ -61,7 +66,10 @@ pub fn validate_grid(grid: &MicrobenchGrid) -> Vec<Claim> {
         "5.2-l1i-l2d-dominate",
         "L1I + L2D dominate memory stalls (~90%) in all cells",
         worst_mem >= 0.70,
-        format!("minimum (T_L1I+T_L2D)/T_M across cells: {:.1}%", worst_mem * 100.0),
+        format!(
+            "minimum (T_L1I+T_L2D)/T_M across cells: {:.1}%",
+            worst_mem * 100.0
+        ),
     ));
 
     // §5.2: "L1 D-cache stall time is insignificant".
@@ -90,7 +98,10 @@ pub fn validate_grid(grid: &MicrobenchGrid) -> Vec<Claim> {
 
     // §5.2: "the L1 D-cache miss rate … usually is around 2%, and never
     // exceeds 4%".
-    let worst_l1d_rate = cells.iter().map(|c| c.rates.l1d_miss).fold(0.0f64, f64::max);
+    let worst_l1d_rate = cells
+        .iter()
+        .map(|c| c.rates.l1d_miss)
+        .fold(0.0f64, f64::max);
     claims.push(Claim::new(
         "5.2-l1d-miss-rate",
         "L1D miss rate around 2%, never far above 4%",
@@ -128,7 +139,11 @@ pub fn validate_grid(grid: &MicrobenchGrid) -> Vec<Claim> {
         "5.3-branch-20pct",
         "branches are ~20% of instructions retired",
         min_bf >= 0.10 && max_bf <= 0.30,
-        format!("branch fraction range: {:.1}%..{:.1}%", min_bf * 100.0, max_bf * 100.0),
+        format!(
+            "branch fraction range: {:.1}%..{:.1}%",
+            min_bf * 100.0,
+            max_bf * 100.0
+        ),
     ));
 
     // §5.3: "the BTB misses 50% of the time on the average".
@@ -142,7 +157,10 @@ pub fn validate_grid(grid: &MicrobenchGrid) -> Vec<Claim> {
 
     // §5.4: "Memory references account for at least half of the
     // instructions retired".
-    let min_mem = cells.iter().map(|c| c.rates.mem_ref_frac).fold(f64::INFINITY, f64::min);
+    let min_mem = cells
+        .iter()
+        .map(|c| c.rates.mem_ref_frac)
+        .fold(f64::INFINITY, f64::min);
     claims.push(Claim::new(
         "5.4-mem-refs-half",
         "data references are at least ~half of instructions",
@@ -212,8 +230,7 @@ pub fn validate_grid(grid: &MicrobenchGrid) -> Vec<Claim> {
     let mut dep_ok = true;
     let mut dep_detail = String::new();
     for cell in cells {
-        let a_range = cell.system == SystemId::A
-            && cell.query != MicroQuery::SequentialJoin;
+        let a_range = cell.system == SystemId::A && cell.query != MicroQuery::SequentialJoin;
         let (dominant, other) = if a_range {
             (cell.truth.tfu, cell.truth.tdep)
         } else {
@@ -234,26 +251,37 @@ pub fn validate_grid(grid: &MicrobenchGrid) -> Vec<Claim> {
         "5.4-dep-dominates",
         "T_DEP dominates T_FU everywhere except System A on range selections",
         dep_ok,
-        if dep_detail.is_empty() { "holds in all cells".into() } else { dep_detail },
+        if dep_detail.is_empty() {
+            "holds in all cells".into()
+        } else {
+            dep_detail
+        },
     ));
 
     // §5.1: System B's memory-stall share roughly doubles from SRS (~20%) to
     // IRS (~50%).
-    if let (Some(b_srs), Some(b_irs)) =
-        (grid.get(srs, SystemId::B), grid.get(MicroQuery::IndexedRangeSelection, SystemId::B))
-    {
-        let (m_srs, m_irs) =
-            (b_srs.truth.four_way().memory, b_irs.truth.four_way().memory);
+    if let (Some(b_srs), Some(b_irs)) = (
+        grid.get(srs, SystemId::B),
+        grid.get(MicroQuery::IndexedRangeSelection, SystemId::B),
+    ) {
+        let (m_srs, m_irs) = (b_srs.truth.four_way().memory, b_irs.truth.four_way().memory);
         claims.push(Claim::new(
             "5.1-b-irs-memory",
             "System B: memory share rises sharply from SRS (~20%) to IRS (~50%)",
             m_irs > m_srs * 1.8 && m_irs > 0.10,
-            format!("B memory share: SRS {:.1}%, IRS {:.1}%", m_srs * 100.0, m_irs * 100.0),
+            format!(
+                "B memory share: SRS {:.1}%, IRS {:.1}%",
+                m_srs * 100.0,
+                m_irs * 100.0
+            ),
         ));
     }
 
     // Fig 5.3: System A retires the fewest instructions per record on SRS.
-    let a_instr = grid.get(srs, SystemId::A).map(|c| c.instructions_per_record()).unwrap_or(0.0);
+    let a_instr = grid
+        .get(srs, SystemId::A)
+        .map(|c| c.instructions_per_record())
+        .unwrap_or(0.0);
     let others_min = [SystemId::B, SystemId::C, SystemId::D]
         .iter()
         .filter_map(|s| grid.get(srs, *s))
@@ -267,7 +295,10 @@ pub fn validate_grid(grid: &MicrobenchGrid) -> Vec<Claim> {
     ));
 
     // §5: user-mode execution dominates (>85%) with the NT interrupt model.
-    let min_user = cells.iter().map(|c| c.rates.user_mode_frac).fold(f64::INFINITY, f64::min);
+    let min_user = cells
+        .iter()
+        .map(|c| c.rates.user_mode_frac)
+        .fold(f64::INFINITY, f64::min);
     claims.push(Claim::new(
         "4.3-user-mode",
         "experiments execute >85% in user mode",
@@ -283,7 +314,12 @@ pub fn validate_selectivity(sweep: &SelectivitySweep) -> Vec<Claim> {
     let first = sweep.points.first();
     let last = sweep.points.last();
     let (Some(f), Some(l)) = (first, last) else {
-        return vec![Claim::new("5.4-selectivity", "sweep ran", false, "no points".into())];
+        return vec![Claim::new(
+            "5.4-selectivity",
+            "sweep ran",
+            false,
+            "no points".into(),
+        )];
     };
     vec![
         Claim::new(
@@ -318,7 +354,11 @@ pub fn validate_record_size(sweep: &RecordSizeSweep) -> Vec<Claim> {
             tl2d_monotone,
             format!(
                 "T_L2D/record: {:?}",
-                sweep.points.iter().map(|p| (p.0, p.1.round())).collect::<Vec<_>>()
+                sweep
+                    .points
+                    .iter()
+                    .map(|p| (p.0, p.1.round()))
+                    .collect::<Vec<_>>()
             ),
         ),
         Claim::new(
@@ -361,8 +401,7 @@ pub fn validate_dss(cmp: &DssComparison) -> Vec<Claim> {
             b.tl1i / cache
         })
         .collect();
-    let l1i_dominant =
-        l1i_shares.iter().sum::<f64>() / l1i_shares.len().max(1) as f64 >= 0.35;
+    let l1i_dominant = l1i_shares.iter().sum::<f64>() / l1i_shares.len().max(1) as f64 >= 0.35;
     claims.push(Claim::new(
         "5.5-tpcd-l1i",
         "first-level instruction stalls dominate the TPC-D workload",
@@ -372,7 +411,11 @@ pub fn validate_dss(cmp: &DssComparison) -> Vec<Claim> {
             .map(|m| {
                 let b = &m.truth;
                 let cache = (b.tl1d + b.tl1i + b.tl2d + b.tl2i).max(1e-9);
-                format!("{}: L1I {:.0}% of cache stalls", m.system.letter(), b.tl1i / cache * 100.0)
+                format!(
+                    "{}: L1I {:.0}% of cache stalls",
+                    m.system.letter(),
+                    b.tl1i / cache * 100.0
+                )
             })
             .collect::<Vec<_>>()
             .join(", "),
@@ -389,7 +432,12 @@ pub fn validate_dss(cmp: &DssComparison) -> Vec<Claim> {
         "5.5-dss-cpi",
         "CPI is in the 1.2-1.8 band for SRS and TPC-D",
         cpi_ok,
-        format!("CPIs: {:?}", cpis.iter().map(|c| (c * 100.0).round() / 100.0).collect::<Vec<_>>()),
+        format!(
+            "CPIs: {:?}",
+            cpis.iter()
+                .map(|c| (c * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        ),
     ));
     claims
 }
@@ -409,7 +457,9 @@ pub fn validate_tpcc(ms: &[TpccMeasurement]) -> Vec<Claim> {
             cpi_ok,
             format!(
                 "CPIs: {:?}",
-                ms.iter().map(|m| (m.truth.cpi() * 100.0).round() / 100.0).collect::<Vec<_>>()
+                ms.iter()
+                    .map(|m| (m.truth.cpi() * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
             ),
         ),
         Claim::new(
@@ -441,8 +491,17 @@ pub fn validate_tpcc(ms: &[TpccMeasurement]) -> Vec<Claim> {
 pub fn render_claims(claims: &[Claim]) -> String {
     let mut t = crate::tables::TextTable::new(["claim", "pass", "observed"]);
     for c in claims {
-        t.row([c.id.to_string(), if c.pass { "PASS" } else { "FAIL" }.into(), c.detail.clone()]);
+        t.row([
+            c.id.to_string(),
+            if c.pass { "PASS" } else { "FAIL" }.into(),
+            c.detail.clone(),
+        ]);
     }
     let passed = claims.iter().filter(|c| c.pass).count();
-    format!("{}\n{} / {} claims hold\n", t.render(), passed, claims.len())
+    format!(
+        "{}\n{} / {} claims hold\n",
+        t.render(),
+        passed,
+        claims.len()
+    )
 }

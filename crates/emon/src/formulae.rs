@@ -151,7 +151,11 @@ pub struct MissingEvent(pub String);
 
 impl std::fmt::Display for MissingEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "breakdown needs event {} — add it to the measurement plan", self.0)
+        write!(
+            f,
+            "breakdown needs event {} — add it to the measurement plan",
+            self.0
+        )
     }
 }
 
@@ -166,7 +170,9 @@ pub fn breakdown(
     use wdtg_sim::Event::*;
     let get = |e: wdtg_sim::Event| -> Result<u64, MissingEvent> {
         let spec = EventSpec::new(e, mode).expect("hardware event");
-        readings.get(&spec).ok_or_else(|| MissingEvent(spec.to_string()))
+        readings
+            .get(&spec)
+            .ok_or_else(|| MissingEvent(spec.to_string()))
     };
 
     let uops = get(UopsRetired)? as f64;
@@ -247,7 +253,10 @@ mod tests {
         assert_eq!(b.tm(), 88.0);
         assert_eq!(b.tr(), 27.0);
         assert_eq!(b.total_estimated(), 235.0);
-        assert!((b.tovl() - 15.0).abs() < 1e-9, "overlap = estimates - measured");
+        assert!(
+            (b.tovl() - 15.0).abs() < 1e-9,
+            "overlap = estimates - measured"
+        );
         assert!((b.cpi() - 220.0 / 150.0).abs() < 1e-9);
     }
 

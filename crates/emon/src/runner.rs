@@ -64,7 +64,12 @@ impl Readings {
         if mean == 0.0 {
             return 0.0;
         }
-        let var = self.run_cycles.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = self
+            .run_cycles
+            .iter()
+            .map(|c| (c - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         var.sqrt() / mean
     }
 
@@ -124,19 +129,23 @@ mod tests {
 
     fn target() -> BlockTarget {
         BlockTarget {
-            cpu: Cpu::new(
-                CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
-            ),
-            block: CodeBlock::builder("w", 1200).private(segment::PRIVATE, 1024).at(segment::CODE),
+            cpu: Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())),
+            block: CodeBlock::builder("w", 1200)
+                .private(segment::PRIVATE, 1024)
+                .at(segment::CODE),
         }
     }
 
     #[test]
     fn pairs_of_two_per_run() {
-        let specs: Vec<EventSpec> = ["INST_RETIRED:USER", "UOPS_RETIRED:USER", "DATA_MEM_REFS:USER"]
-            .iter()
-            .map(|s| EventSpec::parse(s).unwrap())
-            .collect();
+        let specs: Vec<EventSpec> = [
+            "INST_RETIRED:USER",
+            "UOPS_RETIRED:USER",
+            "DATA_MEM_REFS:USER",
+        ]
+        .iter()
+        .map(|s| EventSpec::parse(s).unwrap())
+        .collect();
         let p = plan(&specs);
         assert_eq!(p.len(), 2, "3 events need 2 runs of the 2-counter tool");
         assert_eq!(p[0].len(), 2);
@@ -172,6 +181,8 @@ mod tests {
         let specs = vec![EventSpec::parse("INST_RETIRED:USER").unwrap()];
         let r = measure(&mut t, &specs);
         assert_eq!(r.len(), 1);
-        assert!(r.get(&EventSpec::sim(Event::UopsRetired, ModeSel::User)).is_none());
+        assert!(r
+            .get(&EventSpec::sim(Event::UopsRetired, ModeSel::User))
+            .is_none());
     }
 }

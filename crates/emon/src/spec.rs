@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_and_unmeasurable() {
-        assert!(matches!(EventSpec::parse("NOT_REAL"), Err(SpecError::UnknownEvent(_))));
+        assert!(matches!(
+            EventSpec::parse("NOT_REAL"),
+            Err(SpecError::UnknownEvent(_))
+        ));
         assert!(matches!(
             EventSpec::parse("INST_RETIRED:KERNEL"),
             Err(SpecError::UnknownMode(_))

@@ -19,7 +19,14 @@ pub struct SimArena {
 impl SimArena {
     /// Creates an arena at `base` that may grow up to `capacity` bytes.
     pub fn new(base: u64, capacity: u64) -> Self {
-        SimArena { region: Region { base, len: capacity }, bytes: Vec::new(), next: 0 }
+        SimArena {
+            region: Region {
+                base,
+                len: capacity,
+            },
+            bytes: Vec::new(),
+            next: 0,
+        }
     }
 
     /// The simulated address range reserved for this arena.
@@ -38,7 +45,11 @@ impl SimArena {
         debug_assert!(align.is_power_of_two());
         let start = (self.next + align - 1) & !(align - 1);
         let end = start + len;
-        assert!(end <= self.region.len, "arena at {:#x} exhausted", self.region.base);
+        assert!(
+            end <= self.region.len,
+            "arena at {:#x} exhausted",
+            self.region.base
+        );
         if end as usize > self.bytes.len() {
             self.bytes.resize(end as usize, 0);
         }

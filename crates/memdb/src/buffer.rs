@@ -27,7 +27,11 @@ impl BufferPool {
     pub fn new(misc: &mut SimArena, expected_pages: u64) -> Self {
         let slots = (expected_pages * 2).next_power_of_two().max(64);
         let table_base = misc.alloc(slots * ENTRY_BYTES, 64);
-        BufferPool { table_base, slots, entries: 0 }
+        BufferPool {
+            table_base,
+            slots,
+            entries: 0,
+        }
     }
 
     fn slot_of(&self, page_id: u64, probe: u64) -> u64 {
@@ -57,11 +61,12 @@ impl BufferPool {
         unreachable!("probed every slot");
     }
 
-    /// Looks up a page id; returns `(frame_addr, entry_addresses_probed)`.
-    /// The caller issues the instrumented loads for each probed entry — the
-    /// data traffic of the lookup is part of the measured workload.
-    pub fn lookup(&self, misc: &SimArena, page_id: u64) -> Option<(u64, Vec<u64>)> {
-        let mut probed = Vec::with_capacity(1);
+    /// Looks up a page id, appending the probed entry addresses to a
+    /// caller-owned buffer (the executor hot path reuses one buffer per
+    /// query instead of allocating per page). The caller issues the
+    /// instrumented loads for each probed entry — the data traffic of the
+    /// lookup is part of the measured workload.
+    pub fn lookup_into(&self, misc: &SimArena, page_id: u64, probed: &mut Vec<u64>) -> Option<u64> {
         for probe in 0..self.slots {
             let slot = self.slot_of(page_id, probe);
             let entry = self.table_base + slot * ENTRY_BYTES;
@@ -71,7 +76,7 @@ impl BufferPool {
                 return None;
             }
             if key == page_id + 1 {
-                return Some((misc.read_u64(entry + 8), probed));
+                return Some(misc.read_u64(entry + 8));
             }
         }
         None
@@ -83,6 +88,12 @@ mod tests {
     use super::*;
     use wdtg_sim::segment;
 
+    fn lookup(bp: &BufferPool, misc: &SimArena, page_id: u64) -> Option<(u64, Vec<u64>)> {
+        let mut probed = Vec::new();
+        let frame = bp.lookup_into(misc, page_id, &mut probed)?;
+        Some((frame, probed))
+    }
+
     #[test]
     fn register_and_lookup() {
         let mut misc = SimArena::new(segment::MISC, 1 << 20);
@@ -91,11 +102,11 @@ mod tests {
             bp.register(&mut misc, i, 0x1000_0000 + i * 8192);
         }
         for i in 0..100u64 {
-            let (addr, probed) = bp.lookup(&misc, i).expect("registered");
+            let (addr, probed) = lookup(&bp, &misc, i).expect("registered");
             assert_eq!(addr, 0x1000_0000 + i * 8192);
             assert!(!probed.is_empty());
         }
-        assert!(bp.lookup(&misc, 999).is_none());
+        assert!(lookup(&bp, &misc, 999).is_none());
     }
 
     #[test]
@@ -104,8 +115,25 @@ mod tests {
         let mut bp = BufferPool::new(&mut misc, 8);
         bp.register(&mut misc, 7, 0xaaaa0000);
         bp.register(&mut misc, 7, 0xbbbb0000);
-        let (addr, _) = bp.lookup(&misc, 7).unwrap();
+        let (addr, _) = lookup(&bp, &misc, 7).unwrap();
         assert_eq!(addr, 0xbbbb0000);
+    }
+
+    #[test]
+    fn lookup_into_reuses_the_caller_buffer() {
+        let mut misc = SimArena::new(segment::MISC, 1 << 20);
+        let mut bp = BufferPool::new(&mut misc, 8);
+        bp.register(&mut misc, 1, 0x1000);
+        bp.register(&mut misc, 2, 0x2000);
+        let mut probed = Vec::new();
+        assert_eq!(bp.lookup_into(&misc, 1, &mut probed), Some(0x1000));
+        let first_len = probed.len();
+        probed.clear();
+        assert_eq!(bp.lookup_into(&misc, 2, &mut probed), Some(0x2000));
+        assert!(
+            !probed.is_empty() && first_len > 0,
+            "probe addresses are appended"
+        );
     }
 
     #[test]
@@ -116,8 +144,11 @@ mod tests {
             bp.register(&mut misc, i, 0x1000 + i);
         }
         let total: usize = (0..1000u64)
-            .map(|i| bp.lookup(&misc, i).unwrap().1.len())
+            .map(|i| lookup(&bp, &misc, i).unwrap().1.len())
             .sum();
-        assert!(total < 1600, "load factor 0.5 should keep probes short, got {total}");
+        assert!(
+            total < 1600,
+            "load factor 0.5 should keep probes short, got {total}"
+        );
     }
 }

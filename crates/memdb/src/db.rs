@@ -14,7 +14,7 @@ use crate::exec::indexscan::{descend_to_leaf, IndexRangeScan, LeafCursor};
 use crate::exec::join_hash::HashJoin;
 use crate::exec::join_nl::IndexNlJoin;
 use crate::exec::seqscan::SeqScan;
-use crate::exec::{ExecEnv, Operator};
+use crate::exec::{ExecEnv, ExecMode, Operator};
 use crate::heap::{HeapFile, Rid, HDR_NRECS, PAGE_HDR};
 use crate::index::btree::BTree;
 use crate::profiles::{EngineProfile, EvalMode, JoinAlgo};
@@ -36,6 +36,9 @@ pub struct DbCtx {
     pub misc: SimArena,
     /// Whether accesses are simulated (off during data loading).
     pub instrument: bool,
+    /// Reusable buffer for page-table probe addresses, so the executor hot
+    /// path performs no per-lookup allocation.
+    pub(crate) probe_scratch: Vec<u64>,
 }
 
 impl DbCtx {
@@ -47,6 +50,7 @@ impl DbCtx {
             index: SimArena::new(segment::INDEX, 0x2000_0000),
             misc: SimArena::new(segment::MISC, 0x1000_0000),
             instrument: true,
+            probe_scratch: Vec::with_capacity(8),
         }
     }
 
@@ -124,6 +128,18 @@ impl DbCtx {
         }
     }
 
+    /// Charges a contiguous read of `len` bytes through the simulator's
+    /// run fast path ([`Cpu::load_run`]): identical cache/TLB/stall
+    /// behaviour to touching the span record by record, with the per-record
+    /// bookkeeping amortized. Used by batched scans over whole-page record
+    /// runs.
+    #[inline]
+    pub fn touch_run(&mut self, addr: u64, len: u32, dep: MemDep) {
+        if self.instrument {
+            self.cpu.load_run(addr, len, dep);
+        }
+    }
+
     /// Uninstrumented raw read (after the covering [`DbCtx::touch`]).
     #[inline]
     pub fn read_raw_i32(&self, addr: u64) -> i32 {
@@ -195,6 +211,7 @@ pub struct Database {
     indexes: Vec<IndexMeta>,
     bufpool: BufferPool,
     profile: EngineProfile,
+    exec_mode: ExecMode,
 }
 
 impl Database {
@@ -203,7 +220,14 @@ impl Database {
     pub fn with_capacity(profile: EngineProfile, cfg: CpuConfig, expected_pages: u64) -> Self {
         let mut ctx = DbCtx::new(cfg);
         let bufpool = BufferPool::new(&mut ctx.misc, expected_pages);
-        Database { ctx, tables: Vec::new(), indexes: Vec::new(), bufpool, profile }
+        Database {
+            ctx,
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            bufpool,
+            profile,
+            exec_mode: ExecMode::Row,
+        }
     }
 
     /// Creates an empty database with a default page-table capacity (64 K
@@ -215,6 +239,22 @@ impl Database {
     /// The engine profile in use.
     pub fn profile(&self) -> &EngineProfile {
         &self.profile
+    }
+
+    /// The execution mode queries run under.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Selects row-at-a-time or vectorized execution for subsequent queries.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// Builder-style [`Database::set_exec_mode`].
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
     }
 
     /// The simulated processor (counters, ledger, cycles).
@@ -240,7 +280,9 @@ impl Database {
     }
 
     fn index_on(&self, table: usize, col: usize) -> Option<&IndexMeta> {
-        self.indexes.iter().find(|i| i.table == table && i.col == col)
+        self.indexes
+            .iter()
+            .find(|i| i.table == table && i.col == col)
     }
 
     /// Creates an empty table.
@@ -251,7 +293,11 @@ impl Database {
         // Global page-id space: 2^20 pages per table.
         let first_page_id = (self.tables.len() as u64) << 20;
         let heap = HeapFile::new(schema.record_bytes(), first_page_id);
-        self.tables.push(Table { name: name.to_string(), schema, heap });
+        self.tables.push(Table {
+            name: name.to_string(),
+            schema,
+            heap,
+        });
         Ok(self.tables.len() - 1)
     }
 
@@ -267,7 +313,10 @@ impl Database {
         let mut n = 0u64;
         for row in rows {
             if row.len() != arity {
-                return Err(DbError::ArityMismatch { expected: arity, got: row.len() });
+                return Err(DbError::ArityMismatch {
+                    expected: arity,
+                    got: row.len(),
+                });
             }
             buf.clear();
             for v in &row {
@@ -279,7 +328,8 @@ impl Database {
             if table.heap.n_pages() != pages_before {
                 let page_no = table.heap.n_pages() - 1;
                 let addr = table.heap.page_addr(page_no)?;
-                self.bufpool.register(&mut self.ctx.misc, table.heap.page_id(page_no), addr);
+                self.bufpool
+                    .register(&mut self.ctx.misc, table.heap.page_id(page_no), addr);
             }
             // Maintain any existing indexes.
             let indexed: Vec<(usize, usize)> = self
@@ -291,7 +341,9 @@ impl Database {
                 .collect();
             for (ix_pos, col) in indexed {
                 let key = row[col];
-                self.indexes[ix_pos].btree.insert(&mut self.ctx.index, key, rid.pack());
+                self.indexes[ix_pos]
+                    .btree
+                    .insert(&mut self.ctx.index, key, rid.pack());
             }
             n += 1;
         }
@@ -316,10 +368,22 @@ impl Database {
             for slot in 0..nrecs {
                 let addr = page + PAGE_HDR + slot as u64 * table.heap.record_size as u64;
                 let key = self.ctx.heap.read_i32(addr + off);
-                btree.insert(&mut self.ctx.index, key, Rid { page: page_no, slot }.pack());
+                btree.insert(
+                    &mut self.ctx.index,
+                    key,
+                    Rid {
+                        page: page_no,
+                        slot,
+                    }
+                    .pack(),
+                );
             }
         }
-        self.indexes.push(IndexMeta { table: ti, col: ci, btree });
+        self.indexes.push(IndexMeta {
+            table: ti,
+            col: ci,
+            btree,
+        });
         Ok(())
     }
 
@@ -414,8 +478,18 @@ impl Database {
             agg.kind,
             Rc::clone(&blocks),
         );
-        let Database { ctx, bufpool, profile, .. } = self;
-        let mut env = ExecEnv { ctx, bufpool };
+        let Database {
+            ctx,
+            bufpool,
+            profile,
+            exec_mode,
+            ..
+        } = self;
+        let mut env = ExecEnv {
+            ctx,
+            bufpool,
+            mode: *exec_mode,
+        };
         env.ctx.exec(&profile.blocks.query_setup);
         gb.run_to_end(&mut env)
     }
@@ -426,7 +500,11 @@ impl Database {
         let strategy = |interp: bool| if interp { "interpreted" } else { "compiled" };
         let interp = self.profile.eval_mode == EvalMode::Interpreted;
         match q {
-            Query::SelectAgg { table, predicate, agg } => {
+            Query::SelectAgg {
+                table,
+                predicate,
+                agg,
+            } => {
                 let ti = self.table_idx(table)?;
                 let schema = &self.tables[ti].schema;
                 let agg_str = format!("{:?}({})", agg.kind, agg.col);
@@ -463,7 +541,13 @@ impl Database {
                     None => Ok(format!("Agg[{agg_str}]\n  SeqScan[{table}]")),
                 }
             }
-            Query::JoinAgg { left, right, left_col, right_col, agg } => {
+            Query::JoinAgg {
+                left,
+                right,
+                left_col,
+                right_col,
+                agg,
+            } => {
                 let ri = self.table_idx(right)?;
                 let rkey = self.tables[ri].schema.col(right_col)?;
                 let algo = match self.profile.join_algo {
@@ -477,10 +561,21 @@ impl Database {
                     agg.kind, agg.col
                 ))
             }
-            Query::PointSelect { table, key_col, key, .. } => Ok(format!(
+            Query::PointSelect {
+                table,
+                key_col,
+                key,
+                ..
+            } => Ok(format!(
                 "PointSelect[{table}.{key_col} = {key} via B+tree, fetch via buffer pool]"
             )),
-            Query::UpdateAdd { table, key_col, key, set_col, delta } => Ok(format!(
+            Query::UpdateAdd {
+                table,
+                key_col,
+                key,
+                set_col,
+                delta,
+            } => Ok(format!(
                 "Update[{table}.{set_col} += {delta} where {key_col} = {key}, via B+tree]"
             )),
             Query::InsertRow { table, .. } => {
@@ -493,7 +588,11 @@ impl Database {
     pub fn run(&mut self, q: &Query) -> DbResult<QueryResult> {
         let blocks = Rc::clone(&self.profile.blocks);
         match q {
-            Query::SelectAgg { table, predicate, agg } => {
+            Query::SelectAgg {
+                table,
+                predicate,
+                agg,
+            } => {
                 let ti = self.table_idx(table)?;
                 let schema = &self.tables[ti].schema;
                 let agg_col = if matches!(agg.kind, AggKind::Count) && agg.col.is_empty() {
@@ -582,7 +681,13 @@ impl Database {
                 self.finish_agg(&mut agg_exec)
             }
 
-            Query::JoinAgg { left, right, left_col, right_col, agg } => {
+            Query::JoinAgg {
+                left,
+                right,
+                left_col,
+                right_col,
+                agg,
+            } => {
                 let li = self.table_idx(left)?;
                 let ri = self.table_idx(right)?;
                 let lschema = &self.tables[li].schema;
@@ -637,19 +742,36 @@ impl Database {
                 self.finish_agg(&mut agg_exec)
             }
 
-            Query::PointSelect { table, key_col, key, read_col } => {
-                self.point_select(table, key_col, *key, read_col)
-            }
-            Query::UpdateAdd { table, key_col, key, set_col, delta } => {
-                self.update_add(table, key_col, *key, set_col, *delta)
-            }
+            Query::PointSelect {
+                table,
+                key_col,
+                key,
+                read_col,
+            } => self.point_select(table, key_col, *key, read_col),
+            Query::UpdateAdd {
+                table,
+                key_col,
+                key,
+                set_col,
+                delta,
+            } => self.update_add(table, key_col, *key, set_col, *delta),
             Query::InsertRow { table, values } => self.insert_row(table, values.clone()),
         }
     }
 
     fn finish_agg(&mut self, agg: &mut AggExec) -> DbResult<QueryResult> {
-        let Database { ctx, bufpool, profile, .. } = self;
-        let mut env = ExecEnv { ctx, bufpool };
+        let Database {
+            ctx,
+            bufpool,
+            profile,
+            exec_mode,
+            ..
+        } = self;
+        let mut env = ExecEnv {
+            ctx,
+            bufpool,
+            mode: *exec_mode,
+        };
         env.ctx.exec(&profile.blocks.query_setup);
         agg.run(&mut env)
     }
@@ -674,8 +796,17 @@ impl Database {
         let read_off = self.tables[ti].schema.col_offset(rc) as u64;
         let blocks = Rc::clone(&self.profile.blocks);
 
-        let Database { ctx, bufpool, .. } = self;
-        let mut env = ExecEnv { ctx, bufpool };
+        let Database {
+            ctx,
+            bufpool,
+            exec_mode,
+            ..
+        } = self;
+        let mut env = ExecEnv {
+            ctx,
+            bufpool,
+            mode: *exec_mode,
+        };
         let mut cursor: LeafCursor = descend_to_leaf(&mut env, &btree, key, &blocks);
         let mut value = 0f64;
         let mut rows = 0u64;
@@ -715,8 +846,17 @@ impl Database {
         let set_off = self.tables[ti].schema.col_offset(sc) as u64;
         let blocks = Rc::clone(&self.profile.blocks);
 
-        let Database { ctx, bufpool, .. } = self;
-        let mut env = ExecEnv { ctx, bufpool };
+        let Database {
+            ctx,
+            bufpool,
+            exec_mode,
+            ..
+        } = self;
+        let mut env = ExecEnv {
+            ctx,
+            bufpool,
+            mode: *exec_mode,
+        };
         let mut cursor = descend_to_leaf(&mut env, &btree, key, &blocks);
         let mut rows = 0u64;
         let mut last = 0i32;
@@ -732,7 +872,10 @@ impl Database {
             env.ctx.store_i32(addr + set_off, last, MemDep::Demand);
             rows += 1;
         }
-        Ok(QueryResult { value: last as f64, rows })
+        Ok(QueryResult {
+            value: last as f64,
+            rows,
+        })
     }
 
     /// Instrumented single-row insert (heap append + index maintenance).
@@ -740,7 +883,10 @@ impl Database {
         let ti = self.table_idx(table)?;
         let arity = self.tables[ti].schema.arity();
         if values.len() != arity {
-            return Err(DbError::ArityMismatch { expected: arity, got: values.len() });
+            return Err(DbError::ArityMismatch {
+                expected: arity,
+                got: values.len(),
+            });
         }
         let blocks = Rc::clone(&self.profile.blocks);
         let mut buf = Vec::with_capacity(arity * 4);
@@ -757,13 +903,15 @@ impl Database {
         if table_ref.heap.n_pages() != pages_before {
             let page_no = table_ref.heap.n_pages() - 1;
             let addr = table_ref.heap.page_addr(page_no)?;
-            self.bufpool.register(&mut self.ctx.misc, table_ref.heap.page_id(page_no), addr);
+            self.bufpool
+                .register(&mut self.ctx.misc, table_ref.heap.page_id(page_no), addr);
         }
         // Charge the work: insert path + record store + header update.
         self.ctx.exec(&blocks.insert_step);
         let page_addr = self.tables[ti].heap.page_addr(rid.page)?;
         self.ctx.store_touch(rec_addr, rec_size, MemDep::Demand);
-        self.ctx.store_touch(page_addr + HDR_NRECS, 4, MemDep::Demand);
+        self.ctx
+            .store_touch(page_addr + HDR_NRECS, 4, MemDep::Demand);
 
         // Index maintenance (instrumented descend, charged leaf shift).
         let maintained: Vec<usize> = (0..self.indexes.len())
@@ -773,16 +921,34 @@ impl Database {
             let key = values[self.indexes[i].col];
             let btree_snapshot = self.indexes[i].btree.clone();
             {
-                let Database { ctx, bufpool, .. } = &mut *self;
-                let mut env = ExecEnv { ctx, bufpool };
+                let Database {
+                    ctx,
+                    bufpool,
+                    exec_mode,
+                    ..
+                } = &mut *self;
+                let mut env = ExecEnv {
+                    ctx,
+                    bufpool,
+                    mode: *exec_mode,
+                };
                 let _ = descend_to_leaf(&mut env, &btree_snapshot, key, &blocks);
             }
-            self.indexes[i].btree.insert(&mut self.ctx.index, key, rid.pack());
+            self.indexes[i]
+                .btree
+                .insert(&mut self.ctx.index, key, rid.pack());
             // Entry shift within the leaf: charge a bounded write burst.
-            let leaf = *self.indexes[i].btree.descend(&self.ctx.index, key).last().expect("leaf");
+            let leaf = *self.indexes[i]
+                .btree
+                .descend(&self.ctx.index, key)
+                .last()
+                .expect("leaf");
             self.ctx.store_touch(leaf + 24, 12 * 32, MemDep::Demand);
         }
-        Ok(QueryResult { value: 0.0, rows: 1 })
+        Ok(QueryResult {
+            value: 0.0,
+            rows: 1,
+        })
     }
 }
 
@@ -796,12 +962,15 @@ pub(crate) fn fetch_record(
 ) -> DbResult<u64> {
     env.ctx.exec(&blocks.rid_fetch);
     env.ctx.exec(&blocks.bufpool_get);
+    fetch_record_data(env, heap, rid)
+}
+
+/// The data-access half of [`fetch_record`]: page-table probe traffic and
+/// the page-header read, without the per-call code blocks. Batched index
+/// scans charge the blocks once per batch and call this per record.
+pub(crate) fn fetch_record_data(env: &mut ExecEnv<'_>, heap: &HeapFile, rid: Rid) -> DbResult<u64> {
     let page_id = heap.page_id(rid.page);
-    let lookup = env.bufpool.lookup(&env.ctx.misc, page_id);
-    let (frame, probed) = lookup.ok_or(DbError::BadRid)?;
-    for entry in probed {
-        env.ctx.touch(entry, 16, MemDep::Chase);
-    }
+    let frame = env.lookup_page(page_id, MemDep::Chase)?;
     // Page header read (latch/validity check) — the page is random, so this
     // is usually another cold line.
     env.ctx.touch(frame + HDR_NRECS, 8, MemDep::Chase);
@@ -821,14 +990,18 @@ fn remap_expr(e: &crate::expr::Expr, cols: &[usize]) -> crate::expr::Expr {
     match e {
         Expr::Col(c) => Expr::Col(cols.iter().position(|&x| x == *c).expect("col in scan set")),
         Expr::Const(v) => Expr::Const(*v),
-        Expr::Cmp(op, a, b) => {
-            Expr::Cmp(*op, Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols)))
-        }
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(remap_expr(a, cols)),
+            Box::new(remap_expr(b, cols)),
+        ),
         Expr::And(a, b) => Expr::And(Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols))),
         Expr::Or(a, b) => Expr::Or(Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols))),
         Expr::Not(a) => Expr::Not(Box::new(remap_expr(a, cols))),
-        Expr::Arith(op, a, b) => {
-            Expr::Arith(*op, Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols)))
-        }
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(remap_expr(a, cols)),
+            Box::new(remap_expr(b, cols)),
+        ),
     }
 }

@@ -24,6 +24,13 @@ pub enum DbError {
     },
     /// A record id referenced a slot that does not exist.
     BadRid,
+    /// A heap page was not registered in the buffer pool's page table —
+    /// storage and page table disagree (a bug or corruption surfaced as a
+    /// query error rather than a crash).
+    PageNotRegistered {
+        /// Global page id the lookup missed.
+        page_id: u64,
+    },
     /// The query referenced tables/columns in an unsupported combination.
     PlanError(String),
 }
@@ -37,9 +44,18 @@ impl fmt::Display for DbError {
             DbError::TableExists(t) => write!(f, "table already exists: {t}"),
             DbError::IndexExists(c) => write!(f, "index already exists on: {c}"),
             DbError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             DbError::BadRid => write!(f, "invalid record id"),
+            DbError::PageNotRegistered { page_id } => {
+                write!(
+                    f,
+                    "heap page {page_id} is not registered in the buffer pool"
+                )
+            }
             DbError::PlanError(m) => write!(f, "cannot plan query: {m}"),
         }
     }

@@ -10,6 +10,7 @@ use std::rc::Rc;
 use wdtg_sim::MemDep;
 
 use crate::error::DbResult;
+use crate::exec::batch::{Batch, ExecMode};
 use crate::exec::{ExecEnv, Operator};
 use crate::profiles::EngineBlocks;
 use crate::query::{AggKind, QueryResult};
@@ -24,12 +25,31 @@ pub struct AggExec {
 
 impl AggExec {
     /// Aggregates column position `col` of `child`'s output.
-    pub fn new(child: Box<dyn Operator>, kind: AggKind, col: usize, blocks: Rc<EngineBlocks>) -> Self {
-        AggExec { child, kind, col, blocks }
+    pub fn new(
+        child: Box<dyn Operator>,
+        kind: AggKind,
+        col: usize,
+        blocks: Rc<EngineBlocks>,
+    ) -> Self {
+        AggExec {
+            child,
+            kind,
+            col,
+            blocks,
+        }
     }
 
-    /// Runs the aggregation to completion.
+    /// Runs the aggregation to completion on the environment's execution
+    /// path (row-at-a-time or vectorized).
     pub fn run(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
+        match env.mode {
+            ExecMode::Row => self.run_rows(env),
+            ExecMode::Batch => self.run_batched(env),
+        }
+    }
+
+    /// Volcano drain: one `agg_step` path and one accumulator write per row.
+    fn run_rows(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
         self.child.open(env)?;
         let mut row = Vec::with_capacity(self.child.arity());
         let mut sum = 0i64;
@@ -46,6 +66,37 @@ impl AggExec {
             min = min.min(v);
             max = max.max(v);
         }
+        self.finish(sum, count, min, max)
+    }
+
+    /// Vectorized drain: the aggregate path runs once per batch, the tight
+    /// accumulate loop scales over the batch, and the accumulator lives in
+    /// registers (one representative spill per batch instead of one write
+    /// per row).
+    fn run_batched(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
+        self.child.open(env)?;
+        let mut batch = Batch::new(self.child.arity());
+        let mut sum = 0i64;
+        let mut count = 0u64;
+        let mut min = i32::MAX;
+        let mut max = i32::MIN;
+        while self.child.next_batch(env, &mut batch)? {
+            let col = batch.col(self.col);
+            env.ctx.exec(&self.blocks.agg_step);
+            env.ctx
+                .exec_scaled(&self.blocks.batch.agg_step, col.len() as u32);
+            env.ctx.store_touch(self.blocks.agg_buf, 16, MemDep::Demand);
+            for &v in col {
+                sum += v as i64;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            count += col.len() as u64;
+        }
+        self.finish(sum, count, min, max)
+    }
+
+    fn finish(&self, sum: i64, count: u64, min: i32, max: i32) -> DbResult<QueryResult> {
         let value = match self.kind {
             AggKind::Avg => {
                 if count == 0 {

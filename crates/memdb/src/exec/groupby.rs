@@ -14,6 +14,7 @@ use std::rc::Rc;
 use wdtg_sim::MemDep;
 
 use crate::error::DbResult;
+use crate::exec::batch::{Batch, ExecMode};
 use crate::exec::{ExecEnv, Operator};
 use crate::profiles::EngineBlocks;
 use crate::query::AggKind;
@@ -28,7 +29,12 @@ struct GroupState {
 
 impl GroupState {
     fn new() -> GroupState {
-        GroupState { sum: 0, count: 0, min: i32::MAX, max: i32::MIN }
+        GroupState {
+            sum: 0,
+            count: 0,
+            min: i32::MAX,
+            max: i32::MIN,
+        }
     }
 
     fn update(&mut self, v: i32) {
@@ -78,15 +84,20 @@ impl GroupByExec {
         kind: AggKind,
         blocks: Rc<EngineBlocks>,
     ) -> Self {
-        GroupByExec { child, group_col, agg_col, kind, blocks, groups: Vec::new(), pos: 0 }
+        GroupByExec {
+            child,
+            group_col,
+            agg_col,
+            kind,
+            blocks,
+            groups: Vec::new(),
+            pos: 0,
+        }
     }
 
     /// Result rows as `(group_key, aggregate)` pairs (available after the
     /// operator has been drained; convenience for direct use).
-    pub fn run_to_end(
-        &mut self,
-        env: &mut ExecEnv<'_>,
-    ) -> DbResult<Vec<(i32, f64)>> {
+    pub fn run_to_end(&mut self, env: &mut ExecEnv<'_>) -> DbResult<Vec<(i32, f64)>> {
         self.open(env)?;
         Ok(self
             .groups
@@ -96,21 +107,53 @@ impl GroupByExec {
     }
 }
 
+impl GroupByExec {
+    /// Group-table probe/update data traffic for one input row (identical
+    /// in both execution modes: the hash-table touches are the operator's
+    /// data behaviour, not its dispatch overhead).
+    fn touch_group_slot(&self, env: &mut ExecEnv<'_>, key: i32) {
+        let slot = (key as u32 as u64 % 64) * 16;
+        env.ctx.touch(self.blocks.agg_buf + slot, 8, MemDep::Demand);
+        env.ctx
+            .store_touch(self.blocks.agg_buf + slot, 16, MemDep::Demand);
+    }
+}
+
 impl Operator for GroupByExec {
     fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
         self.child.open(env)?;
-        let mut row = Vec::with_capacity(self.child.arity());
         let mut table: HashMap<i32, GroupState> = HashMap::new();
-        while self.child.next(env, &mut row)? {
-            let key = row[self.group_col];
-            let v = row[self.agg_col];
-            // Per input row: aggregate step + group-table probe/update in
-            // private memory (hot; a handful of groups stays L1-resident).
-            env.ctx.exec(&self.blocks.agg_step);
-            let slot = (key as u32 as u64 % 64) * 16;
-            env.ctx.touch(self.blocks.agg_buf + slot, 8, MemDep::Demand);
-            env.ctx.store_touch(self.blocks.agg_buf + slot, 16, MemDep::Demand);
-            table.entry(key).or_insert_with(GroupState::new).update(v);
+        match env.mode {
+            ExecMode::Row => {
+                let mut row = Vec::with_capacity(self.child.arity());
+                while self.child.next(env, &mut row)? {
+                    let key = row[self.group_col];
+                    let v = row[self.agg_col];
+                    // Per input row: aggregate step + group-table
+                    // probe/update in private memory (hot; a handful of
+                    // groups stays L1-resident).
+                    env.ctx.exec(&self.blocks.agg_step);
+                    self.touch_group_slot(env, key);
+                    table.entry(key).or_insert_with(GroupState::new).update(v);
+                }
+            }
+            ExecMode::Batch => {
+                let mut batch = Batch::new(self.child.arity());
+                while self.child.next_batch(env, &mut batch)? {
+                    // Vectorized: the aggregate path runs once per batch and
+                    // the tight accumulate loop scales over it, while the
+                    // group-table data traffic keeps per-row granularity.
+                    env.ctx.exec(&self.blocks.agg_step);
+                    env.ctx
+                        .exec_scaled(&self.blocks.batch.agg_step, batch.len() as u32);
+                    for r in 0..batch.len() {
+                        let key = batch.value(self.group_col, r);
+                        let v = batch.value(self.agg_col, r);
+                        self.touch_group_slot(env, key);
+                        table.entry(key).or_insert_with(GroupState::new).update(v);
+                    }
+                }
+            }
         }
         self.groups = table.into_iter().collect();
         self.groups.sort_unstable_by_key(|(k, _)| *k);

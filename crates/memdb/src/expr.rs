@@ -123,7 +123,9 @@ impl Expr {
     /// The paper's range predicate `lo < col AND col < hi`
     /// (`where a2 < Hi and a2 > Lo`).
     pub fn range(col: usize, lo: i32, hi: i32) -> Expr {
-        Expr::col(col).gt(Expr::lit(lo)).and(Expr::col(col).lt(Expr::lit(hi)))
+        Expr::col(col)
+            .gt(Expr::lit(lo))
+            .and(Expr::col(col).lt(Expr::lit(hi)))
     }
 
     /// Evaluates the expression against `row`.
@@ -228,7 +230,9 @@ mod tests {
     fn arithmetic_and_logic() {
         let e = Expr::col(0).add(Expr::col(1)).mul(Expr::lit(3));
         assert_eq!(e.eval(&[2, 4]), 18);
-        let b = Expr::col(0).eq(Expr::lit(5)).or(Expr::col(1).ne(Expr::lit(0)));
+        let b = Expr::col(0)
+            .eq(Expr::lit(5))
+            .or(Expr::col(1).ne(Expr::lit(0)));
         assert_eq!(b.eval(&[5, 0]), 1);
         assert_eq!(b.eval(&[4, 0]), 0);
         assert_eq!(b.eval(&[4, 9]), 1);

@@ -40,7 +40,10 @@ impl Rid {
 
     /// Unpacks a rid packed with [`Rid::pack`].
     pub fn unpack(v: u64) -> Rid {
-        Rid { page: (v >> 32) as u32, slot: v as u32 }
+        Rid {
+            page: (v >> 32) as u32,
+            slot: v as u32,
+        }
     }
 }
 
@@ -86,7 +89,10 @@ impl HeapFile {
 
     /// Simulated address of the page holding `page_no`.
     pub fn page_addr(&self, page_no: u32) -> DbResult<u64> {
-        self.pages.get(page_no as usize).copied().ok_or(DbError::BadRid)
+        self.pages
+            .get(page_no as usize)
+            .copied()
+            .ok_or(DbError::BadRid)
     }
 
     /// Simulated address of the record at `rid`.
@@ -113,7 +119,10 @@ impl HeapFile {
         }
         let page_no = (self.n_records / self.page_cap as u64) as u32;
         let page = self.pages[page_no as usize];
-        let rid = Rid { page: page_no, slot: slot_in_page };
+        let rid = Rid {
+            page: page_no,
+            slot: slot_in_page,
+        };
         let addr = page + PAGE_HDR + slot_in_page as u64 * self.record_size as u64;
         arena.write_bytes(addr, rec);
         arena.write_i32(page + HDR_NRECS, slot_in_page as i32 + 1);
@@ -169,7 +178,10 @@ mod tests {
 
     #[test]
     fn rid_pack_unpack() {
-        let rid = Rid { page: 12345, slot: 67 };
+        let rid = Rid {
+            page: 12345,
+            slot: 67,
+        };
         assert_eq!(Rid::unpack(rid.pack()), rid);
     }
 

@@ -103,7 +103,11 @@ impl BTree {
     /// Creates an empty tree (a single empty leaf).
     pub fn new(arena: &mut SimArena) -> Self {
         let root = new_node(arena, true);
-        BTree { root, height: 1, n_entries: 0 }
+        BTree {
+            root,
+            height: 1,
+            n_entries: 0,
+        }
     }
 
     /// Inserts `(key, value)`; duplicates are kept (inserted after existing

@@ -29,7 +29,11 @@ impl JoinHashTable {
     pub fn new(arena: &mut SimArena, expected: u64) -> Self {
         let n_buckets = expected.next_power_of_two().max(16);
         let buckets_base = arena.alloc(n_buckets * 8, 64);
-        JoinHashTable { buckets_base, n_buckets, n_entries: 0 }
+        JoinHashTable {
+            buckets_base,
+            n_buckets,
+            n_entries: 0,
+        }
     }
 
     /// Hash of `key` (Fibonacci multiplicative hash, like lean join code).

@@ -102,6 +102,33 @@ pub enum JoinAlgo {
     IndexNestedLoop,
 }
 
+/// The tight-loop code paths of the vectorized execution path.
+///
+/// Where row mode runs one full operator path per tuple, batch mode charges
+/// `dispatch` once per batch plus one of these per-tuple inner-loop blocks
+/// scaled by the batch size ([`wdtg_sim::Cpu::exec_block_scaled`] fetches
+/// the code once, so consecutive iterations stay I-cache resident — the
+/// instruction-footprint collapse batching buys). Paths are derived from the
+/// system's row-mode paths with the call prologue/epilogue, iterator
+/// dispatch and per-call buffer management stripped, so fat engines (C/D)
+/// keep proportionally fatter loops than lean ones (A).
+#[derive(Debug)]
+#[allow(missing_docs)] // field names are the documentation
+pub struct BatchBlocks {
+    /// Per-batch vector dispatch/setup (function call, batch bookkeeping).
+    pub dispatch: CodeBlock,
+    /// Per-tuple scan inner loop (cursor advance + bounds check).
+    pub scan_step: CodeBlock,
+    /// Per-tuple predicate inner loop (compiled engines).
+    pub pred_step: CodeBlock,
+    /// Per-tuple aggregate inner loop.
+    pub agg_step: CodeBlock,
+    /// Per-tuple hash build/probe inner loop.
+    pub hash_step: CodeBlock,
+    /// Per-tuple rid-fetch inner loop (index scans).
+    pub fetch_step: CodeBlock,
+}
+
 /// The instrumented code paths of one engine build.
 ///
 /// Field names mirror the operator code paths of a late-90s commercial
@@ -135,6 +162,8 @@ pub struct EngineBlocks {
     pub update_step: CodeBlock,
     pub insert_step: CodeBlock,
     pub txn_begin_commit: CodeBlock,
+    /// Vectorized-path blocks (see [`BatchBlocks`]).
+    pub batch: BatchBlocks,
     /// The selection predicate's qualify branch (simulated individually;
     /// its behaviour depends on the data, driving Fig 5.4 right).
     pub qualify_site: BranchSite,
@@ -336,13 +365,18 @@ fn place(
 ) -> CodeBlock {
     let region = alloc.alloc(path_bytes as u64 * 3 / 2, 64);
     let x86 = (path_bytes as f64 / wdtg_sim::pipeline::BYTES_PER_X86_INSTR).round() as u32;
-    let dynamic = ((x86 as f64) * p.branch_density).round().min(u16::MAX as f64) as u16;
+    let dynamic = ((x86 as f64) * p.branch_density)
+        .round()
+        .min(u16::MAX as f64) as u16;
     // Within one pass through a long path, executed branch sites are mostly
     // distinct, and successive invocations take different branches, so the
     // static-site population exceeds the per-invocation dynamic count; the
     // BTB's ~50% miss rate (§5.3) emerges from total hot sites vs its 512
     // entries.
-    let sites = ((dynamic as f64) * 1.3).ceil().max(1.0).min(u16::MAX as f64) as u16;
+    let sites = ((dynamic as f64) * 1.3)
+        .ceil()
+        .max(1.0)
+        .min(u16::MAX as f64) as u16;
     CodeBlock::builder(name, path_bytes)
         .private(private_base, private_bytes)
         .branches(sites, dynamic)
@@ -355,6 +389,32 @@ fn place(
         .at(region.base)
 }
 
+/// Places one batch-mode tight-loop block. Unlike the row-path blocks these
+/// are short straight-line loops: one well-predicted back-edge per
+/// iteration, independent work across lanes (lower dependency pressure),
+/// few branch sites.
+fn place_batch(
+    alloc: &mut SegmentAlloc,
+    name: &'static str,
+    path_bytes: u32,
+    p: &SysParams,
+    private_base: u64,
+) -> CodeBlock {
+    let region = alloc.alloc(path_bytes as u64 * 3 / 2, 64);
+    let x86 = (path_bytes as f64 / wdtg_sim::pipeline::BYTES_PER_X86_INSTR).round() as u32;
+    let dynamic = ((x86 as f64) * 0.10).round().max(1.0).min(u16::MAX as f64) as u16;
+    CodeBlock::builder(name, path_bytes)
+        .private(private_base, 512)
+        .branches(dynamic.max(2), dynamic)
+        .taken_frac(0.90) // dominated by the loop back-edge
+        .dyn_bias(0.995) // loop branches predict nearly perfectly
+        .static_acc(0.95)
+        .dep_frac((p.dep_frac - 0.12).max(0.15)) // lanes are independent
+        .fu_frac(p.fu_frac)
+        .long_instr_frac(0.02)
+        .at(region.base)
+}
+
 impl EngineProfile {
     /// Builds the profile for one of the paper's four systems.
     pub fn system(sys: SystemId) -> EngineProfile {
@@ -364,40 +424,203 @@ impl EngineProfile {
         let mut alloc = SegmentAlloc::new(segment::CODE + sys.ordinal() * 0x0100_0000);
         let private = segment::PRIVATE + sys.ordinal() * 0x10_0000;
 
-        let query_setup = place(&mut alloc, "query_setup", p.setup, &p, private, 8192, p.dyn_bias);
-        let scan_next = place(&mut alloc, "scan_next", p.scan_next, &p, private, 2048, p.dyn_bias);
-        let scan_page = place(&mut alloc, "scan_page", p.scan_page, &p, private + 2048, 1024, p.dyn_bias);
-        let bufpool_get =
-            place(&mut alloc, "bufpool_get", p.bufpool_get, &p, private + 3072, 1024, p.dyn_bias);
-        let pred_eval = place(&mut alloc, "pred_eval", p.pred_eval, &p, private + 4096, 512, p.dyn_bias);
+        let query_setup = place(
+            &mut alloc,
+            "query_setup",
+            p.setup,
+            &p,
+            private,
+            8192,
+            p.dyn_bias,
+        );
+        let scan_next = place(
+            &mut alloc,
+            "scan_next",
+            p.scan_next,
+            &p,
+            private,
+            2048,
+            p.dyn_bias,
+        );
+        let scan_page = place(
+            &mut alloc,
+            "scan_page",
+            p.scan_page,
+            &p,
+            private + 2048,
+            1024,
+            p.dyn_bias,
+        );
+        let bufpool_get = place(
+            &mut alloc,
+            "bufpool_get",
+            p.bufpool_get,
+            &p,
+            private + 3072,
+            1024,
+            p.dyn_bias,
+        );
+        let pred_eval = place(
+            &mut alloc,
+            "pred_eval",
+            p.pred_eval,
+            &p,
+            private + 4096,
+            512,
+            p.dyn_bias,
+        );
         // Interpreter dispatch: indirect branches, poorly predicted.
-        let pred_node =
-            place(&mut alloc, "pred_node", p.pred_node, &p, private + 4608, 512, p.dyn_bias - 0.05);
+        let pred_node = place(
+            &mut alloc,
+            "pred_node",
+            p.pred_node,
+            &p,
+            private + 4608,
+            512,
+            p.dyn_bias - 0.05,
+        );
         let pred_handlers = [
-            place(&mut alloc, "pred_op_cmp", p.pred_node, &p, private + 4608, 512, p.dyn_bias - 0.05),
-            place(&mut alloc, "pred_op_logic", p.pred_node, &p, private + 4608, 512, p.dyn_bias - 0.05),
-            place(&mut alloc, "pred_op_col", p.pred_node, &p, private + 4608, 512, p.dyn_bias),
-            place(&mut alloc, "pred_op_arith", p.pred_node, &p, private + 4608, 512, p.dyn_bias - 0.05),
+            place(
+                &mut alloc,
+                "pred_op_cmp",
+                p.pred_node,
+                &p,
+                private + 4608,
+                512,
+                p.dyn_bias - 0.05,
+            ),
+            place(
+                &mut alloc,
+                "pred_op_logic",
+                p.pred_node,
+                &p,
+                private + 4608,
+                512,
+                p.dyn_bias - 0.05,
+            ),
+            place(
+                &mut alloc,
+                "pred_op_col",
+                p.pred_node,
+                &p,
+                private + 4608,
+                512,
+                p.dyn_bias,
+            ),
+            place(
+                &mut alloc,
+                "pred_op_arith",
+                p.pred_node,
+                &p,
+                private + 4608,
+                512,
+                p.dyn_bias - 0.05,
+            ),
         ];
         // Aggregate: branchy numeric code (drives T_B growth with
         // selectivity, Fig 5.4 right).
-        let mut agg_step = place(&mut alloc, "agg_step", p.agg_step, &p, private + 5120, 1024, p.agg_bias);
-        let mut field_extract =
-            place(&mut alloc, "field_extract", p.field_extract, &p, private + 5632, 512, p.dyn_bias);
+        let mut agg_step = place(
+            &mut alloc,
+            "agg_step",
+            p.agg_step,
+            &p,
+            private + 5120,
+            1024,
+            p.agg_bias,
+        );
+        let mut field_extract = place(
+            &mut alloc,
+            "field_extract",
+            p.field_extract,
+            &p,
+            private + 5632,
+            512,
+            p.dyn_bias,
+        );
         // Bulk field extraction is copy-style code: plenty of independent
         // work, so it is not dependency-bound even in high-dep engines.
         field_extract.dep_frac = (field_extract.dep_frac - 0.14).max(0.20);
-        let index_descend =
-            place(&mut alloc, "index_descend", p.index_descend, &p, private + 6144, 512, p.dyn_bias);
-        let index_leaf_next =
-            place(&mut alloc, "index_leaf_next", p.index_leaf_next, &p, private + 6656, 512, p.dyn_bias);
-        let rid_fetch = place(&mut alloc, "rid_fetch", p.rid_fetch, &p, private + 7168, 512, p.dyn_bias);
-        let mut hash_build = place(&mut alloc, "hash_build", p.hash_build, &p, private + 7680, 512, p.dyn_bias);
-        let mut hash_probe = place(&mut alloc, "hash_probe", p.hash_probe, &p, private + 8192, 512, p.dyn_bias);
-        let mut join_match = place(&mut alloc, "join_match", p.join_match, &p, private + 8704, 512, p.agg_bias);
-        let mut update_step = place(&mut alloc, "update_step", p.update_step, &p, private + 9216, 512, p.dyn_bias);
-        let mut insert_step = place(&mut alloc, "insert_step", p.insert_step, &p, private + 9728, 512, p.dyn_bias);
-        let mut txn_begin_commit = place(&mut alloc, "txn", p.txn, &p, private + 10240, 2048, p.dyn_bias);
+        let index_descend = place(
+            &mut alloc,
+            "index_descend",
+            p.index_descend,
+            &p,
+            private + 6144,
+            512,
+            p.dyn_bias,
+        );
+        let index_leaf_next = place(
+            &mut alloc,
+            "index_leaf_next",
+            p.index_leaf_next,
+            &p,
+            private + 6656,
+            512,
+            p.dyn_bias,
+        );
+        let rid_fetch = place(
+            &mut alloc,
+            "rid_fetch",
+            p.rid_fetch,
+            &p,
+            private + 7168,
+            512,
+            p.dyn_bias,
+        );
+        let mut hash_build = place(
+            &mut alloc,
+            "hash_build",
+            p.hash_build,
+            &p,
+            private + 7680,
+            512,
+            p.dyn_bias,
+        );
+        let mut hash_probe = place(
+            &mut alloc,
+            "hash_probe",
+            p.hash_probe,
+            &p,
+            private + 8192,
+            512,
+            p.dyn_bias,
+        );
+        let mut join_match = place(
+            &mut alloc,
+            "join_match",
+            p.join_match,
+            &p,
+            private + 8704,
+            512,
+            p.agg_bias,
+        );
+        let mut update_step = place(
+            &mut alloc,
+            "update_step",
+            p.update_step,
+            &p,
+            private + 9216,
+            512,
+            p.dyn_bias,
+        );
+        let mut insert_step = place(
+            &mut alloc,
+            "insert_step",
+            p.insert_step,
+            &p,
+            private + 9728,
+            512,
+            p.dyn_bias,
+        );
+        let mut txn_begin_commit = place(
+            &mut alloc,
+            "txn",
+            p.txn,
+            &p,
+            private + 10240,
+            2048,
+            p.dyn_bias,
+        );
 
         // Join code is chained-pointer work: dependency-bound even in System
         // A ("except for System A when executing range selection queries,
@@ -421,8 +644,65 @@ impl EngineProfile {
             b.dep_frac = (b.dep_frac + 0.14).min(0.9);
         }
 
-        let qualify_site = BranchSite { addr: pred_eval.base + 64, backward: false };
-        let match_site = BranchSite { addr: hash_probe.base + 64, backward: false };
+        // Vectorized-path blocks: the row paths with per-call overhead
+        // stripped. The divisors target the ~5-10x per-tuple instruction
+        // collapse vectorized engines report (MonetDB/X100; Sirin &
+        // Ailamaki's OLAP analysis), with floors so no loop models fewer
+        // than ~2-3 dozen instructions per tuple. Fat interpreted engines
+        // (C/D) keep proportionally fatter loops than lean compiled ones.
+        let batch = BatchBlocks {
+            dispatch: place_batch(
+                &mut alloc,
+                "batch_dispatch",
+                (p.setup / 40).max(600),
+                &p,
+                private + 20_480,
+            ),
+            scan_step: place_batch(
+                &mut alloc,
+                "batch_scan_step",
+                (p.scan_next / 10).max(96),
+                &p,
+                private + 20_992,
+            ),
+            pred_step: place_batch(
+                &mut alloc,
+                "batch_pred_step",
+                (p.pred_eval / 8).max(64),
+                &p,
+                private + 21_504,
+            ),
+            agg_step: place_batch(
+                &mut alloc,
+                "batch_agg_step",
+                (p.agg_step / 10).max(96),
+                &p,
+                private + 22_016,
+            ),
+            hash_step: place_batch(
+                &mut alloc,
+                "batch_hash_step",
+                (p.hash_probe / 6).max(96),
+                &p,
+                private + 22_528,
+            ),
+            fetch_step: place_batch(
+                &mut alloc,
+                "batch_fetch_step",
+                (p.rid_fetch / 6).max(128),
+                &p,
+                private + 23_040,
+            ),
+        };
+
+        let qualify_site = BranchSite {
+            addr: pred_eval.base + 64,
+            backward: false,
+        };
+        let match_site = BranchSite {
+            addr: hash_probe.base + 64,
+            backward: false,
+        };
 
         let blocks = Rc::new(EngineBlocks {
             query_setup,
@@ -443,6 +723,7 @@ impl EngineProfile {
             update_step,
             insert_step,
             txn_begin_commit,
+            batch,
             qualify_site,
             match_site,
             tuple_buf: private + 12_288,
@@ -491,7 +772,10 @@ impl EngineProfile {
 
     /// All four systems' profiles.
     pub fn all_systems() -> Vec<EngineProfile> {
-        SystemId::ALL.iter().map(|s| EngineProfile::system(*s)).collect()
+        SystemId::ALL
+            .iter()
+            .map(|s| EngineProfile::system(*s))
+            .collect()
     }
 }
 
@@ -505,9 +789,15 @@ mod tests {
         let b = EngineProfile::system(SystemId::B);
         let c = EngineProfile::system(SystemId::C);
         let d = EngineProfile::system(SystemId::D);
-        assert!(!a.use_index_for_range, "A's optimizer skips the index (§5.1)");
+        assert!(
+            !a.use_index_for_range,
+            "A's optimizer skips the index (§5.1)"
+        );
         assert!(b.use_index_for_range && c.use_index_for_range && d.use_index_for_range);
-        assert!(b.prefetch_lines_ahead > 0, "B is the cache-conscious system");
+        assert!(
+            b.prefetch_lines_ahead > 0,
+            "B is the cache-conscious system"
+        );
         assert_eq!(a.eval_mode, EvalMode::Compiled);
         assert_eq!(d.eval_mode, EvalMode::Interpreted);
     }
@@ -525,8 +815,7 @@ mod tests {
                 let pred = match p.eval_mode {
                     EvalMode::Compiled => b.pred_eval.path_bytes as u64,
                     EvalMode::Interpreted => {
-                        b.pred_node.path_bytes as u64
-                            + 7 * b.pred_handlers[0].path_bytes as u64
+                        b.pred_node.path_bytes as u64 + 7 * b.pred_handlers[0].path_bytes as u64
                     }
                 };
                 let fields = match p.materialize {
@@ -543,10 +832,27 @@ mod tests {
     }
 
     #[test]
+    fn batch_loops_are_far_leaner_than_row_paths() {
+        // The vectorized per-tuple loops must collapse the per-tuple path by
+        // a large factor for every system.
+        for sys in SystemId::ALL {
+            let p = EngineProfile::system(sys);
+            let b = &p.blocks;
+            assert!(
+                b.batch.scan_step.path_bytes * 6 <= b.scan_next.path_bytes,
+                "{}: batch scan loop not lean enough",
+                sys.letter()
+            );
+            assert!(b.batch.agg_step.path_bytes * 6 <= b.agg_step.path_bytes);
+            assert!(b.batch.hash_step.path_bytes * 4 <= b.hash_probe.path_bytes);
+        }
+    }
+
+    #[test]
     fn blocks_do_not_overlap_within_a_system() {
         let p = EngineProfile::system(SystemId::D);
         let b = &p.blocks;
-        let mut spans = vec![
+        let mut spans = [
             (b.query_setup.base, b.query_setup.path_bytes),
             (b.scan_next.base, b.scan_next.path_bytes),
             (b.scan_page.base, b.scan_page.path_bytes),

@@ -30,17 +30,26 @@ pub struct AggSpec {
 impl AggSpec {
     /// `avg(col)` — the paper's aggregate of choice (§3.3).
     pub fn avg(col: &str) -> AggSpec {
-        AggSpec { kind: AggKind::Avg, col: col.to_string() }
+        AggSpec {
+            kind: AggKind::Avg,
+            col: col.to_string(),
+        }
     }
 
     /// `sum(col)`.
     pub fn sum(col: &str) -> AggSpec {
-        AggSpec { kind: AggKind::Sum, col: col.to_string() }
+        AggSpec {
+            kind: AggKind::Sum,
+            col: col.to_string(),
+        }
     }
 
     /// `count(*)`.
     pub fn count() -> AggSpec {
-        AggSpec { kind: AggKind::Count, col: String::new() }
+        AggSpec {
+            kind: AggKind::Count,
+            col: String::new(),
+        }
     }
 }
 
@@ -127,7 +136,11 @@ impl Query {
     pub fn range_select_avg(table: &str, lo: i32, hi: i32) -> Query {
         Query::SelectAgg {
             table: table.to_string(),
-            predicate: Some(QueryPredicate::Range { col: "a2".into(), lo, hi }),
+            predicate: Some(QueryPredicate::Range {
+                col: "a2".into(),
+                lo,
+                hi,
+            }),
             agg: AggSpec::avg("a3"),
         }
     }

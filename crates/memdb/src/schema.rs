@@ -26,14 +26,20 @@ impl Schema {
     /// Builds a schema from column names.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
         Schema {
-            columns: names.into_iter().map(|n| Column { name: n.into() }).collect(),
+            columns: names
+                .into_iter()
+                .map(|n| Column { name: n.into() })
+                .collect(),
         }
     }
 
     /// The paper's relation layout: `a1..a3` plus filler columns to reach
     /// `record_bytes` (must be a multiple of 4, at least 12).
     pub fn paper_relation(record_bytes: u32) -> Self {
-        assert!(record_bytes >= 12 && record_bytes % 4 == 0, "record size must be 4k >= 12");
+        assert!(
+            record_bytes >= 12 && record_bytes.is_multiple_of(4),
+            "record size must be 4k >= 12"
+        );
         let ncols = (record_bytes / 4) as usize;
         Schema::new((0..ncols).map(|i| format!("a{}", i + 1)))
     }

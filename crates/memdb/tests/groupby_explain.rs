@@ -1,9 +1,9 @@
 //! Grouped aggregation and plan explanation.
 
-use wdtg_sim::{CpuConfig, InterruptCfg};
 use wdtg_memdb::{
     AggKind, AggSpec, Database, EngineProfile, Query, QueryPredicate, Schema, SystemId,
 };
+use wdtg_sim::{CpuConfig, InterruptCfg};
 
 fn quiet() -> CpuConfig {
     CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
@@ -16,11 +16,14 @@ fn cell(i: u64, c: usize) -> i32 {
 
 fn load(db: &mut Database, rows: u64) {
     db.create_table("T", Schema::paper_relation(40)).unwrap();
-    db.load_rows("T", (0..rows).map(|i| {
-        let mut r: Vec<i32> = (0..10).map(|c| cell(i, c)).collect();
-        r[1] = (i % 7) as i32; // group key: 7 groups
-        r
-    }))
+    db.load_rows(
+        "T",
+        (0..rows).map(|i| {
+            let mut r: Vec<i32> = (0..10).map(|c| cell(i, c)).collect();
+            r[1] = (i % 7) as i32; // group key: 7 groups
+            r
+        }),
+    )
     .unwrap();
 }
 
@@ -51,15 +54,29 @@ fn grouped_with_range_predicate_and_counts() {
     const N: u64 = 2_000;
     let mut db = Database::new(EngineProfile::system(SystemId::A), quiet());
     load(&mut db, N);
-    let pred = QueryPredicate::Range { col: "a3".into(), lo: 100, hi: 600 };
+    let pred = QueryPredicate::Range {
+        col: "a3".into(),
+        lo: 100,
+        hi: 600,
+    };
     let got = db
-        .run_grouped("T", "a2", Some(&pred), &AggSpec { kind: AggKind::Count, col: "a3".into() })
+        .run_grouped(
+            "T",
+            "a2",
+            Some(&pred),
+            &AggSpec {
+                kind: AggKind::Count,
+                col: "a3".into(),
+            },
+        )
         .unwrap();
     let total: f64 = got.iter().map(|(_, v)| v).sum();
-    let want = (0..N).filter(|i| {
-        let v = cell(*i, 2);
-        v > 100 && v < 600
-    }).count() as f64;
+    let want = (0..N)
+        .filter(|i| {
+            let v = cell(*i, 2);
+            v > 100 && v < 600
+        })
+        .count() as f64;
     assert_eq!(total, want, "group counts partition the filtered rows");
 }
 
@@ -69,7 +86,8 @@ fn grouped_aggregation_is_instrumented() {
     let mut db = Database::new(EngineProfile::system(SystemId::D), quiet());
     load(&mut db, N);
     let before = db.cpu().snapshot();
-    db.run_grouped("T", "a2", None, &AggSpec::sum("a3")).unwrap();
+    db.run_grouped("T", "a2", None, &AggSpec::sum("a3"))
+        .unwrap();
     let delta = db.cpu().snapshot().delta(&before);
     assert!(delta.cycles > 0.0);
     assert!(
@@ -89,7 +107,11 @@ fn explain_reflects_engine_strategy() {
 
     let q = Query::SelectAgg {
         table: "T".into(),
-        predicate: Some(QueryPredicate::Range { col: "a2".into(), lo: 1, hi: 5 }),
+        predicate: Some(QueryPredicate::Range {
+            col: "a2".into(),
+            lo: 1,
+            hi: 5,
+        }),
         agg: AggSpec::avg("a3"),
     };
     // A ignores the index; D uses it.
@@ -97,7 +119,10 @@ fn explain_reflects_engine_strategy() {
     let ed = d.explain(&q).unwrap();
     assert!(ea.contains("SeqScan"), "System A must scan: {ea}");
     assert!(!ea.contains("IndexRangeScan"));
-    assert!(ed.contains("IndexRangeScan"), "System D must use the index: {ed}");
+    assert!(
+        ed.contains("IndexRangeScan"),
+        "System D must use the index: {ed}"
+    );
 
     let j = Query::join_avg("T", "T");
     assert!(a.explain(&j).unwrap().contains("HashJoin"));

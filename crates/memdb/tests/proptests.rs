@@ -4,11 +4,11 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use wdtg_sim::{segment, CpuConfig, InterruptCfg};
 use wdtg_memdb::{
-    index::btree::BTree, index::hash::JoinHashTable, AggSpec, Database, EngineProfile, Expr,
-    Query, QueryPredicate, Schema, SimArena, SystemId,
+    index::btree::BTree, index::hash::JoinHashTable, AggSpec, Database, EngineProfile, Expr, Query,
+    QueryPredicate, Schema, SimArena, SystemId,
 };
+use wdtg_sim::{segment, CpuConfig, InterruptCfg};
 
 fn quiet() -> CpuConfig {
     CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())

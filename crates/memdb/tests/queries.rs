@@ -1,10 +1,10 @@
 //! End-to-end query correctness: every engine profile must return the same
 //! (correct) answers; only their hardware behaviour may differ.
 
-use wdtg_sim::{CpuConfig, InterruptCfg};
 use wdtg_memdb::{
     AggKind, AggSpec, Database, EngineProfile, Expr, Query, QueryPredicate, Schema, SystemId,
 };
+use wdtg_sim::{CpuConfig, InterruptCfg};
 
 fn quiet() -> CpuConfig {
     CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
@@ -21,12 +21,17 @@ fn cell(i: u64, c: usize) -> i32 {
 
 fn load_r(db: &mut Database, rows: u64) {
     db.create_table("R", Schema::paper_relation(100)).unwrap();
-    db.load_rows("R", (0..rows).map(|i| (0..25).map(|c| cell(i, c)).collect()))
-        .unwrap();
+    db.load_rows(
+        "R",
+        (0..rows).map(|i| (0..25).map(|c| cell(i, c)).collect()),
+    )
+    .unwrap();
 }
 
 fn oracle_rows(rows: u64) -> Vec<Vec<i32>> {
-    (0..rows).map(|i| (0..25).map(|c| cell(i, c)).collect()).collect()
+    (0..rows)
+        .map(|i| (0..25).map(|c| cell(i, c)).collect())
+        .collect()
 }
 
 #[test]
@@ -158,21 +163,31 @@ fn count_min_max_aggregates() {
     let mut db = Database::new(EngineProfile::system(SystemId::C), quiet());
     load_r(&mut db, N);
     let count = db
-        .run(&Query::SelectAgg { table: "R".into(), predicate: None, agg: AggSpec::count() })
+        .run(&Query::SelectAgg {
+            table: "R".into(),
+            predicate: None,
+            agg: AggSpec::count(),
+        })
         .unwrap();
     assert_eq!(count.value, N as f64);
     let min = db
         .run(&Query::SelectAgg {
             table: "R".into(),
             predicate: None,
-            agg: AggSpec { kind: AggKind::Min, col: "a3".into() },
+            agg: AggSpec {
+                kind: AggKind::Min,
+                col: "a3".into(),
+            },
         })
         .unwrap();
     let max = db
         .run(&Query::SelectAgg {
             table: "R".into(),
             predicate: None,
-            agg: AggSpec { kind: AggKind::Max, col: "a3".into() },
+            agg: AggSpec {
+                kind: AggKind::Max,
+                col: "a3".into(),
+            },
         })
         .unwrap();
     let expect_min = rows.iter().map(|r| r[2]).min().unwrap() as f64;
@@ -186,12 +201,15 @@ fn point_select_update_insert_round_trip() {
     const N: u64 = 1_000;
     let mut db = Database::new(EngineProfile::system(SystemId::B), quiet());
     db.create_table("T", Schema::paper_relation(40)).unwrap();
-    db.load_rows("T", (0..N).map(|i| {
-        let mut row = vec![0i32; 10];
-        row[0] = i as i32; // unique key
-        row[1] = (i * 10) as i32;
-        row
-    }))
+    db.load_rows(
+        "T",
+        (0..N).map(|i| {
+            let mut row = vec![0i32; 10];
+            row[0] = i as i32; // unique key
+            row[1] = (i * 10) as i32;
+            row
+        }),
+    )
     .unwrap();
     db.create_index("T", "a1").unwrap();
 
@@ -221,7 +239,11 @@ fn point_select_update_insert_round_trip() {
     let mut new_row = vec![0i32; 10];
     new_row[0] = 5_000;
     new_row[1] = 777;
-    db.run(&Query::InsertRow { table: "T".into(), values: new_row }).unwrap();
+    db.run(&Query::InsertRow {
+        table: "T".into(),
+        values: new_row,
+    })
+    .unwrap();
     let got = db
         .run(&Query::PointSelect {
             table: "T".into(),
@@ -260,13 +282,20 @@ fn errors_are_reported() {
             agg: AggSpec::avg("zz"),
         })
         .is_err());
-    assert!(db
-        .run(&Query::PointSelect {
+    assert!(
+        db.run(&Query::PointSelect {
             table: "T".into(),
             key_col: "a1".into(),
             key: 1,
             read_col: "a2".into(),
         })
-        .is_err(), "no index on a1 yet");
-    assert!(db.run(&Query::InsertRow { table: "T".into(), values: vec![1, 2] }).is_err());
+        .is_err(),
+        "no index on a1 yet"
+    );
+    assert!(db
+        .run(&Query::InsertRow {
+            table: "T".into(),
+            values: vec![1, 2]
+        })
+        .is_err());
 }

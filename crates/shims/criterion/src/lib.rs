@@ -1,0 +1,159 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the subset of the criterion API the `wdtg-bench` bench
+//! targets use (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! throughput annotation, `Bencher::iter`). Measurement is a plain
+//! wall-clock mean over a fixed number of timed iterations after a warm-up
+//! pass — adequate for smoke benchmarking and regression eyeballing, without
+//! criterion's statistical machinery.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work performed per iteration, used to derive a throughput figure.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (rows, accesses, ...) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed batch of iterations (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        // Scale iteration count to the payload so quick benches get stable
+        // means and slow benches still finish promptly.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed();
+        let iters = if probe > Duration::from_millis(200) {
+            3
+        } else if probe > Duration::from_millis(10) {
+            10
+        } else {
+            50
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Mean wall-clock time per iteration.
+    pub fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters as u32
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time (and throughput).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        let mean = b.mean();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+            Throughput::Bytes(n) => {
+                format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+        });
+        println!(
+            "{}/{}: {:?}/iter{}",
+            self.name,
+            id,
+            mean,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group (no-op; printed incrementally).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

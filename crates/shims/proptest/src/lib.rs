@@ -1,0 +1,78 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the subset of the proptest API the test suites use: the
+//! `proptest!` macro with `#![proptest_config]`, integer-range / tuple /
+//! `collection::vec` / `any::<bool>()` strategies, and the `prop_assert*`
+//! macros. Cases are generated from a deterministic per-test seed (hash of
+//! the test name), so failures reproduce exactly; there is no shrinking —
+//! a failing case panics with the values visible via the assert message.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test function at a
+/// time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}

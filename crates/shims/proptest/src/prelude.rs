@@ -1,0 +1,5 @@
+//! The usual `use proptest::prelude::*` imports.
+
+pub use crate::strategy::{any, Arbitrary, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

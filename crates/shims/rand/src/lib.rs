@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides the (small) subset of the `rand 0.9` API the workload
+//! generators use: `rngs::StdRng`, `SeedableRng::seed_from_u64` and
+//! `Rng::random_range` over integer ranges. The generator is SplitMix64 —
+//! deterministic, seedable, and statistically far better than the workload
+//! generators need. It is **not** the same stream as the real `StdRng`
+//! (ChaCha12), which only matters if datasets generated here were compared
+//! byte-for-byte against ones generated with the real crate.
+
+#![warn(missing_docs)]
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// Deterministic seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed ^ 0x5851_f42d_4c95_7f2d,
+        }
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = rng.next_u64() as u128 % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let r = rng.next_u64() as u128 % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from an integer range (`lo..hi` or `lo..=hi`).
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<i32> = (0..32).map(|_| a.random_range(-100..100)).collect();
+        let vb: Vec<i32> = (0..32).map(|_| b.random_range(-100..100)).collect();
+        let vc: Vec<i32> = (0..32).map(|_| c.random_range(-100..100)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: i32 = rng.random_range(-5..7);
+            assert!((-5..7).contains(&v));
+            let w: u64 = rng.random_range(3..=9);
+            assert!((3..=9).contains(&w));
+            let x: i64 = rng.random_range(1..=1);
+            assert_eq!(x, 1);
+        }
+    }
+
+    #[test]
+    fn covers_full_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

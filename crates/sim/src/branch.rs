@@ -69,7 +69,9 @@ impl BranchUnit {
     /// Finds the BTB way holding `addr`, if any.
     fn find(&self, addr: u64) -> Option<usize> {
         let base = (self.set_of(addr) * self.geom.assoc) as usize;
-        (0..self.geom.assoc as usize).find(|&w| self.tags[base + w] == addr).map(|w| base + w)
+        (0..self.geom.assoc as usize)
+            .find(|&w| self.tags[base + w] == addr)
+            .map(|w| base + w)
     }
 
     fn touch(&mut self, base: usize, way: usize) {
@@ -98,7 +100,11 @@ impl BranchUnit {
             }
         }
         self.tags[base + victim] = addr;
-        self.hist[base + victim] = if first_direction { self.history_mask } else { 0 };
+        self.hist[base + victim] = if first_direction {
+            self.history_mask
+        } else {
+            0
+        };
         self.touch(base, victim);
     }
 
@@ -115,10 +121,17 @@ impl BranchUnit {
                 let counter = self.pht[pi];
                 let predicted_taken = counter >= 2;
                 // Train the pattern table and the local history.
-                self.pht[pi] = if taken { (counter + 1).min(3) } else { counter.saturating_sub(1) };
+                self.pht[pi] = if taken {
+                    (counter + 1).min(3)
+                } else {
+                    counter.saturating_sub(1)
+                };
                 self.hist[idx] = ((history << 1) | taken as u8) & self.history_mask;
                 self.touch(base, way);
-                BranchOutcome { btb_hit: true, mispredicted: predicted_taken != taken }
+                BranchOutcome {
+                    btb_hit: true,
+                    mispredicted: predicted_taken != taken,
+                }
             }
             None => {
                 let predicted_taken = backward;
@@ -126,7 +139,10 @@ impl BranchUnit {
                 if taken {
                     self.allocate(addr, taken);
                 }
-                BranchOutcome { btb_hit: false, mispredicted: predicted_taken != taken }
+                BranchOutcome {
+                    btb_hit: false,
+                    mispredicted: predicted_taken != taken,
+                }
             }
         }
     }
@@ -160,7 +176,12 @@ mod tests {
     use super::*;
 
     fn unit() -> BranchUnit {
-        BranchUnit::new(BtbGeom { entries: 512, assoc: 4, history_bits: 4, pattern_entries: 1024 })
+        BranchUnit::new(BtbGeom {
+            entries: 512,
+            assoc: 4,
+            history_bits: 4,
+            pattern_entries: 1024,
+        })
     }
 
     #[test]
@@ -172,7 +193,10 @@ mod tests {
                 misses += 1;
             }
         }
-        assert!(misses <= 3, "saturating counters learn an always-taken branch, got {misses}");
+        assert!(
+            misses <= 3,
+            "saturating counters learn an always-taken branch, got {misses}"
+        );
     }
 
     #[test]
@@ -188,7 +212,10 @@ mod tests {
         }
         // A 2-bit counter alone would mispredict ~50%; local history should
         // learn the TNTN pattern almost perfectly.
-        assert!(late_misses <= 5, "two-level predictor should learn alternation, got {late_misses}");
+        assert!(
+            late_misses <= 5,
+            "two-level predictor should learn alternation, got {late_misses}"
+        );
     }
 
     #[test]
@@ -226,7 +253,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits < 1024, "BTB thrashing expected, got {hits} hits of 4096");
+        assert!(
+            hits < 1024,
+            "BTB thrashing expected, got {hits} hits of 4096"
+        );
     }
 
     #[test]
@@ -245,12 +275,17 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut miss = 0;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if b.execute(0x7000, taken, false).mispredicted {
                 miss += 1;
             }
         }
-        assert!(miss > 300, "unpredictable branch should mispredict ~50%, got {miss}/1000");
+        assert!(
+            miss > 300,
+            "unpredictable branch should mispredict ~50%, got {miss}/1000"
+        );
     }
 }

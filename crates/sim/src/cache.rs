@@ -22,6 +22,18 @@ pub struct CacheAccess {
 
 const INVALID: u64 = u64::MAX;
 
+/// Aggregate outcome of a contiguous run of line accesses
+/// ([`Cache::access_run`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Lines that were already resident.
+    pub hits: u64,
+    /// Lines that missed (also appended to the caller's miss buffer).
+    pub misses: u64,
+    /// Dirty lines written back while allocating missed lines.
+    pub dirty_writebacks: u64,
+}
+
 /// One cache level.
 ///
 /// Lines are stored as a flat `Vec` of tags (`sets * assoc`); LRU state is an
@@ -90,26 +102,49 @@ impl Cache {
         self.accesses += 1;
         let set = self.set_of(line);
         let base = (set * self.geom.assoc) as usize;
-        let assoc = self.geom.assoc as usize;
-        let ways = &mut self.tags[base..base + assoc];
+        if self.hit_way(base, line, write) {
+            return CacheAccess {
+                hit: true,
+                evicted: None,
+                dirty_writeback: false,
+            };
+        }
+        self.misses += 1;
+        let (evicted, dirty_writeback) = self.allocate_victim(base, line, write);
+        CacheAccess {
+            hit: false,
+            evicted,
+            dirty_writeback,
+        }
+    }
 
-        // Hit path.
-        for (w, way) in ways.iter().enumerate() {
-            if *way == line {
+    /// Hit path shared by the per-line and run entry points: scans the set's
+    /// ways for `line`, updating dirty/LRU state on a hit.
+    #[inline]
+    fn hit_way(&mut self, base: usize, line: u64, write: bool) -> bool {
+        let assoc = self.geom.assoc as usize;
+        for w in 0..assoc {
+            if self.tags[base + w] == line {
                 if write {
                     self.dirty[base + w] = true;
                 }
                 self.touch(base, w);
-                return CacheAccess { hit: true, evicted: None, dirty_writeback: false };
+                return true;
             }
         }
+        false
+    }
 
-        // Miss: find the LRU way (highest rank), preferring invalid ways.
-        self.misses += 1;
+    /// Miss path shared by the per-line and run entry points: LRU victim
+    /// selection (preferring invalid ways), writeback accounting and line
+    /// allocation. Returns `(evicted_line, dirty_writeback)`.
+    #[inline]
+    fn allocate_victim(&mut self, base: usize, line: u64, write: bool) -> (Option<u64>, bool) {
+        let assoc = self.geom.assoc as usize;
         let mut victim = 0usize;
         let mut victim_rank = 0u8;
         for w in 0..assoc {
-            if ways[w] == INVALID {
+            if self.tags[base + w] == INVALID {
                 victim = w;
                 break;
             }
@@ -121,13 +156,52 @@ impl Cache {
         let old = self.tags[base + victim];
         let was_dirty = self.dirty[base + victim];
         let evicted = (old != INVALID).then_some(old);
-        if evicted.is_some() && was_dirty {
+        let dirty_writeback = evicted.is_some() && was_dirty;
+        if dirty_writeback {
             self.writebacks += 1;
         }
         self.tags[base + victim] = line;
         self.dirty[base + victim] = write;
         self.touch(base, victim);
-        CacheAccess { hit: false, evicted, dirty_writeback: evicted.is_some() && was_dirty }
+        (evicted, dirty_writeback)
+    }
+
+    /// Contiguous-run fast path: accesses `lines` sequential line addresses
+    /// starting at `first_line`, resolving set indices incrementally instead
+    /// of re-deriving set/tag per byte address. Behaviour (residency, LRU
+    /// state, statistics, writeback counting) is identical to calling
+    /// [`Cache::access_line`] once per line; the saving is bookkeeping, not
+    /// semantics. Missed lines are appended to `missed` in access order so
+    /// an outer level can service them.
+    pub fn access_run(
+        &mut self,
+        first_line: u64,
+        lines: u64,
+        write: bool,
+        missed: &mut Vec<u64>,
+    ) -> RunStats {
+        self.accesses += lines;
+        let mut stats = RunStats::default();
+        let mut set = self.set_of(first_line);
+        for line in first_line..first_line + lines {
+            let base = (set * self.geom.assoc) as usize;
+            if self.hit_way(base, line, write) {
+                stats.hits += 1;
+            } else {
+                self.misses += 1;
+                stats.misses += 1;
+                missed.push(line);
+                let (_, dirty_writeback) = self.allocate_victim(base, line, write);
+                if dirty_writeback {
+                    stats.dirty_writebacks += 1;
+                }
+            }
+            set += 1;
+            if set == self.sets {
+                set = 0;
+            }
+        }
+        stats
     }
 
     /// Returns whether the line containing `addr` is resident, without
@@ -220,7 +294,11 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 32-byte lines = 256 bytes.
-        Cache::new(CacheGeom { size_bytes: 256, line_bytes: 32, assoc: 2 })
+        Cache::new(CacheGeom {
+            size_bytes: 256,
+            line_bytes: 32,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -293,6 +371,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn access_run_matches_per_line_accesses() {
+        // Same interleaved trace through both paths must leave identical
+        // tags, LRU state, stats and miss sequences.
+        let mut per_line = small();
+        let mut run = small();
+        let spans: [(u64, u64, bool); 6] = [
+            (0, 12, false),
+            (4, 3, true),
+            (100, 9, false),
+            (0, 12, false),
+            (7, 1, true),
+            (2, 20, false),
+        ];
+        let mut want_missed = Vec::new();
+        let mut got_missed = Vec::new();
+        for &(first, lines, write) in &spans {
+            for line in first..first + lines {
+                if !per_line.access_line(line, write).hit {
+                    want_missed.push(line);
+                }
+            }
+            run.access_run(first, lines, write, &mut got_missed);
+        }
+        assert_eq!(got_missed, want_missed);
+        assert_eq!(run.accesses(), per_line.accesses());
+        assert_eq!(run.misses(), per_line.misses());
+        assert_eq!(run.writebacks(), per_line.writebacks());
+        assert_eq!(run.tags, per_line.tags);
+        assert_eq!(run.lru, per_line.lru);
+        assert_eq!(run.dirty, per_line.dirty);
     }
 
     #[test]

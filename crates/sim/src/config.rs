@@ -104,7 +104,11 @@ pub struct InterruptCfg {
 impl InterruptCfg {
     /// Interrupts disabled (useful for ablations and unit tests).
     pub fn disabled() -> Self {
-        InterruptCfg { period_cycles: 0, kernel_code_bytes: 0, kernel_data_bytes: 0 }
+        InterruptCfg {
+            period_cycles: 0,
+            kernel_code_bytes: 0,
+            kernel_data_bytes: 0,
+        }
     }
 }
 
@@ -134,12 +138,37 @@ impl CpuConfig {
     /// Pentium II Xeon with a 512 KB L2 cache (Table 4.1) running NT 4.0.
     pub fn pentium_ii_xeon() -> Self {
         CpuConfig {
-            l1i: CacheGeom { size_bytes: 16 * 1024, line_bytes: 32, assoc: 4 },
-            l1d: CacheGeom { size_bytes: 16 * 1024, line_bytes: 32, assoc: 4 },
-            l2: CacheGeom { size_bytes: 512 * 1024, line_bytes: 32, assoc: 4 },
-            itlb: TlbGeom { entries: 32, assoc: 4, page_bytes: 4096 },
-            dtlb: TlbGeom { entries: 64, assoc: 4, page_bytes: 4096 },
-            btb: BtbGeom { entries: 512, assoc: 4, history_bits: 4, pattern_entries: 1024 },
+            l1i: CacheGeom {
+                size_bytes: 16 * 1024,
+                line_bytes: 32,
+                assoc: 4,
+            },
+            l1d: CacheGeom {
+                size_bytes: 16 * 1024,
+                line_bytes: 32,
+                assoc: 4,
+            },
+            l2: CacheGeom {
+                size_bytes: 512 * 1024,
+                line_bytes: 32,
+                assoc: 4,
+            },
+            itlb: TlbGeom {
+                entries: 32,
+                assoc: 4,
+                page_bytes: 4096,
+            },
+            dtlb: TlbGeom {
+                entries: 64,
+                assoc: 4,
+                page_bytes: 4096,
+            },
+            btb: BtbGeom {
+                entries: 512,
+                assoc: 4,
+                history_bits: 4,
+                pattern_entries: 1024,
+            },
             pipe: PipelineCfg {
                 width: 3,
                 l1_miss_penalty: 4,
@@ -215,10 +244,18 @@ mod tests {
 
     #[test]
     fn cache_sets_derived_correctly() {
-        let g = CacheGeom { size_bytes: 16 * 1024, line_bytes: 32, assoc: 4 };
+        let g = CacheGeom {
+            size_bytes: 16 * 1024,
+            line_bytes: 32,
+            assoc: 4,
+        };
         assert_eq!(g.sets(), 128);
         assert_eq!(g.line_shift(), 5);
-        let l2 = CacheGeom { size_bytes: 512 * 1024, line_bytes: 32, assoc: 4 };
+        let l2 = CacheGeom {
+            size_bytes: 512 * 1024,
+            line_bytes: 32,
+            assoc: 4,
+        };
         assert_eq!(l2.sets(), 4096);
     }
 

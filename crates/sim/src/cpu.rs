@@ -81,16 +81,26 @@ pub struct Cpu {
     kernel_block: Option<CodeBlock>,
     prefetch_q: VecDeque<(u64, f64)>,
     prefetch_bus_free: f64,
+    run_miss_buf: Vec<u64>,
 }
 
 impl Cpu {
     /// Creates a cold processor with the given configuration.
     pub fn new(cfg: CpuConfig) -> Self {
-        assert_eq!(cfg.l1i.line_bytes, cfg.l2.line_bytes, "line sizes must agree");
-        assert_eq!(cfg.l1d.line_bytes, cfg.l2.line_bytes, "line sizes must agree");
+        assert_eq!(
+            cfg.l1i.line_bytes, cfg.l2.line_bytes,
+            "line sizes must agree"
+        );
+        assert_eq!(
+            cfg.l1d.line_bytes, cfg.l2.line_bytes,
+            "line sizes must agree"
+        );
         let kernel_block = (cfg.interrupts.period_cycles > 0).then(|| {
             CodeBlock::builder("nt.kernel_interrupt", cfg.interrupts.kernel_code_bytes)
-                .private(segment::KERNEL_DATA, cfg.interrupts.kernel_data_bytes.max(64))
+                .private(
+                    segment::KERNEL_DATA,
+                    cfg.interrupts.kernel_data_bytes.max(64),
+                )
                 .dep_frac(0.25)
                 .fu_frac(0.2)
                 .at(segment::KERNEL_CODE)
@@ -113,6 +123,7 @@ impl Cpu {
             kernel_block,
             prefetch_q: VecDeque::with_capacity(8),
             prefetch_bus_free: 0.0,
+            run_miss_buf: Vec::with_capacity(64),
             cfg,
         }
     }
@@ -268,7 +279,7 @@ impl Cpu {
             if pipe.ifetch_stream_buffer
                 && run_lines >= 2
                 && line < last_line
-                && (line - first_line + 1) % run_lines as u64 != 0
+                && !(line - first_line + 1).is_multiple_of(run_lines as u64)
             {
                 let next_addr = (line + 1) << self.line_shift;
                 if !self.l1i.probe(next_addr) && self.l2.probe(next_addr) {
@@ -314,7 +325,6 @@ impl Cpu {
     }
 
     fn data_line_access(&mut self, line: u64, dep: MemDep, write: bool) {
-        let pipe = self.cfg.pipe;
         let acc = self.l1d.access_line(line, write);
         if acc.dirty_writeback {
             self.bump(Event::DcuMLinesOut, 1);
@@ -326,6 +336,13 @@ impl Cpu {
         if write {
             self.bump(Event::DcuMLinesIn, 1);
         }
+        self.l2_data_fill(line, dep, write);
+    }
+
+    /// Services an L1D-missed line from L2/memory: the shared tail of the
+    /// per-line and contiguous-run data paths.
+    fn l2_data_fill(&mut self, line: u64, dep: MemDep, write: bool) {
+        let pipe = self.cfg.pipe;
         self.pop_completed_prefetches();
         self.bump(if write { Event::L2St } else { Event::L2Ld }, 1);
         self.bump(Event::L2Rqsts, 1);
@@ -341,7 +358,14 @@ impl Cpu {
         self.bump(Event::BusTranMem, 1);
         self.bump(Event::BusTranAny, 1);
         self.bump(Event::BusTranBurst, 1);
-        self.bump(if write { Event::BusTranRfo } else { Event::BusTranBrd }, 1);
+        self.bump(
+            if write {
+                Event::BusTranRfo
+            } else {
+                Event::BusTranBrd
+            },
+            1,
+        );
         let charged = if let Some(pos) = self.prefetch_q.iter().position(|&(l, _)| l == line) {
             let (_, ready) = self.prefetch_q.remove(pos).expect("position valid");
             self.bump(Event::SimPrefetchLate, 1);
@@ -357,6 +381,47 @@ impl Cpu {
         self.charge(Component::Tl2d, charged);
         self.bump_frac(Event::DcuMissOutstanding, charged);
         self.handle_l2_eviction(l2acc.evicted, l2acc.dirty_writeback);
+    }
+
+    /// Contiguous-run data read: equivalent cache/TLB behaviour to reading
+    /// `len` bytes at `addr` line by line, but with batched bookkeeping —
+    /// one `DATA_MEM_REFS` count for the whole span, one DTLB check per 4 KB
+    /// page, and the L1D walked through [`Cache::access_run`]. L1D-missed
+    /// lines still take the exact per-line L2/memory path (prefetch matching
+    /// included), so stall cycles and miss counters match the per-record
+    /// equivalent; only access-granularity counters (`DATA_MEM_REFS`,
+    /// `MISALIGN_MEM_REF`) are amortized. This is the simulator's fast lane
+    /// for the DBMS's batched scans.
+    pub fn load_run(&mut self, addr: u64, len: u32, dep: MemDep) {
+        let len = len.max(1);
+        self.bump(Event::DataMemRefs, 1);
+        let last = addr + len as u64 - 1;
+        for page in (addr >> 12)..=(last >> 12) {
+            if !self.dtlb.access(page << 12) {
+                self.bump(Event::SimDtlbMiss, 1);
+                self.charge(Component::Tdtlb, self.cfg.pipe.dtlb_miss_penalty as f64);
+            }
+        }
+        let first_line = addr >> self.line_shift;
+        let last_line = last >> self.line_shift;
+        if last_line > first_line {
+            self.bump(Event::MisalignMemRef, 1);
+        }
+        let mut missed = std::mem::take(&mut self.run_miss_buf);
+        missed.clear();
+        let stats = self
+            .l1d
+            .access_run(first_line, last_line - first_line + 1, false, &mut missed);
+        if stats.dirty_writebacks > 0 {
+            self.bump(Event::DcuMLinesOut, stats.dirty_writebacks);
+        }
+        if !missed.is_empty() {
+            self.bump(Event::DcuLinesIn, missed.len() as u64);
+            for &line in &missed {
+                self.l2_data_fill(line, dep, false);
+            }
+        }
+        self.run_miss_buf = missed;
     }
 
     fn handle_l2_eviction(&mut self, evicted: Option<u64>, dirty: bool) {
@@ -395,7 +460,8 @@ impl Cpu {
         self.bump(Event::SimPrefetchIssued, 1);
         let start = self.cycles.max(self.prefetch_bus_free);
         self.prefetch_bus_free = start + self.cfg.pipe.bus_occupancy as f64;
-        self.prefetch_q.push_back((line, start + self.cfg.pipe.mem_latency as f64));
+        self.prefetch_q
+            .push_back((line, start + self.cfg.pipe.mem_latency as f64));
     }
 
     fn pop_completed_prefetches(&mut self) {
@@ -533,7 +599,11 @@ impl Cpu {
                 let idx = (block.next_rot() % sites) as u64;
                 let addr = block.base + 2 + idx * spacing;
                 let hit = self.branch_unit.probe(addr, block.taken_frac >= 0.5);
-                let acc = if hit { block.dyn_bias } else { block.static_acc };
+                let acc = if hit {
+                    block.dyn_bias
+                } else {
+                    block.static_acc
+                };
                 if !hit {
                     self.bump_frac(Event::BtbMisses, weight);
                 }
@@ -595,7 +665,13 @@ mod tests {
         for _ in 0..100 {
             cpu.exec_block(&b);
             cpu.load(segment::HEAP + 128, 4, MemDep::Demand);
-            cpu.branch(BranchSite { addr: segment::CODE + 10, backward: false }, true);
+            cpu.branch(
+                BranchSite {
+                    addr: segment::CODE + 10,
+                    backward: false,
+                },
+                true,
+            );
         }
         assert!(
             (cpu.ledger().grand_total() - cpu.cycles()).abs() < 1e-6,
@@ -607,14 +683,18 @@ mod tests {
     fn repeated_block_becomes_l1i_resident() {
         let mut cpu = quiet_cpu();
         let b = block(4096); // extent fits comfortably in 16 KB L1I
-        // Warm all fetch phases of the block.
+                             // Warm all fetch phases of the block.
         for _ in 0..8 {
             cpu.exec_block(&b);
         }
         let snap = cpu.snapshot();
         cpu.exec_block(&b);
         let d = cpu.snapshot().delta(&snap);
-        assert_eq!(d.counters.total(Event::IfuIfetchMiss), 0, "warm code must hit L1I");
+        assert_eq!(
+            d.counters.total(Event::IfuIfetchMiss),
+            0,
+            "warm code must hit L1I"
+        );
         assert_eq!(d.ledger.total(Component::Tl1i), 0.0);
     }
 
@@ -622,7 +702,7 @@ mod tests {
     fn code_larger_than_l1i_keeps_missing() {
         let mut cpu = quiet_cpu();
         let b = block(48 * 1024); // 3x the 16 KB L1I
-        // Warm every fetch phase so the whole 72 KB extent is L2-resident.
+                                  // Warm every fetch phase so the whole 72 KB extent is L2-resident.
         for _ in 0..8 {
             cpu.exec_block(&b);
         }
@@ -652,6 +732,48 @@ mod tests {
     }
 
     #[test]
+    fn load_run_matches_per_record_loads_on_misses_and_stalls() {
+        // A 64 KB span read as 100-byte records vs. as contiguous runs: the
+        // line sequence is identical, so cache misses and memory stall
+        // cycles must agree exactly; only access-granularity counters
+        // (DATA_MEM_REFS) are amortized.
+        let mut row = quiet_cpu();
+        let mut run = quiet_cpu();
+        for rep in 0..2 {
+            for rec in 0..655u64 {
+                row.load(segment::HEAP + rec * 100, 100, MemDep::Demand);
+            }
+            run.load_run(segment::HEAP, 65500, MemDep::Demand);
+            if rep == 0 {
+                // Also exercise the warm (all-hit) fast path on pass 2.
+                row.reset_stats();
+                run.reset_stats();
+            }
+        }
+        let (cr, cu) = (row.counters(), run.counters());
+        assert_eq!(cu.total(Event::DcuLinesIn), cr.total(Event::DcuLinesIn));
+        assert_eq!(
+            cu.total(Event::SimL2DataMiss),
+            cr.total(Event::SimL2DataMiss)
+        );
+        assert_eq!(cu.total(Event::SimDtlbMiss), cr.total(Event::SimDtlbMiss));
+        assert!(
+            (run.ledger().total(Component::Tl2d) - row.ledger().total(Component::Tl2d)).abs()
+                < 1e-6
+        );
+        assert!(
+            (run.ledger().total(Component::Tl1d) - row.ledger().total(Component::Tl1d)).abs()
+                < 1e-6
+        );
+        assert_eq!(
+            cu.total(Event::DataMemRefs),
+            1,
+            "one bookkeeping ref per run"
+        );
+        assert_eq!(cr.total(Event::DataMemRefs), 655);
+    }
+
+    #[test]
     fn chase_misses_cost_more_than_demand_misses() {
         let mut a = quiet_cpu();
         let mut b = quiet_cpu();
@@ -661,7 +783,10 @@ mod tests {
         }
         let ta = a.ledger().total(Component::Tl2d);
         let tb = b.ledger().total(Component::Tl2d);
-        assert!(tb > ta, "pointer chasing exposes full latency: {tb} <= {ta}");
+        assert!(
+            tb > ta,
+            "pointer chasing exposes full latency: {tb} <= {ta}"
+        );
     }
 
     #[test]
@@ -677,9 +802,16 @@ mod tests {
         let snap = cpu.snapshot();
         cpu.load(addr, 4, MemDep::Demand);
         let d = cpu.snapshot().delta(&snap);
-        assert_eq!(d.counters.total(Event::SimL2DataMiss), 0, "prefetched line is an L2 hit");
+        assert_eq!(
+            d.counters.total(Event::SimL2DataMiss),
+            0,
+            "prefetched line is an L2 hit"
+        );
         assert!(d.ledger.total(Component::Tl2d) == 0.0);
-        assert!(d.ledger.total(Component::Tl1d) > 0.0, "still an L1 miss that hit L2");
+        assert!(
+            d.ledger.total(Component::Tl1d) > 0.0,
+            "still an L1 miss that hit L2"
+        );
     }
 
     #[test]
@@ -699,7 +831,10 @@ mod tests {
     #[test]
     fn mispredicted_branch_charges_17_cycles() {
         let mut cpu = quiet_cpu();
-        let site = BranchSite { addr: segment::CODE + 100, backward: false };
+        let site = BranchSite {
+            addr: segment::CODE + 100,
+            backward: false,
+        };
         // Train taken... static predicts not-taken for forward: first taken
         // execution mispredicts.
         let snap = cpu.snapshot();
@@ -761,7 +896,11 @@ mod tests {
         cpu.reset_stats();
         assert_eq!(cpu.cycles(), 0.0);
         cpu.exec_block(&b);
-        assert_eq!(cpu.counters().total(Event::IfuIfetchMiss), 0, "caches stayed warm");
+        assert_eq!(
+            cpu.counters().total(Event::IfuIfetchMiss),
+            0,
+            "caches stayed warm"
+        );
     }
 
     #[test]

@@ -131,26 +131,87 @@ impl Event {
         // Exhaustive list; a unit test checks the indices are dense.
         use Event::*;
         [
-            DataMemRefs, DcuLinesIn, DcuMLinesIn, DcuMLinesOut, DcuMissOutstanding,
-            IfuIfetch, IfuIfetchMiss, ItlbMiss, IfuMemStall, IldStall,
-            L2Ifetch, L2Ld, L2St, L2LinesIn, L2LinesOut, L2MLinesIn, L2MLinesOut,
-            L2Rqsts, L2Ads, L2DbusBusy, L2DbusBusyRd,
-            BusDrdyClocks, BusLockClocks, BusReqOutstanding, BusTranBrd, BusTranRfo,
-            BusTransWb, BusTranIfetch, BusTranInval, BusTranPwr, BusTransP, BusTransIo,
-            BusTranDef, BusTranBurst, BusTranAny, BusTranMem, BusDataRcv, BusBnrDrv,
-            BusHitDrv, BusHitmDrv, BusSnoopStall,
-            Flops, FpCompOpsExe, FpAssist, Mul, Div, CyclesDivBusy,
-            LdBlocks, SbDrains, MisalignMemRef,
-            InstRetired, UopsRetired, InstDecoded, HwIntRx, CyclesIntMasked,
+            DataMemRefs,
+            DcuLinesIn,
+            DcuMLinesIn,
+            DcuMLinesOut,
+            DcuMissOutstanding,
+            IfuIfetch,
+            IfuIfetchMiss,
+            ItlbMiss,
+            IfuMemStall,
+            IldStall,
+            L2Ifetch,
+            L2Ld,
+            L2St,
+            L2LinesIn,
+            L2LinesOut,
+            L2MLinesIn,
+            L2MLinesOut,
+            L2Rqsts,
+            L2Ads,
+            L2DbusBusy,
+            L2DbusBusyRd,
+            BusDrdyClocks,
+            BusLockClocks,
+            BusReqOutstanding,
+            BusTranBrd,
+            BusTranRfo,
+            BusTransWb,
+            BusTranIfetch,
+            BusTranInval,
+            BusTranPwr,
+            BusTransP,
+            BusTransIo,
+            BusTranDef,
+            BusTranBurst,
+            BusTranAny,
+            BusTranMem,
+            BusDataRcv,
+            BusBnrDrv,
+            BusHitDrv,
+            BusHitmDrv,
+            BusSnoopStall,
+            Flops,
+            FpCompOpsExe,
+            FpAssist,
+            Mul,
+            Div,
+            CyclesDivBusy,
+            LdBlocks,
+            SbDrains,
+            MisalignMemRef,
+            InstRetired,
+            UopsRetired,
+            InstDecoded,
+            HwIntRx,
+            CyclesIntMasked,
             CyclesIntPendingAndMasked,
-            BrInstRetired, BrMissPredRetired, BrTakenRetired, BrMissPredTakenRet,
-            BrInstDecoded, BtbMisses, BrBogus, Baclears,
-            ResourceStalls, PartialRatStalls,
-            SegmentRegLoads, CpuClkUnhalted,
-            MmxInstrExec, MmxSatInstrExec, MmxUopsExec, MmxInstrTypeExec, FpMmxTrans,
+            BrInstRetired,
+            BrMissPredRetired,
+            BrTakenRetired,
+            BrMissPredTakenRet,
+            BrInstDecoded,
+            BtbMisses,
+            BrBogus,
+            Baclears,
+            ResourceStalls,
+            PartialRatStalls,
+            SegmentRegLoads,
+            CpuClkUnhalted,
+            MmxInstrExec,
+            MmxSatInstrExec,
+            MmxUopsExec,
+            MmxInstrTypeExec,
+            FpMmxTrans,
             MmxAssist,
-            SimDtlbMiss, SimL2DataMiss, SimL2IfetchMiss, SimPrefetchIssued,
-            SimPrefetchLate, SimKernelEntries, SimStreamBufHit,
+            SimDtlbMiss,
+            SimL2DataMiss,
+            SimL2IfetchMiss,
+            SimPrefetchIssued,
+            SimPrefetchLate,
+            SimKernelEntries,
+            SimStreamBufHit,
         ]
     };
 
@@ -284,7 +345,9 @@ impl Default for CounterFile {
 impl CounterFile {
     /// All counters at zero.
     pub fn new() -> Self {
-        CounterFile { counts: [[0; Event::COUNT]; 2] }
+        CounterFile {
+            counts: [[0; Event::COUNT]; 2],
+        }
     }
 
     /// Adds `n` to `event` in `mode`.
@@ -337,7 +400,10 @@ mod tests {
     fn hardware_event_count_is_74() {
         let hw = Event::ALL.iter().filter(|e| e.has_hardware_code()).count();
         assert_eq!(hw, 74, "the paper measured 74 event types");
-        assert!(!Event::SimDtlbMiss.has_hardware_code(), "T_DTLB was not measurable");
+        assert!(
+            !Event::SimDtlbMiss.has_hardware_code(),
+            "T_DTLB was not measurable"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn measure_memory_latency(cpu: &mut Cpu, footprint_bytes: u64) -> LatencyMea
             cpu.load(base + slot * stride, 8, MemDep::Chase);
         }
     }
-    LatencyMeasurement { cycles_per_load: cpu.cycles() / slots as f64, loads: slots }
+    LatencyMeasurement {
+        cycles_per_load: cpu.cycles() / slots as f64,
+        loads: slots,
+    }
 }
 
 #[cfg(test)]
@@ -50,9 +53,8 @@ mod tests {
     #[test]
     fn measured_latency_is_60_to_70_cycles() {
         // The paper observed 60-70 cycles on the 400 MHz Xeon (§5.2.1).
-        let mut cpu = Cpu::new(
-            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
-        );
+        let mut cpu =
+            Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()));
         let m = measure_memory_latency(&mut cpu, 8 * 1024 * 1024);
         assert!(
             (60.0..=70.0).contains(&m.cycles_per_load),
@@ -63,9 +65,8 @@ mod tests {
 
     #[test]
     fn small_footprint_measures_l2_not_memory() {
-        let mut cpu = Cpu::new(
-            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
-        );
+        let mut cpu =
+            Cpu::new(CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()));
         // 64 KB fits in the 512 KB L2: after warm-up, loads are L2 hits.
         let m = measure_memory_latency(&mut cpu, 64 * 1024);
         assert!(

@@ -50,7 +50,10 @@ impl Region {
 
     /// Offset of `addr` within the region. Panics if outside.
     pub fn offset_of(&self, addr: u64) -> u64 {
-        debug_assert!(self.contains(addr), "address {addr:#x} outside region {self:?}");
+        debug_assert!(
+            self.contains(addr),
+            "address {addr:#x} outside region {self:?}"
+        );
         addr - self.base
     }
 }
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn offset_of_is_relative_to_base() {
-        let r = Region { base: 0x1000, len: 0x100 };
+        let r = Region {
+            base: 0x1000,
+            len: 0x100,
+        };
         assert_eq!(r.offset_of(0x1010), 0x10);
     }
 

@@ -144,8 +144,7 @@ pub struct CodeBlockBuilder {
 impl CodeBlockBuilder {
     pub fn x86_instrs(mut self, v: u32) -> Self {
         self.block.x86_instrs = v.max(1);
-        self.block.uops =
-            ((self.block.x86_instrs as f64) * UOPS_PER_X86_INSTR).round() as u32;
+        self.block.uops = ((self.block.x86_instrs as f64) * UOPS_PER_X86_INSTR).round() as u32;
         self
     }
     pub fn uops(mut self, v: u32) -> Self {
@@ -246,7 +245,12 @@ pub fn block_cost(pipe: &PipelineCfg, block: &CodeBlock) -> BlockCost {
         (dep_raw * scale, fu_raw * scale)
     };
     let tild = block.x86_instrs as f64 * block.long_instr_frac;
-    BlockCost { tc: dispatch, tdep, tfu, tild }
+    BlockCost {
+        tc: dispatch,
+        tdep,
+        tfu,
+        tild,
+    }
 }
 
 #[cfg(test)]
@@ -283,7 +287,10 @@ mod tests {
 
     #[test]
     fn dependency_bound_block_charges_tdep() {
-        let b = CodeBlock::builder("chase", 350).dep_frac(0.8).fu_frac(0.1).at(0);
+        let b = CodeBlock::builder("chase", 350)
+            .dep_frac(0.8)
+            .fu_frac(0.1)
+            .at(0);
         let c = block_cost(&pipe(), &b);
         assert!(c.tdep > 0.0);
         assert_eq!(c.tfu, 0.0);
@@ -294,11 +301,17 @@ mod tests {
 
     #[test]
     fn mixed_pressure_splits_proportionally() {
-        let b = CodeBlock::builder("mixed", 350).dep_frac(0.6).fu_frac(0.5).at(0);
+        let b = CodeBlock::builder("mixed", 350)
+            .dep_frac(0.6)
+            .fu_frac(0.5)
+            .at(0);
         let c = block_cost(&pipe(), &b);
         assert!(c.tdep > c.tfu && c.tfu > 0.0);
         let total = c.tc + c.tdep + c.tfu;
-        assert!((total - b.uops as f64 * 0.6).abs() < 1e-9, "max constraint binds");
+        assert!(
+            (total - b.uops as f64 * 0.6).abs() < 1e-9,
+            "max constraint binds"
+        );
     }
 
     #[test]

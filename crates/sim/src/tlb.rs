@@ -26,7 +26,10 @@ impl Tlb {
             line_bytes: 1,
             assoc: geom.assoc,
         });
-        Tlb { inner, page_shift: geom.page_bytes.trailing_zeros() }
+        Tlb {
+            inner,
+            page_shift: geom.page_bytes.trailing_zeros(),
+        }
     }
 
     /// Looks up the page containing `addr`; returns true on a TLB hit.
@@ -57,7 +60,11 @@ mod tests {
     use super::*;
 
     fn tlb() -> Tlb {
-        Tlb::new(TlbGeom { entries: 8, assoc: 2, page_bytes: 4096 })
+        Tlb::new(TlbGeom {
+            entries: 8,
+            assoc: 2,
+            page_bytes: 4096,
+        })
     }
 
     #[test]

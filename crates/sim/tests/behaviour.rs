@@ -94,7 +94,9 @@ fn interrupt_rate_scales_with_cycles_not_work() {
             kernel_code_bytes: 2048,
             kernel_data_bytes: 512,
         }));
-        let b = CodeBlock::builder("w", 3000).private(segment::PRIVATE, 1024).at(segment::CODE);
+        let b = CodeBlock::builder("w", 3000)
+            .private(segment::PRIVATE, 1024)
+            .at(segment::CODE);
         for _ in 0..2_000 {
             cpu.exec_block(&b);
         }
@@ -114,7 +116,10 @@ fn dtlb_misses_tracked_but_only_as_sim_event() {
         cpu.load(segment::HEAP + p * 4096, 4, MemDep::Demand);
     }
     assert!(cpu.counters().total(Event::SimDtlbMiss) > 256);
-    assert!(!Event::SimDtlbMiss.has_hardware_code(), "no Pentium II event code (§4.3)");
+    assert!(
+        !Event::SimDtlbMiss.has_hardware_code(),
+        "no Pentium II event code (§4.3)"
+    );
     // And it was charged to T_DTLB in the ledger.
     assert!(cpu.ledger().total(wdtg_sim::Component::Tdtlb) > 0.0);
 }
@@ -126,14 +131,20 @@ fn latency_microbench_is_insensitive_to_interrupts() {
     // includes it like a real wall-clock measurement would).
     let mut cpu = Cpu::new(CpuConfig::pentium_ii_xeon());
     let m = measure_memory_latency(&mut cpu, 8 * 1024 * 1024);
-    assert!((58.0..=75.0).contains(&m.cycles_per_load), "latency {}", m.cycles_per_load);
+    assert!(
+        (58.0..=75.0).contains(&m.cycles_per_load),
+        "latency {}",
+        m.cycles_per_load
+    );
 }
 
 #[test]
 fn scaled_execution_matches_repeated_execution_counts() {
     // exec_block_scaled(b, n) retires exactly n invocations' worth of
     // instructions/branches while fetching the code once.
-    let b = CodeBlock::builder("w", 700).private(segment::PRIVATE, 512).at(segment::CODE);
+    let b = CodeBlock::builder("w", 700)
+        .private(segment::PRIVATE, 512)
+        .at(segment::CODE);
     let mut scaled = Cpu::new(quiet());
     scaled.exec_block_scaled(&b, 25);
     let mut repeated = Cpu::new(quiet());

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use wdtg_sim::{
-    segment, BranchSite, BranchUnit, BtbGeom, Cache, CacheGeom, CodeBlock, CpuConfig, Cpu,
+    segment, BranchSite, BranchUnit, BtbGeom, Cache, CacheGeom, CodeBlock, Cpu, CpuConfig,
     InterruptCfg, MemDep,
 };
 
@@ -105,6 +105,37 @@ proptest! {
         }
         let split = cpu.cycles_in_mode(Mode::User) + cpu.cycles_in_mode(Mode::Sup);
         prop_assert!((split - cpu.cycles()).abs() < 1e-6);
+    }
+
+    /// The contiguous-run cache fast path is observationally identical to
+    /// per-line accesses for arbitrary interleavings of runs.
+    #[test]
+    fn cache_run_fast_path_matches_per_line(
+        spans in proptest::collection::vec((0u64..4096, 1u64..200, any::<bool>()), 1..100)
+    ) {
+        let geom = CacheGeom { size_bytes: 16 * 1024, line_bytes: 32, assoc: 4 };
+        let mut per_line = Cache::new(geom);
+        let mut run = Cache::new(geom);
+        let mut missed = Vec::new();
+        for &(first, lines, write) in &spans {
+            let mut want_missed = Vec::new();
+            for line in first..first + lines {
+                if !per_line.access_line(line, write).hit {
+                    want_missed.push(line);
+                }
+            }
+            missed.clear();
+            let stats = run.access_run(first, lines, write, &mut missed);
+            prop_assert_eq!(&missed, &want_missed);
+            prop_assert_eq!(stats.misses, want_missed.len() as u64);
+            prop_assert_eq!(run.misses(), per_line.misses());
+            prop_assert_eq!(run.accesses(), per_line.accesses());
+            prop_assert_eq!(run.writebacks(), per_line.writebacks());
+        }
+        // Final residency agrees for a sample of lines.
+        for line in 0..4096u64 {
+            prop_assert_eq!(run.probe(line * 32), per_line.probe(line * 32));
+        }
     }
 
     /// A branch with a fixed direction is eventually predicted almost

@@ -143,7 +143,9 @@ mod tests {
         let scale = Scale::tiny();
         let mut db = tiny_db();
         prepare(&mut db, scale, MicroQuery::SequentialJoin).unwrap();
-        let res = db.run(&query(scale, MicroQuery::SequentialJoin, 0.1)).unwrap();
+        let res = db
+            .run(&query(scale, MicroQuery::SequentialJoin, 0.1))
+            .unwrap();
         // Every R row joins exactly once with S's primary key.
         assert_eq!(res.rows, scale.r_records);
     }

@@ -23,18 +23,30 @@ pub struct Scale {
 impl Scale {
     /// The paper's full-size database (1.2 M × 100 B; 40 K in S).
     pub fn paper() -> Scale {
-        Scale { r_records: 1_200_000, s_records: 40_000, record_bytes: 100 }
+        Scale {
+            r_records: 1_200_000,
+            s_records: 40_000,
+            record_bytes: 100,
+        }
     }
 
     /// Default experiment scale: 1/12 of the paper (100 K rows), preserving
     /// all ratios. Figures keep their shape; runs take seconds.
     pub fn dev() -> Scale {
-        Scale { r_records: 100_020, s_records: 3_334, record_bytes: 100 }
+        Scale {
+            r_records: 100_020,
+            s_records: 3_334,
+            record_bytes: 100,
+        }
     }
 
     /// Unit/integration-test scale.
     pub fn tiny() -> Scale {
-        Scale { r_records: 12_000, s_records: 400, record_bytes: 100 }
+        Scale {
+            r_records: 12_000,
+            s_records: 400,
+            record_bytes: 100,
+        }
     }
 
     /// Reads `WDTG_SCALE` (`paper`, `dev`, `tiny`; default `dev`).

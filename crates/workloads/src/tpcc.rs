@@ -24,19 +24,28 @@ pub struct TpccScale {
 impl TpccScale {
     /// Near-standard single-warehouse sizing.
     pub fn paper() -> TpccScale {
-        TpccScale { items: 100_000, customers_per_district: 3_000 }
+        TpccScale {
+            items: 100_000,
+            customers_per_district: 3_000,
+        }
     }
 
     /// Default experiment scale: the data working set (stock + customers +
     /// growing orders) is several MB — far beyond the 512 KB L2, so random
     /// point accesses miss like the paper's TPC-C does.
     pub fn dev() -> TpccScale {
-        TpccScale { items: 40_000, customers_per_district: 1_000 }
+        TpccScale {
+            items: 40_000,
+            customers_per_district: 1_000,
+        }
     }
 
     /// Test scale.
     pub fn tiny() -> TpccScale {
-        TpccScale { items: 1_000, customers_per_district: 50 }
+        TpccScale {
+            items: 1_000,
+            customers_per_district: 50,
+        }
     }
 
     /// Reads `WDTG_SCALE` (`paper`/`dev`/`tiny`).
@@ -78,15 +87,21 @@ pub fn load(db: &mut Database, scale: TpccScale, seed: u64) -> DbResult<()> {
 
     // warehouse(w_id, w_ytd, ...) — 1 row.
     db.create_table("warehouse", small_schema(&["w_id", "w_ytd"], 10))?;
-    db.load_rows("warehouse", std::iter::once({
-        let mut r = vec![0i32; 10];
-        r[0] = 1;
-        r
-    }))?;
+    db.load_rows(
+        "warehouse",
+        std::iter::once({
+            let mut r = vec![0i32; 10];
+            r[0] = 1;
+            r
+        }),
+    )?;
     db.create_index("warehouse", "w_id")?;
 
     // district(d_id, d_next_o_id, d_ytd, ...) — 10 rows.
-    db.create_table("district", small_schema(&["d_id", "d_next_o_id", "d_ytd"], 15))?;
+    db.create_table(
+        "district",
+        small_schema(&["d_id", "d_next_o_id", "d_ytd"], 15),
+    )?;
     db.load_rows(
         "district",
         (0..10).map(|d| {
@@ -130,7 +145,10 @@ pub fn load(db: &mut Database, scale: TpccScale, seed: u64) -> DbResult<()> {
     db.create_index("item", "i_id")?;
 
     // stock(s_i_id, s_quantity, s_ytd, s_cnt, ...) — 100-byte rows.
-    db.create_table("stock", small_schema(&["s_i_id", "s_quantity", "s_ytd", "s_cnt"], 25))?;
+    db.create_table(
+        "stock",
+        small_schema(&["s_i_id", "s_quantity", "s_ytd", "s_cnt"], 25),
+    )?;
     db.load_rows(
         "stock",
         (0..scale.items).map(|i| {
@@ -143,7 +161,10 @@ pub fn load(db: &mut Database, scale: TpccScale, seed: u64) -> DbResult<()> {
     db.create_index("stock", "s_i_id")?;
 
     // orders(o_id, o_c_id, o_d_id, o_ol_cnt, ...) — grows at run time.
-    db.create_table("orders", small_schema(&["o_id", "o_c_id", "o_d_id", "o_ol_cnt"], 15))?;
+    db.create_table(
+        "orders",
+        small_schema(&["o_id", "o_c_id", "o_d_id", "o_ol_cnt"], 15),
+    )?;
     db.create_index("orders", "o_id")?;
 
     // order_line(ol_key, ol_o_id, ol_i_id, ol_qty, ...) — grows at run time.
@@ -154,7 +175,10 @@ pub fn load(db: &mut Database, scale: TpccScale, seed: u64) -> DbResult<()> {
     db.create_index("order_line", "ol_o_id")?;
 
     // history(h_key, h_c_id, h_amount, ...) — insert-only.
-    db.create_table("history", small_schema(&["h_key", "h_c_id", "h_amount"], 15))?;
+    db.create_table(
+        "history",
+        small_schema(&["h_key", "h_c_id", "h_amount"], 15),
+    )?;
     Ok(())
 }
 
@@ -252,7 +276,10 @@ impl TpccDriver {
                 order[1] = c_id;
                 order[2] = d_id;
                 order[3] = ol_cnt;
-                db.run(&Query::InsertRow { table: "orders".into(), values: order })?;
+                db.run(&Query::InsertRow {
+                    table: "orders".into(),
+                    values: order,
+                })?;
                 for _ in 0..ol_cnt {
                     let i_id = self.rng.random_range(1..=items);
                     db.run(&Query::PointSelect {
@@ -274,7 +301,10 @@ impl TpccDriver {
                     ol[1] = o_id;
                     ol[2] = i_id;
                     ol[3] = self.rng.random_range(1..=10);
-                    db.run(&Query::InsertRow { table: "order_line".into(), values: ol })?;
+                    db.run(&Query::InsertRow {
+                        table: "order_line".into(),
+                        values: ol,
+                    })?;
                 }
             }
             TxnKind::Payment => {
@@ -307,7 +337,10 @@ impl TpccDriver {
                 self.next_history_key += 1;
                 h[1] = c_id;
                 h[2] = amount;
-                db.run(&Query::InsertRow { table: "history".into(), values: h })?;
+                db.run(&Query::InsertRow {
+                    table: "history".into(),
+                    values: h,
+                })?;
             }
             TxnKind::OrderStatus => {
                 let c_id = self.rng.random_range(1..=customers);
@@ -403,7 +436,10 @@ mod tests {
         let counts = driver.run(&mut db, 200).unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 200);
         // Mix roughly 45/43/4/4/4.
-        assert!(counts[0] > 60 && counts[1] > 60, "NewOrder/Payment dominate: {counts:?}");
+        assert!(
+            counts[0] > 60 && counts[1] > 60,
+            "NewOrder/Payment dominate: {counts:?}"
+        );
         assert!(counts[2] < 30 && counts[3] < 30 && counts[4] < 30);
     }
 

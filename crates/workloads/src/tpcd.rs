@@ -24,17 +24,26 @@ pub struct TpcdScale {
 impl TpcdScale {
     /// ≈100 MB of 100-byte records, like the paper's TPC-D database.
     pub fn paper() -> TpcdScale {
-        TpcdScale { lineitems: 800_000, orders: 200_000 }
+        TpcdScale {
+            lineitems: 800_000,
+            orders: 200_000,
+        }
     }
 
     /// Default experiment scale (seconds per suite run).
     pub fn dev() -> TpcdScale {
-        TpcdScale { lineitems: 80_000, orders: 20_000 }
+        TpcdScale {
+            lineitems: 80_000,
+            orders: 20_000,
+        }
     }
 
     /// Test scale.
     pub fn tiny() -> TpcdScale {
-        TpcdScale { lineitems: 8_000, orders: 2_000 }
+        TpcdScale {
+            lineitems: 8_000,
+            orders: 2_000,
+        }
     }
 
     /// Reads `WDTG_SCALE` like [`crate::Scale::from_env`].
@@ -144,11 +153,19 @@ pub fn load(db: &mut Database, scale: TpcdScale, seed: u64) -> DbResult<()> {
 }
 
 fn li(pred: Option<QueryPredicate>, agg: AggSpec) -> Query {
-    Query::SelectAgg { table: "lineitem".into(), predicate: pred, agg }
+    Query::SelectAgg {
+        table: "lineitem".into(),
+        predicate: pred,
+        agg,
+    }
 }
 
 fn range(col: &str, lo: i32, hi: i32) -> Option<QueryPredicate> {
-    Some(QueryPredicate::Range { col: col.into(), lo, hi })
+    Some(QueryPredicate::Range {
+        col: col.into(),
+        lo,
+        hi,
+    })
 }
 
 fn expr(e: Expr) -> Option<QueryPredicate> {
@@ -172,15 +189,24 @@ pub fn queries() -> Vec<(String, Query)> {
 
     let qs: Vec<Query> = vec![
         // Q1: pricing summary — full scan, aggregate.
-        li(range("l_shipdate", -1, 2400), AggSpec::sum("l_extendedprice")),
+        li(
+            range("l_shipdate", -1, 2400),
+            AggSpec::sum("l_extendedprice"),
+        ),
         // Q2: small shipdate window.
-        li(range("l_shipdate", 1000, 1090), AggSpec::avg("l_extendedprice")),
+        li(
+            range("l_shipdate", 1000, 1090),
+            AggSpec::avg("l_extendedprice"),
+        ),
         // Q3: quantity band.
         li(range("l_quantity", 10, 20), AggSpec::avg("l_extendedprice")),
         // Q4: commit vs receipt lateness (expression).
         li(
             expr(Expr::col(COMMIT).lt(Expr::col(RECEIPT))),
-            AggSpec { kind: AggKind::Count, col: String::new() },
+            AggSpec {
+                kind: AggKind::Count,
+                col: String::new(),
+            },
         ),
         // Q5: discount window + quantity cap (the TPC-D Q6 shape).
         li(
@@ -195,7 +221,10 @@ pub fn queries() -> Vec<(String, Query)> {
             AggSpec::sum("l_extendedprice"),
         ),
         // Q6: returned items.
-        li(expr(Expr::col(RFLAG).eq(Expr::lit(2))), AggSpec::sum("l_quantity")),
+        li(
+            expr(Expr::col(RFLAG).eq(Expr::lit(2))),
+            AggSpec::sum("l_quantity"),
+        ),
         // Q7: shipmode in {5,6} and late commit.
         li(
             expr(
@@ -236,11 +265,20 @@ pub fn queries() -> Vec<(String, Query)> {
             AggSpec::avg("l_extendedprice"),
         ),
         // Q11: full-table max.
-        li(None, AggSpec { kind: AggKind::Max, col: "l_extendedprice".into() }),
+        li(
+            None,
+            AggSpec {
+                kind: AggKind::Max,
+                col: "l_extendedprice".into(),
+            },
+        ),
         // Q12: full-table count.
         li(None, AggSpec::count()),
         // Q13: partkey hot range.
-        li(range("l_partkey", 1_000, 21_000), AggSpec::avg("l_quantity")),
+        li(
+            range("l_partkey", 1_000, 21_000),
+            AggSpec::avg("l_quantity"),
+        ),
         // Q14: suppkey range with quantity filter.
         li(
             expr(
@@ -309,7 +347,10 @@ mod tests {
             }
             assert!(res.rows <= scale.lineitems, "{label} rows {0}", res.rows);
         }
-        assert!(nonzero >= 15, "almost all queries select something: {nonzero}");
+        assert!(
+            nonzero >= 15,
+            "almost all queries select something: {nonzero}"
+        );
     }
 
     #[test]

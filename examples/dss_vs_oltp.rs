@@ -14,7 +14,10 @@ fn main() {
     let cfg = CpuConfig::pentium_ii_xeon();
     let sys = SystemId::B;
 
-    println!("{} under DSS (17 TPC-D-like queries) and OLTP (TPC-C-like mix):\n", sys.name());
+    println!(
+        "{} under DSS (17 TPC-D-like queries) and OLTP (TPC-C-like mix):\n",
+        sys.name()
+    );
 
     let dss = measure_tpcd(sys, TpcdScale::tiny(), &cfg).expect("dss runs");
     let oltp = measure_tpcc(sys, TpccScale::tiny(), &cfg, 200).expect("oltp runs");
@@ -22,14 +25,32 @@ fn main() {
     let mut t = TextTable::new(["metric", "DSS (TPC-D-like)", "OLTP (TPC-C-like)"]);
     let fd = dss.truth.four_way();
     let fo = oltp.truth.four_way();
-    t.row(["CPI".to_string(), format!("{:.2}", dss.truth.cpi()), format!("{:.2}", oltp.truth.cpi())]);
-    t.row(["computation".to_string(), pct(fd.computation), pct(fo.computation)]);
+    t.row([
+        "CPI".to_string(),
+        format!("{:.2}", dss.truth.cpi()),
+        format!("{:.2}", oltp.truth.cpi()),
+    ]);
+    t.row([
+        "computation".to_string(),
+        pct(fd.computation),
+        pct(fo.computation),
+    ]);
     t.row(["memory stalls".to_string(), pct(fd.memory), pct(fo.memory)]);
-    t.row(["  L2 share of memory".to_string(),
+    t.row([
+        "  L2 share of memory".to_string(),
         pct((dss.truth.tl2d + dss.truth.tl2i) / dss.truth.tm().max(1e-9)),
-        pct(oltp.l2_share_of_memory())]);
-    t.row(["branch mispredictions".to_string(), pct(fd.branch), pct(fo.branch)]);
-    t.row(["resource stalls".to_string(), pct(fd.resource), pct(fo.resource)]);
+        pct(oltp.l2_share_of_memory()),
+    ]);
+    t.row([
+        "branch mispredictions".to_string(),
+        pct(fd.branch),
+        pct(fo.branch),
+    ]);
+    t.row([
+        "resource stalls".to_string(),
+        pct(fd.resource),
+        pct(fo.resource),
+    ]);
     println!("{t}");
     println!("Paper §5.5: OLTP runs at 2.5-4.5 CPI with 60-80% memory stalls dominated");
     println!("by the L2, while DSS looks like the simple scan queries.");

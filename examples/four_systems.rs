@@ -18,7 +18,10 @@ fn main() {
     let cfg = CpuConfig::pentium_ii_xeon();
     let m = Methodology::default();
 
-    println!("10% sequential range selection over R ({} rows, 100-byte records)\n", scale.r_records);
+    println!(
+        "10% sequential range selection over R ({} rows, 100-byte records)\n",
+        scale.r_records
+    );
     let mut table = TextTable::new([
         "system",
         "instr/record",
@@ -30,9 +33,15 @@ fn main() {
         "resource",
     ]);
     for sys in SystemId::ALL {
-        let meas =
-            measure_query(sys, MicroQuery::SequentialRangeSelection, 0.1, scale, &cfg, &m)
-                .expect("measurement runs");
+        let meas = measure_query(
+            sys,
+            MicroQuery::SequentialRangeSelection,
+            0.1,
+            scale,
+            &cfg,
+            &m,
+        )
+        .expect("measurement runs");
         let f = meas.truth.four_way();
         table.row([
             sys.name().to_string(),

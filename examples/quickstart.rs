@@ -26,19 +26,42 @@ fn main() {
 
     let b = &measurement.truth;
     let f = b.four_way();
-    println!("System C, 10% sequential range selection ({} rows selected)\n", measurement.rows);
+    println!(
+        "System C, 10% sequential range selection ({} rows selected)\n",
+        measurement.rows
+    );
     println!("cycles per query:        {:>12.0}", b.cycles);
     println!("instructions retired:    {:>12}", b.inst_retired);
     println!("clocks per instruction:  {:>12.2}", b.cpi());
     println!();
     println!("where does time go?");
-    println!("  computation      {:>7}   {}", pct(f.computation), bar(f.computation));
-    println!("  memory stalls    {:>7}   {}", pct(f.memory), bar(f.memory));
-    println!("    L1D {:>6}  L1I {:>6}  L2D {:>6}  L2I {:>6}",
-        pct(b.tl1d / b.cycles), pct(b.tl1i / b.cycles),
-        pct(b.tl2d / b.cycles), pct(b.tl2i / b.cycles));
-    println!("  branch mispred.  {:>7}   {}", pct(f.branch), bar(f.branch));
-    println!("  resource stalls  {:>7}   {}", pct(f.resource), bar(f.resource));
+    println!(
+        "  computation      {:>7}   {}",
+        pct(f.computation),
+        bar(f.computation)
+    );
+    println!(
+        "  memory stalls    {:>7}   {}",
+        pct(f.memory),
+        bar(f.memory)
+    );
+    println!(
+        "    L1D {:>6}  L1I {:>6}  L2D {:>6}  L2I {:>6}",
+        pct(b.tl1d / b.cycles),
+        pct(b.tl1i / b.cycles),
+        pct(b.tl2d / b.cycles),
+        pct(b.tl2i / b.cycles)
+    );
+    println!(
+        "  branch mispred.  {:>7}   {}",
+        pct(f.branch),
+        bar(f.branch)
+    );
+    println!(
+        "  resource stalls  {:>7}   {}",
+        pct(f.resource),
+        bar(f.resource)
+    );
     println!();
     println!(
         "hardware rates: L1D miss {:.1}%, L2 data miss {:.1}%, mispredict {:.1}%, BTB miss {:.1}%",

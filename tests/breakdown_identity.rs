@@ -54,7 +54,10 @@ fn oltp_transactions_also_satisfy_the_identity() {
 
 #[test]
 fn emon_estimate_reconstructs_overlap_as_nonnegative_residual() {
-    let m = Methodology { with_emon: true, ..Methodology::default() };
+    let m = Methodology {
+        with_emon: true,
+        ..Methodology::default()
+    };
     let meas = measure_query(
         SystemId::B,
         MicroQuery::SequentialRangeSelection,

@@ -57,8 +57,13 @@ fn warm_runs_are_faster_than_cold_runs() {
     // execution must cost more cycles than a warmed one.
     let scale = Scale::tiny();
     let cfg = CpuConfig::pentium_ii_xeon();
-    let mut db =
-        build_db(SystemId::D, scale, MicroQuery::SequentialRangeSelection, &cfg).expect("build");
+    let mut db = build_db(
+        SystemId::D,
+        scale,
+        MicroQuery::SequentialRangeSelection,
+        &cfg,
+    )
+    .expect("build");
     let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
 
     let s0 = db.cpu().snapshot();

@@ -10,7 +10,10 @@ use wdtg_workloads::{MicroQuery, Scale};
 
 #[test]
 fn emon_reconstruction_tracks_ground_truth() {
-    let m = Methodology { with_emon: true, ..Methodology::default() };
+    let m = Methodology {
+        with_emon: true,
+        ..Methodology::default()
+    };
     let meas = measure_query(
         SystemId::C,
         MicroQuery::SequentialRangeSelection,
@@ -40,14 +43,22 @@ fn emon_reconstruction_tracks_ground_truth() {
         ("TL1I", est.tl1i, truth.tl1i),
     ] {
         if t > 1000.0 {
-            assert!(e > t * 0.5 && e < t * 2.5, "{name}: est {e:.0} vs truth {t:.0}");
+            assert!(
+                e > t * 0.5 && e < t * 2.5,
+                "{name}: est {e:.0} vs truth {t:.0}"
+            );
         }
     }
     // The overlap the paper could not measure is reconstructable here and
     // must be a small fraction of execution (the workload is latency-bound,
     // §4.3).
     assert!(est.tovl() >= 0.0);
-    assert!(est.tovl() < 0.35 * est.cycles, "overlap {} vs cycles {}", est.tovl(), est.cycles);
+    assert!(
+        est.tovl() < 0.35 * est.cycles,
+        "overlap {} vs cycles {}",
+        est.tovl(),
+        est.cycles
+    );
 }
 
 #[test]

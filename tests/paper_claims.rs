@@ -14,7 +14,11 @@ fn test_ctx() -> FigureCtx {
     FigureCtx {
         // Between tiny and dev: large enough for the footprint/locality
         // effects that drive the shapes, small enough for CI.
-        scale: Scale { r_records: 60_000, s_records: 2_000, record_bytes: 100 },
+        scale: Scale {
+            r_records: 60_000,
+            s_records: 2_000,
+            record_bytes: 100,
+        },
         cfg: CpuConfig::pentium_ii_xeon(),
         methodology: Methodology::default(),
     }
@@ -50,9 +54,9 @@ fn selectivity_couples_branch_and_instruction_stalls() {
     // (§5.3: "the branch misprediction rate does not vary significantly with
     // record size or selectivity").
     let rates: Vec<f64> = sweep.points.iter().map(|p| p.3).collect();
-    let (min, max) = rates
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), r| (lo.min(*r), hi.max(*r)));
+    let (min, max) = rates.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), r| {
+        (lo.min(*r), hi.max(*r))
+    });
     assert!(
         max - min < 0.05,
         "misprediction rate should be stable across selectivities: {rates:?}"
