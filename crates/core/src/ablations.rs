@@ -1,7 +1,7 @@
 //! Ablation experiments for the design points the paper discusses but could
 //! not vary on real hardware.
 //!
-//! * **A1 — BTB size** (§5.3 cites [7]: larger BTBs, up to 16 K entries,
+//! * **A1 — BTB size** (§5.3 cites \[7\]: larger BTBs, up to 16 K entries,
 //!   improve OLTP-style branch streams);
 //! * **A2 — L2 capacity** (§5.2.1: "The size of today's L2 caches has
 //!   increased to 8 MB, and continues to increase");

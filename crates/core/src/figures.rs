@@ -318,6 +318,86 @@ impl ExecModeComparison {
     }
 }
 
+/// NSM-vs-PAX page-layout comparison: the paper's breakdowns regenerated
+/// over both on-page layouts of the same engine. The paper's headline result
+/// is that L2 *data* stalls dominate `T_M` on sequential scans; the PAX
+/// layout (Ailamaki et al., VLDB 2001) attacks exactly that term by grouping
+/// attribute values into per-page minipages, so a scan touching k of n
+/// columns pulls only those k minipages' cache lines.
+#[derive(Debug, Clone)]
+pub struct LayoutComparison {
+    /// Which microbenchmark query was compared.
+    pub query: MicroQuery,
+    /// Per system: (NSM measurement, PAX measurement).
+    pub pairs: Vec<(QueryMeasurement, QueryMeasurement)>,
+}
+
+impl LayoutComparison {
+    /// Runs `query` at 10% selectivity on every participating system under
+    /// both page layouts.
+    pub fn run(ctx: &FigureCtx, query: MicroQuery) -> DbResult<LayoutComparison> {
+        let mut pairs = Vec::new();
+        for &sys in systems_for(query) {
+            let nsm = measure_query(sys, query, 0.1, ctx.scale, &ctx.cfg, &ctx.methodology)?;
+            let pax = measure_query(sys, query, 0.1, ctx.scale, &ctx.cfg, &ctx.methodology.pax())?;
+            pairs.push((nsm, pax));
+        }
+        Ok(LayoutComparison { query, pairs })
+    }
+
+    /// T_L2D reduction factor (NSM / PAX) for one system, if measured.
+    pub fn l2d_reduction(&self, sys: SystemId) -> Option<f64> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n.system == sys)
+            .map(|(n, p)| n.truth.tl2d / p.truth.tl2d.max(1e-9))
+    }
+
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "NSM vs PAX page layout, {} at 10% selectivity\n\
+             (cycles per record; memory-stall and L2-data shares of time)\n",
+            self.query.label()
+        );
+        let mut t = TextTable::new([
+            "system",
+            "cyc/rec NSM",
+            "cyc/rec PAX",
+            "speedup",
+            "T_M% NSM",
+            "T_M% PAX",
+            "T_L2D% NSM",
+            "T_L2D% PAX",
+        ]);
+        for (nsm, pax) in &self.pairs {
+            let share = |m: &QueryMeasurement, v: f64| v / m.truth.component_sum().max(1e-9);
+            t.row([
+                nsm.system.letter().to_string(),
+                format!("{:.0}", nsm.cycles_per_record()),
+                format!("{:.0}", pax.cycles_per_record()),
+                format!(
+                    "{:.2}x",
+                    nsm.cycles_per_record() / pax.cycles_per_record().max(1e-9)
+                ),
+                pct(share(nsm, nsm.truth.tm())),
+                pct(share(pax, pax.truth.tm())),
+                pct(share(nsm, nsm.truth.tl2d)),
+                pct(share(pax, pax.truth.tl2d)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(
+            "PAX packs each attribute's values contiguously per page, so engines\n\
+             that read only the projected fields (System A) shed most of their L2\n\
+             data misses on narrow scans; full-record engines (B/C/D) gather every\n\
+             minipage and stay near NSM parity — the fix targets T_L2D, the\n\
+             component the paper finds dominant.\n",
+        );
+        out
+    }
+}
+
 /// Figure 5.4 (right): T_B and T_L1I versus selectivity, System D running
 /// the sequential range selection.
 #[derive(Debug, Clone)]

@@ -36,10 +36,11 @@ pub mod validate;
 
 pub use breakdown::{BreakdownSource, FourWay, TimeBreakdown};
 pub use figures::{
-    ExecModeComparison, FigureCtx, L1iHypotheses, MicrobenchGrid, RecordSizeSweep, SelectivitySweep,
+    ExecModeComparison, FigureCtx, L1iHypotheses, LayoutComparison, MicrobenchGrid,
+    RecordSizeSweep, SelectivitySweep,
 };
 pub use methodology::{
-    build_db, build_db_with, measure_query, measure_query_with, measured_latency, Methodology,
-    QueryMeasurement, Rates,
+    build_db, build_db_with, build_db_with_layout, measure_query, measure_query_with,
+    measured_latency, Methodology, QueryMeasurement, Rates,
 };
 pub use validate::{render_claims, Claim};

@@ -8,7 +8,7 @@
 //! of numbers exhibit a standard deviation of less than 5 percent."
 
 use wdtg_emon::{measure_breakdown, ModeSel, Penalties, Target};
-use wdtg_memdb::{Database, DbResult, EngineProfile, ExecMode, Query, SystemId};
+use wdtg_memdb::{Database, DbResult, EngineProfile, ExecMode, PageLayout, Query, SystemId};
 use wdtg_sim::{measure_memory_latency, Cpu, CpuConfig, Event, Mode, Snapshot};
 use wdtg_workloads::{micro, MicroQuery, Scale};
 
@@ -35,6 +35,11 @@ pub struct Methodology {
     /// regenerates the same breakdowns over the vectorized executor so the
     /// two can be compared.
     pub exec_mode: ExecMode,
+    /// On-page record layout of the measured relations. The paper's systems
+    /// store slotted NSM pages ([`PageLayout::Nsm`], the default);
+    /// [`PageLayout::Pax`] regenerates the same breakdowns over
+    /// cache-conscious per-attribute minipages.
+    pub layout: PageLayout,
 }
 
 impl Default for Methodology {
@@ -46,6 +51,7 @@ impl Default for Methodology {
             max_rel_stddev: 0.05,
             with_emon: false,
             exec_mode: ExecMode::Row,
+            layout: PageLayout::Nsm,
         }
     }
 }
@@ -60,6 +66,7 @@ impl Methodology {
             max_rel_stddev: 0.05,
             with_emon: true,
             exec_mode: ExecMode::Row,
+            layout: PageLayout::Nsm,
         }
     }
 
@@ -69,6 +76,16 @@ impl Methodology {
             exec_mode: ExecMode::Batch,
             ..self
         }
+    }
+
+    /// The same methodology over a given page layout.
+    pub fn with_layout(self, layout: PageLayout) -> Methodology {
+        Methodology { layout, ..self }
+    }
+
+    /// The same methodology over PAX pages.
+    pub fn pax(self) -> Methodology {
+        self.with_layout(PageLayout::Pax)
     }
 }
 
@@ -179,17 +196,28 @@ impl Target for DbTarget<'_> {
 }
 
 /// Builds a database for `profile` and prepares the given microbenchmark
-/// query's dataset/indexes at `scale` (uninstrumented).
+/// query's dataset/indexes at `scale` in NSM pages (uninstrumented).
 pub fn build_db_with(
     profile: EngineProfile,
     scale: Scale,
     query: MicroQuery,
     cfg: &CpuConfig,
 ) -> DbResult<Database> {
+    build_db_with_layout(profile, scale, query, cfg, PageLayout::Nsm)
+}
+
+/// [`build_db_with`] with an explicit page layout for the relations.
+pub fn build_db_with_layout(
+    profile: EngineProfile,
+    scale: Scale,
+    query: MicroQuery,
+    cfg: &CpuConfig,
+    layout: PageLayout,
+) -> DbResult<Database> {
     let expected_pages = (scale.r_records + scale.s_records) / 40 + 1024;
     let mut db = Database::with_capacity(profile, cfg.clone(), expected_pages);
     db.ctx.instrument = false;
-    micro::prepare(&mut db, scale, query)?;
+    micro::prepare_with_layout(&mut db, scale, query, layout)?;
     db.ctx.instrument = true;
     Ok(db)
 }
@@ -234,7 +262,7 @@ pub fn measure_query_with(
     m: &Methodology,
 ) -> DbResult<QueryMeasurement> {
     let system = profile.system;
-    let mut db = build_db_with(profile, scale, query, cfg)?;
+    let mut db = build_db_with_layout(profile, scale, query, cfg, m.layout)?;
     db.set_exec_mode(m.exec_mode);
     let q = micro::query(scale, query, selectivity);
 

@@ -7,6 +7,30 @@
 //! management instructions" the paper's third hypothesis (§5.2.2) blames for
 //! extra L1I misses with larger records, so the page table is simulated
 //! memory and the lookup is an instrumented code path.
+//!
+//! # Table layout and stall accounting
+//!
+//! The table is open-addressed (Fibonacci hash, linear probing) at a fixed
+//! load factor ≤ 0.5, stored in the MISC segment as 16-byte entries:
+//!
+//! ```text
+//! entry  +0            +8
+//!        +-------------+---------------+
+//!        | page_id + 1 | frame address |   (key 0 = empty slot)
+//!        +-------------+---------------+
+//! ```
+//!
+//! [`BufferPool::lookup_into`] itself reads host memory only; the caller
+//! (`ExecEnv::lookup_page`) charges one instrumented 16-byte touch per
+//! *probed* entry, with the access's [`wdtg_sim::MemDep`] class deciding how
+//! a miss stalls the pipeline: sequential scans probe with `Demand`
+//! (overlappable), rid fetches with `Chase` (serialized pointer chase).
+//! Registration happens at load time and is deliberately uninstrumented,
+//! matching the paper's pre-measurement loading phase (§4.3).
+//!
+//! The lookup cost is identical under both page layouts
+//! ([`crate::heap::PageLayout`]): PAX reorganizes bytes *within* a frame,
+//! not the page-id → frame mapping.
 
 use crate::arena::SimArena;
 

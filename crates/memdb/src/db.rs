@@ -15,7 +15,7 @@ use crate::exec::join_hash::HashJoin;
 use crate::exec::join_nl::IndexNlJoin;
 use crate::exec::seqscan::SeqScan;
 use crate::exec::{ExecEnv, ExecMode, Operator};
-use crate::heap::{HeapFile, Rid, HDR_NRECS, PAGE_HDR};
+use crate::heap::{HeapFile, PageLayout, Rid, HDR_NRECS};
 use crate::index::btree::BTree;
 use crate::profiles::{EngineProfile, EvalMode, JoinAlgo};
 use crate::query::{AggKind, Query, QueryPredicate, QueryResult};
@@ -212,6 +212,7 @@ pub struct Database {
     bufpool: BufferPool,
     profile: EngineProfile,
     exec_mode: ExecMode,
+    page_layout: PageLayout,
 }
 
 impl Database {
@@ -227,6 +228,7 @@ impl Database {
             bufpool,
             profile,
             exec_mode: ExecMode::Row,
+            page_layout: PageLayout::Nsm,
         }
     }
 
@@ -254,6 +256,23 @@ impl Database {
     /// Builder-style [`Database::set_exec_mode`].
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// The page layout newly created tables get.
+    pub fn page_layout(&self) -> PageLayout {
+        self.page_layout
+    }
+
+    /// Selects the page layout for tables created after this call (existing
+    /// tables keep the layout they were created with).
+    pub fn set_page_layout(&mut self, layout: PageLayout) {
+        self.page_layout = layout;
+    }
+
+    /// Builder-style [`Database::set_page_layout`].
+    pub fn with_page_layout(mut self, layout: PageLayout) -> Self {
+        self.page_layout = layout;
         self
     }
 
@@ -285,14 +304,24 @@ impl Database {
             .find(|i| i.table == table && i.col == col)
     }
 
-    /// Creates an empty table.
+    /// Creates an empty table in the database's current page layout.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<usize> {
+        self.create_table_with_layout(name, schema, self.page_layout)
+    }
+
+    /// Creates an empty table with an explicit page layout.
+    pub fn create_table_with_layout(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        layout: PageLayout,
+    ) -> DbResult<usize> {
         if self.tables.iter().any(|t| t.name == name) {
             return Err(DbError::TableExists(name.to_string()));
         }
         // Global page-id space: 2^20 pages per table.
         let first_page_id = (self.tables.len() as u64) << 20;
-        let heap = HeapFile::new(schema.record_bytes(), first_page_id);
+        let heap = HeapFile::with_layout(schema.record_bytes(), first_page_id, layout);
         self.tables.push(Table {
             name: name.to_string(),
             schema,
@@ -361,13 +390,14 @@ impl Database {
         }
         let mut btree = BTree::new(&mut self.ctx.index);
         let table = &self.tables[ti];
-        let off = table.schema.col_offset(ci) as u64;
         for page_no in 0..table.heap.n_pages() {
             let page = table.heap.page_addr(page_no)?;
             let nrecs = self.ctx.heap.read_i32(page + HDR_NRECS) as u32;
             for slot in 0..nrecs {
-                let addr = page + PAGE_HDR + slot as u64 * table.heap.record_size as u64;
-                let key = self.ctx.heap.read_i32(addr + off);
+                let key = self
+                    .ctx
+                    .heap
+                    .read_i32(table.heap.field_addr_at(page, slot, ci));
                 btree.insert(
                     &mut self.ctx.index,
                     key,
@@ -793,7 +823,6 @@ impl Database {
             .ok_or_else(|| DbError::IndexNotFound(format!("{table}.{key_col}")))?;
         let btree = ix.btree.clone();
         let heap = self.tables[ti].heap.clone();
-        let read_off = self.tables[ti].schema.col_offset(rc) as u64;
         let blocks = Rc::clone(&self.profile.blocks);
 
         let Database {
@@ -815,8 +844,10 @@ impl Database {
                 break;
             }
             let rid = Rid::unpack(rid);
-            let addr = fetch_record(&mut env, &heap, rid, &blocks)?;
-            let v = env.ctx.load_i32(addr + read_off, MemDep::Chase);
+            let frame = fetch_record(&mut env, &heap, rid, &blocks)?;
+            let v = env
+                .ctx
+                .load_i32(heap.field_addr_at(frame, rid.slot, rc), MemDep::Chase);
             if rows == 0 {
                 value = v as f64;
             }
@@ -843,7 +874,6 @@ impl Database {
             .ok_or_else(|| DbError::IndexNotFound(format!("{table}.{key_col}")))?;
         let btree = ix.btree.clone();
         let heap = self.tables[ti].heap.clone();
-        let set_off = self.tables[ti].schema.col_offset(sc) as u64;
         let blocks = Rc::clone(&self.profile.blocks);
 
         let Database {
@@ -865,11 +895,12 @@ impl Database {
                 break;
             }
             let rid = Rid::unpack(rid);
-            let addr = fetch_record(&mut env, &heap, rid, &blocks)?;
+            let frame = fetch_record(&mut env, &heap, rid, &blocks)?;
             env.ctx.exec(&blocks.update_step);
-            let v = env.ctx.load_i32(addr + set_off, MemDep::Chase);
+            let set_addr = heap.field_addr_at(frame, rid.slot, sc);
+            let v = env.ctx.load_i32(set_addr, MemDep::Chase);
             last = v.wrapping_add(delta);
-            env.ctx.store_i32(addr + set_off, last, MemDep::Demand);
+            env.ctx.store_i32(set_addr, last, MemDep::Demand);
             rows += 1;
         }
         Ok(QueryResult {
@@ -898,18 +929,23 @@ impl Database {
         let table_ref = &mut self.tables[ti];
         let pages_before = table_ref.heap.n_pages();
         let rid = table_ref.heap.insert_raw(&mut self.ctx.heap, &buf);
-        let rec_addr = table_ref.heap.record_addr(rid)?;
-        let rec_size = table_ref.heap.record_size;
         if table_ref.heap.n_pages() != pages_before {
             let page_no = table_ref.heap.n_pages() - 1;
             let addr = table_ref.heap.page_addr(page_no)?;
             self.bufpool
                 .register(&mut self.ctx.misc, table_ref.heap.page_id(page_no), addr);
         }
-        // Charge the work: insert path + record store + header update.
+        // Charge the work: insert path + record store (contiguous under NSM,
+        // one field per minipage under PAX) + header update.
         self.ctx.exec(&blocks.insert_step);
         let page_addr = self.tables[ti].heap.page_addr(rid.page)?;
-        self.ctx.store_touch(rec_addr, rec_size, MemDep::Demand);
+        store_record_fields(
+            &mut self.ctx,
+            &self.tables[ti].heap,
+            page_addr,
+            rid.slot,
+            MemDep::Demand,
+        );
         self.ctx
             .store_touch(page_addr + HDR_NRECS, 4, MemDep::Demand);
 
@@ -952,8 +988,10 @@ impl Database {
     }
 }
 
-/// Fetches a record by rid through the buffer pool (instrumented); returns
-/// the record's simulated address. Shared by index scans and point ops.
+/// Fetches a record's page by rid through the buffer pool (instrumented);
+/// returns the page frame address. Field addresses within the page come from
+/// [`HeapFile::field_addr_at`], which resolves the file's layout (NSM record
+/// offset or PAX minipage entry). Shared by index scans and point ops.
 pub(crate) fn fetch_record(
     env: &mut ExecEnv<'_>,
     heap: &HeapFile,
@@ -969,13 +1007,67 @@ pub(crate) fn fetch_record(
 /// the page-header read, without the per-call code blocks. Batched index
 /// scans charge the blocks once per batch and call this per record.
 pub(crate) fn fetch_record_data(env: &mut ExecEnv<'_>, heap: &HeapFile, rid: Rid) -> DbResult<u64> {
+    if rid.slot >= heap.page_cap {
+        return Err(DbError::BadRid);
+    }
     let page_id = heap.page_id(rid.page);
     let frame = env.lookup_page(page_id, MemDep::Chase)?;
     // Page header read (latch/validity check) — the page is random, so this
     // is usually another cold line.
     env.ctx.touch(frame + HDR_NRECS, 8, MemDep::Chase);
     debug_assert_eq!(frame, heap.page_addr(rid.page)?);
-    heap.record_addr(rid)
+    Ok(frame)
+}
+
+/// Charges the demand reads of every field of `slot` on the page at
+/// `page_addr`: one contiguous `record_size` span under NSM, one 4-byte
+/// touch per minipage under PAX (same bytes, different lines). Used by
+/// full-record materialization paths.
+pub(crate) fn touch_record_fields(
+    ctx: &mut DbCtx,
+    heap: &HeapFile,
+    page_addr: u64,
+    slot: u32,
+    dep: MemDep,
+) {
+    match heap.layout {
+        PageLayout::Nsm => {
+            ctx.touch(
+                heap.field_addr_at(page_addr, slot, 0),
+                heap.record_size,
+                dep,
+            );
+        }
+        PageLayout::Pax => {
+            for c in 0..heap.n_fields() as usize {
+                ctx.touch(heap.field_addr_at(page_addr, slot, c), 4, dep);
+            }
+        }
+    }
+}
+
+/// The store-side twin of [`touch_record_fields`] (heap appends/updates).
+pub(crate) fn store_record_fields(
+    ctx: &mut DbCtx,
+    heap: &HeapFile,
+    page_addr: u64,
+    slot: u32,
+    dep: MemDep,
+) {
+    match heap.layout {
+        PageLayout::Nsm => {
+            ctx.store_touch(
+                heap.field_addr_at(page_addr, slot, 0),
+                heap.record_size,
+                dep,
+            );
+        }
+        PageLayout::Pax => {
+            for c in 0..heap.n_fields() as usize {
+                ctx.store_touch(heap.field_addr_at(page_addr, slot, c), 4, dep);
+            }
+        }
+    }
 }
 
 enum PredKind {

@@ -11,7 +11,7 @@ use std::rc::Rc;
 
 use wdtg_sim::MemDep;
 
-use crate::db::{fetch_record, fetch_record_data};
+use crate::db::{fetch_record, fetch_record_data, touch_record_fields};
 use crate::error::DbResult;
 use crate::exec::batch::Batch;
 use crate::exec::{ExecEnv, Operator};
@@ -196,11 +196,12 @@ impl Operator for IndexRangeScan {
                 return Ok(false);
             }
             // Fetch the record at a (random) heap page through the buffer
-            // pool, then read the projected fields.
+            // pool, then read the projected fields at their layout-resolved
+            // addresses.
             let rid = Rid::unpack(packed);
-            let addr = fetch_record(env, &self.heap, rid, &self.blocks)?;
+            let frame = fetch_record(env, &self.heap, rid, &self.blocks)?;
             if self.materialize_full {
-                env.ctx.touch(addr, self.heap.record_size, MemDep::Chase);
+                touch_record_fields(env.ctx, &self.heap, frame, rid.slot, MemDep::Chase);
                 env.ctx
                     .store_touch(self.blocks.tuple_buf, self.heap.record_size, MemDep::Demand);
                 env.ctx
@@ -208,10 +209,11 @@ impl Operator for IndexRangeScan {
             }
             out.clear();
             for &c in &self.cols {
+                let addr = self.heap.field_addr_at(frame, rid.slot, c);
                 let v = if self.materialize_full {
-                    env.ctx.read_raw_i32(addr + (c as u64) * 4)
+                    env.ctx.read_raw_i32(addr)
                 } else {
-                    env.ctx.load_i32(addr + (c as u64) * 4, MemDep::Chase)
+                    env.ctx.load_i32(addr, MemDep::Chase)
                 };
                 out.push(v);
             }
@@ -245,16 +247,17 @@ impl Operator for IndexRangeScan {
                 break;
             };
             let rid = Rid::unpack(packed);
-            let addr = fetch_record_data(env, &self.heap, rid)?;
+            let frame = fetch_record_data(env, &self.heap, rid)?;
             if self.materialize_full {
-                env.ctx.touch(addr, self.heap.record_size, MemDep::Chase);
+                touch_record_fields(env.ctx, &self.heap, frame, rid.slot, MemDep::Chase);
             }
             row.clear();
             for &c in &self.cols {
+                let addr = self.heap.field_addr_at(frame, rid.slot, c);
                 let v = if self.materialize_full {
-                    env.ctx.read_raw_i32(addr + (c as u64) * 4)
+                    env.ctx.read_raw_i32(addr)
                 } else {
-                    env.ctx.load_i32(addr + (c as u64) * 4, MemDep::Chase)
+                    env.ctx.load_i32(addr, MemDep::Chase)
                 };
                 row.push(v);
             }

@@ -64,11 +64,12 @@ impl Operator for IndexNlJoin {
         loop {
             if let Some(packed) = self.pending.pop() {
                 let rid = Rid::unpack(packed);
-                let addr = fetch_record(env, &self.inner_heap, rid, &self.blocks)?;
+                let frame = fetch_record(env, &self.inner_heap, rid, &self.blocks)?;
                 out.clear();
                 out.extend_from_slice(&self.outer_row);
                 for &c in &self.inner_cols {
-                    out.push(env.ctx.load_i32(addr + (c as u64) * 4, MemDep::Chase));
+                    let addr = self.inner_heap.field_addr_at(frame, rid.slot, c);
+                    out.push(env.ctx.load_i32(addr, MemDep::Chase));
                 }
                 env.ctx.exec(&self.blocks.join_match);
                 return Ok(true);

@@ -1,4 +1,4 @@
-//! Sequential heap scan.
+//! Sequential heap scan over either page layout.
 //!
 //! The workhorse of the paper's sequential range selection. Per page it runs
 //! the page-open path (buffer-pool lookup + page latch/header decode — the
@@ -8,12 +8,27 @@
 //! (System B) issue line prefetches ahead of the scan cursor, which converts
 //! L2 data misses into hits (§5.2.1: B's L2 data miss rate is ≈2% on SRS).
 //!
-//! The batched path (`next_batch`) keeps the *data* side identical — the
-//! same record touches and prefetches in the same order — but charges the
-//! per-record code as one page-run of the engine's tight batch loop instead
-//! of one full `scan_next` path per record, and streams whole-record runs
-//! through the simulator's contiguous-run fast lane when the engine
-//! materializes full records.
+//! # Layouts
+//!
+//! Data addresses come from [`HeapFile::field_addr_at`], so the same scan
+//! code walks both page layouts and the simulated cache sees their true
+//! line-level difference:
+//!
+//! * **NSM** — fields of a record are contiguous; full-record
+//!   materialization touches one `record_size` span, field-at-a-time engines
+//!   touch projected fields at `record_size` stride (≈ one fresh line per
+//!   record regardless of how few columns the query needs).
+//! * **PAX** — each column is contiguous within its minipage; projected
+//!   fields advance at 4-byte stride, so a scan touching `k` of `n` columns
+//!   pulls only those `k` minipages' lines. Full-record materialization
+//!   gathers one field per minipage — the same lines NSM touches, so wide
+//!   access keeps near-parity.
+//!
+//! The batched path (`next_batch`) keeps the *data* side equivalent — the
+//! same lines in the same page order — but charges the per-record code as
+//! one page-run of the engine's tight batch loop instead of one full
+//! `scan_next` path per record, and streams contiguous spans (NSM records,
+//! PAX minipage runs) through the simulator's contiguous-run fast lane.
 
 use std::rc::Rc;
 
@@ -22,13 +37,16 @@ use wdtg_sim::MemDep;
 use crate::error::DbResult;
 use crate::exec::batch::Batch;
 use crate::exec::{ExecEnv, Operator};
-use crate::heap::{HeapFile, HDR_NRECS, PAGE_HDR, PAGE_SIZE};
+use crate::heap::{HeapFile, PageLayout, HDR_NRECS, PAGE_SIZE};
 use crate::profiles::{EngineBlocks, Materialize};
 
 /// Sequential scan over a heap file, projecting `cols`.
 pub struct SeqScan {
     heap: HeapFile,
     cols: Vec<usize>,
+    /// Columns whose minipages a PAX scan touches: every column under
+    /// full-record materialization, the projected set otherwise.
+    touch_cols: Vec<usize>,
     blocks: Rc<EngineBlocks>,
     materialize: Materialize,
     prefetch_lines_ahead: u32,
@@ -49,9 +67,14 @@ impl SeqScan {
         materialize: Materialize,
         prefetch_lines_ahead: u32,
     ) -> Self {
+        let touch_cols = match materialize {
+            Materialize::FullRecord => (0..heap.n_fields() as usize).collect(),
+            Materialize::FieldsOnly => cols.clone(),
+        };
         SeqScan {
             heap,
             cols,
+            touch_cols,
             blocks,
             materialize,
             prefetch_lines_ahead,
@@ -76,28 +99,87 @@ impl SeqScan {
         self.page_records = env.ctx.load_i32(frame + HDR_NRECS, MemDep::Demand) as u32;
         self.cur_slot = 0;
         // A prefetching scan also primes the head of the fresh page so the
-        // scan-ahead window does not stall at every page boundary.
+        // scan-ahead window does not stall at every page boundary. Under PAX
+        // the scan consumes the heads of the touched minipages instead of
+        // the record area, so prime the window's worth of lines there.
         if self.prefetch_lines_ahead > 0 {
-            for l in 0..self.prefetch_lines_ahead.min(8) as u64 {
-                env.ctx.prefetch(frame + 32 + l * 32);
+            match self.heap.layout {
+                PageLayout::Nsm => {
+                    for l in 0..self.prefetch_lines_ahead.min(8) as u64 {
+                        env.ctx.prefetch(frame + 32 + l * 32);
+                    }
+                }
+                PageLayout::Pax => {
+                    let window_bytes = self.slots_ahead() * 4;
+                    for &c in &self.touch_cols {
+                        let base = self.heap.minipage_base(frame, c);
+                        for off in (0..=window_bytes).step_by(32) {
+                            env.ctx.prefetch(base + off);
+                        }
+                    }
+                }
             }
         }
         Ok(true)
     }
 
-    /// Issues the cache-conscious scan-ahead prefetches for the record at
-    /// `addr` (identical in row and batch mode, so System B's L2 data miss
-    /// behaviour carries over).
-    fn prefetch_record(&self, env: &mut ExecEnv<'_>, addr: u64) {
-        let ahead = addr + self.prefetch_lines_ahead as u64 * 32;
-        let lines_per_record = (self.heap.record_size as u64).div_ceil(32);
-        for l in 0..lines_per_record {
-            let target = ahead + l * 32;
-            // Stay within the page; the next page is prefetched when
-            // reached (its address is not known to scan-ahead hardware).
-            if target < self.page_addr + PAGE_SIZE {
-                env.ctx.prefetch(target);
+    /// The prefetch distance expressed in slots: NSM's
+    /// `prefetch_lines_ahead` lines cover `lines × 32 / record_size` records
+    /// of scan progress, and a PAX scan-ahead must run the same distance
+    /// *in consumption time* — in minipage terms that is only
+    /// `slots_ahead × 4` bytes per column, because each slot contributes 4
+    /// bytes per minipage instead of a whole record.
+    fn slots_ahead(&self) -> u64 {
+        (self.prefetch_lines_ahead as u64 * 32 / self.heap.record_size as u64).max(1)
+    }
+
+    /// Issues the cache-conscious scan-ahead prefetches for `slot`
+    /// (identical in row and batch mode, so System B's L2 data miss
+    /// behaviour carries over). NSM prefetches the record lines
+    /// `prefetch_lines_ahead` lines from now; PAX prefetches the lines its
+    /// touched minipages will need the same number of *slots* from now.
+    fn prefetch_slot(&self, env: &mut ExecEnv<'_>, slot: u32) {
+        match self.heap.layout {
+            PageLayout::Nsm => {
+                let ahead_bytes = self.prefetch_lines_ahead as u64 * 32;
+                let addr = self.heap.field_addr_at(self.page_addr, slot, 0);
+                let ahead = addr + ahead_bytes;
+                let lines_per_record = (self.heap.record_size as u64).div_ceil(32);
+                for l in 0..lines_per_record {
+                    let target = ahead + l * 32;
+                    // Stay within the page; the next page is prefetched when
+                    // reached (its address is not known to scan-ahead
+                    // hardware).
+                    if target < self.page_addr + PAGE_SIZE {
+                        env.ctx.prefetch(target);
+                    }
+                }
             }
+            PageLayout::Pax => {
+                let target_slot = slot as u64 + self.slots_ahead();
+                // Stay within the minipage (equivalently: the slot range);
+                // the next page's minipages are primed on page open.
+                if target_slot >= self.heap.page_cap as u64 {
+                    return;
+                }
+                for &c in &self.touch_cols {
+                    env.ctx.prefetch(self.heap.field_addr_at(
+                        self.page_addr,
+                        target_slot as u32,
+                        c,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Lines the cursor dirties per slot step, for pacing batch-mode
+    /// prefetch issue: a whole record's lines under NSM, one line per
+    /// `32 / 4 = 8` slots per touched minipage under PAX.
+    fn lines_per_slot(&self) -> u32 {
+        match self.heap.layout {
+            PageLayout::Nsm => (self.heap.record_size as u64).div_ceil(32) as u32,
+            PageLayout::Pax => (self.touch_cols.len() as u32).div_ceil(8).max(1),
         }
     }
 }
@@ -119,33 +201,48 @@ impl Operator for SeqScan {
                 return Ok(false);
             }
         }
-        let rec_size = self.heap.record_size as u64;
-        let addr = self.page_addr + PAGE_HDR + self.cur_slot as u64 * rec_size;
         env.ctx.exec(&self.blocks.scan_next);
 
         // Cache-conscious scan: prefetch the lines the cursor will need
-        // `prefetch_lines_ahead` lines from now, one record's worth per step
+        // `prefetch_lines_ahead` lines from now, one slot's worth per step
         // to keep pace with consumption.
         if self.prefetch_lines_ahead > 0 {
-            self.prefetch_record(env, addr);
+            self.prefetch_slot(env, self.cur_slot);
         }
 
-        match self.materialize {
-            Materialize::FullRecord => {
+        match (self.materialize, self.heap.layout) {
+            (Materialize::FullRecord, PageLayout::Nsm) => {
                 // Copy the record into the private tuple buffer: read every
                 // line of the record, write the tuple (hot, L1-resident),
                 // and run the per-field extraction path once per column —
                 // the per-record work that scales with record width
                 // (§5.2.2's 2.5-4x growth from 20B to 200B records).
+                let addr = self.heap.field_addr_at(self.page_addr, self.cur_slot, 0);
                 env.ctx.touch(addr, self.heap.record_size, MemDep::Demand);
                 env.ctx
                     .store_touch(self.blocks.tuple_buf, self.heap.record_size, MemDep::Demand);
                 env.ctx
                     .exec_scaled(&self.blocks.field_extract, self.heap.record_size / 4);
             }
-            Materialize::FieldsOnly => {
+            (Materialize::FullRecord, PageLayout::Pax) => {
+                // Reconstructing the full record gathers one field from each
+                // minipage — the same bytes, scattered across the page.
+                for &c in &self.touch_cols {
+                    let addr = self.heap.field_addr_at(self.page_addr, self.cur_slot, c);
+                    env.ctx.touch(addr, 4, MemDep::Demand);
+                }
+                env.ctx
+                    .store_touch(self.blocks.tuple_buf, self.heap.record_size, MemDep::Demand);
+                env.ctx
+                    .exec_scaled(&self.blocks.field_extract, self.heap.record_size / 4);
+            }
+            (Materialize::FieldsOnly, _) => {
+                // Field-at-a-time engines touch only the projected columns —
+                // at record stride under NSM, at 4-byte minipage stride
+                // under PAX (where the layout's line savings come from).
                 for &c in &self.cols {
-                    env.ctx.touch(addr + (c as u64) * 4, 4, MemDep::Demand);
+                    let addr = self.heap.field_addr_at(self.page_addr, self.cur_slot, c);
+                    env.ctx.touch(addr, 4, MemDep::Demand);
                 }
                 env.ctx
                     .exec_scaled(&self.blocks.field_extract, self.cols.len() as u32);
@@ -153,7 +250,11 @@ impl Operator for SeqScan {
         }
         out.clear();
         for &c in &self.cols {
-            out.push(env.ctx.read_raw_i32(addr + (c as u64) * 4));
+            out.push(env.ctx.read_raw_i32(self.heap.field_addr_at(
+                self.page_addr,
+                self.cur_slot,
+                c,
+            )));
         }
         self.cur_slot += 1;
         Ok(true)
@@ -179,7 +280,7 @@ impl Operator for SeqScan {
             // The run: the rest of this page, capped by batch capacity.
             let n = (self.page_records - self.cur_slot)
                 .min((crate::exec::BATCH_ROWS - out.len()) as u32);
-            let run_start = self.page_addr + PAGE_HDR + self.cur_slot as u64 * rec_size;
+            let run_first_slot = self.cur_slot;
 
             // Per-tuple code, amortized: the tight loop is fetched once (or
             // once per chunk) and its pipeline cost scales with the run.
@@ -192,23 +293,23 @@ impl Operator for SeqScan {
             // paces issues naturally (one fat code path per record); the
             // vectorized loop paces them by chunking.
             let chunk = if self.prefetch_lines_ahead > 0 {
-                let lines_per_record = (self.heap.record_size as u64).div_ceil(32) as u32;
-                (env.ctx.cpu.config().pipe.outstanding_misses / lines_per_record).max(1)
+                (env.ctx.cpu.config().pipe.outstanding_misses / self.lines_per_slot()).max(1)
             } else {
                 n.max(1)
             };
             let mut done = 0u32;
             while done < n {
                 let c = chunk.min(n - done);
-                let chunk_start = run_start + done as u64 * rec_size;
+                let chunk_slot = run_first_slot + done;
                 env.ctx.exec_scaled(&self.blocks.batch.scan_step, c);
-                match self.materialize {
-                    Materialize::FullRecord => {
+                match (self.materialize, self.heap.layout) {
+                    (Materialize::FullRecord, PageLayout::Nsm) => {
+                        let chunk_start = self.heap.field_addr_at(self.page_addr, chunk_slot, 0);
                         if self.prefetch_lines_ahead > 0 {
                             // Row-mode issue-then-touch order per record.
                             for slot in 0..c {
                                 let addr = chunk_start + slot as u64 * rec_size;
-                                self.prefetch_record(env, addr);
+                                self.prefetch_slot(env, chunk_slot + slot);
                                 env.ctx
                                     .touch_run(addr, self.heap.record_size, MemDep::Demand);
                             }
@@ -231,16 +332,44 @@ impl Operator for SeqScan {
                         env.ctx
                             .exec_scaled(&self.blocks.field_extract, c * self.cols.len() as u32);
                     }
-                    Materialize::FieldsOnly => {
+                    (_, PageLayout::Pax) => {
+                        // Column-major over the touched minipages: each
+                        // column's chunk span is contiguous, so it streams
+                        // through the run fast lane — the same lines the
+                        // row path touches slot by slot.
+                        for &col in &self.touch_cols {
+                            let start = self.heap.field_addr_at(self.page_addr, chunk_slot, col);
+                            if self.prefetch_lines_ahead > 0 {
+                                // Row-mode scan-ahead distance in slots
+                                // (see `slots_ahead`), covering this
+                                // chunk's span of the minipage.
+                                let mp_end = self.heap.minipage_base(self.page_addr, col)
+                                    + self.heap.minipage_bytes();
+                                let ahead = self.slots_ahead() * 4;
+                                let mut target = start + ahead;
+                                let end = (start + c as u64 * 4 + ahead).min(mp_end);
+                                while target < end {
+                                    env.ctx.prefetch(target);
+                                    target += 32;
+                                }
+                            }
+                            env.ctx.touch_run(start, c * 4, MemDep::Demand);
+                        }
+                        env.ctx
+                            .exec_scaled(&self.blocks.field_extract, c * self.cols.len() as u32);
+                    }
+                    (Materialize::FieldsOnly, PageLayout::Nsm) => {
                         // Field-at-a-time engines touch only the projected
                         // columns; keep the exact row-mode touch sequence.
                         for slot in 0..c {
-                            let addr = chunk_start + slot as u64 * rec_size;
                             if self.prefetch_lines_ahead > 0 {
-                                self.prefetch_record(env, addr);
+                                self.prefetch_slot(env, chunk_slot + slot);
                             }
                             for &col in &self.cols {
-                                env.ctx.touch(addr + (col as u64) * 4, 4, MemDep::Demand);
+                                let addr =
+                                    self.heap
+                                        .field_addr_at(self.page_addr, chunk_slot + slot, col);
+                                env.ctx.touch(addr, 4, MemDep::Demand);
                             }
                         }
                         env.ctx
@@ -262,7 +391,9 @@ impl Operator for SeqScan {
             for (ci, &c) in self.cols.iter().enumerate() {
                 let col = out.col_mut(ci);
                 for slot in 0..n {
-                    let addr = run_start + slot as u64 * rec_size + (c as u64) * 4;
+                    let addr = self
+                        .heap
+                        .field_addr_at(self.page_addr, run_first_slot + slot, c);
                     col.push(env.ctx.read_raw_i32(addr));
                 }
             }

@@ -1,15 +1,87 @@
-//! Slotted heap pages and heap files.
+//! Heap pages and heap files, in two on-page layouts.
 //!
 //! Records are fixed-length (integer columns only, like the paper's relation
-//! R), stored N-ary (NSM) in 8 KB pages: a 32-byte page header followed by
-//! densely packed records. The buffer pool keeps every page memory-resident
-//! (§4.2: "the buffer pool size was large enough to fit the datasets for all
-//! the queries"), so a page's simulated address is stable for its lifetime.
+//! R) in 8 KB pages. Two page layouts are supported, selected per heap file
+//! by [`PageLayout`]; both start with the same 32-byte header and hold the
+//! same `page_cap = (8192 − 32) / record_size` records, so a [`Rid`] means
+//! the same thing under either layout and only the *placement of bytes
+//! within the page* differs.
+//!
+//! # NSM — the slotted N-ary storage model ([`PageLayout::Nsm`])
+//!
+//! Whole records are packed densely, one after another — the layout every
+//! system the paper measures uses. For 100-byte records (`cap` = 81):
+//!
+//! ```text
+//! byte 0        32        132       232                  8132
+//!      +--------+---------+---------+--- ... ---+--------+------+
+//!      | header | rec 0   | rec 1   |           | rec 80 | free |
+//!      +--------+---------+---------+--- ... ---+--------+------+
+//!                \__ a1 a2 a3 ... a25 __/  (fields contiguous per record)
+//! ```
+//!
+//! Field `c` of slot `s` lives at `32 + s·record_size + 4c`: a scan that
+//! projects two of 25 columns still drags every record's cache lines through
+//! the hierarchy at `record_size` stride.
+//!
+//! # PAX — partition attributes across ([`PageLayout::Pax`])
+//!
+//! The cache-conscious layout of Ailamaki et al. (VLDB 2001): the same
+//! records, but within each page the values of each attribute are grouped
+//! into a per-attribute *minipage*. For 100-byte records (25 columns,
+//! `cap` = 81, minipage = 81·4 = 324 bytes):
+//!
+//! ```text
+//! byte 0        32         356        680                 8132
+//!      +--------+----------+----------+--- ... ---+-------+------+
+//!      | header | minipage | minipage |           | mini- | free |
+//!      |        |   a1     |   a2     |           | page  |      |
+//!      +--------+----------+----------+--- ... ---+ a25   +------+
+//!                \_ a1 of slots 0..81 _/ (fields contiguous per column)
+//! ```
+//!
+//! Field `c` of slot `s` lives at `32 + c·(cap·4) + 4s`: a scan touching
+//! `k` of `n` columns pulls only the cache lines of those `k` minipages
+//! (4-byte stride within a minipage), which is the attack on the paper's
+//! dominant stall component `T_L2D` — same bytes per *record*, a fraction of
+//! the cache lines per *scan*. Full-row access gathers one 4-byte field from
+//! each of the `n` minipages, touching the same lines NSM would, so
+//! OLTP-style whole-record operations stay near parity.
+//!
+//! The buffer pool keeps every page memory-resident (§4.2: "the buffer pool
+//! size was large enough to fit the datasets for all the queries"), so a
+//! page's simulated address is stable for its lifetime.
 
 use std::rc::Rc;
 
 use crate::arena::SimArena;
 use crate::error::{DbError, DbResult};
+
+/// How records are laid out within a page (see the module docs for byte
+/// diagrams). The layout is fixed per heap file at creation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageLayout {
+    /// Slotted N-ary storage model: whole records stored contiguously (the
+    /// layout of every system the paper measures).
+    #[default]
+    Nsm,
+    /// Partition Attributes Across: per-attribute minipages within each
+    /// page, so narrow projections touch only the projected columns' lines.
+    Pax,
+}
+
+impl PageLayout {
+    /// Both layouts, NSM first.
+    pub const ALL: [PageLayout; 2] = [PageLayout::Nsm, PageLayout::Pax];
+
+    /// Short display label ("NSM" / "PAX").
+    pub fn label(self) -> &'static str {
+        match self {
+            PageLayout::Nsm => "NSM",
+            PageLayout::Pax => "PAX",
+        }
+    }
+}
 
 /// Page size in bytes (typical for the era's commercial systems).
 pub const PAGE_SIZE: u64 = 8192;
@@ -47,13 +119,17 @@ impl Rid {
     }
 }
 
-/// A heap file: an append-only list of pages holding fixed-length records.
+/// A heap file: an append-only list of pages holding fixed-length records,
+/// all laid out per the file's [`PageLayout`].
 #[derive(Debug, Clone)]
 pub struct HeapFile {
     /// Fixed record size in bytes.
     pub record_size: u32,
-    /// Records per page.
+    /// Records per page (identical under both layouts, so rids are
+    /// layout-independent).
     pub page_cap: u32,
+    /// On-page placement of record bytes.
+    pub layout: PageLayout,
     /// Simulated base addresses of the pages, in page-number order. `Rc` so
     /// scan operators can hold a cheap snapshot for the duration of a query.
     pub pages: Rc<Vec<u64>>,
@@ -64,17 +140,78 @@ pub struct HeapFile {
 }
 
 impl HeapFile {
-    /// Creates an empty heap file for `record_size`-byte records.
+    /// Creates an empty NSM heap file for `record_size`-byte records.
     /// `first_page_id` is the buffer-pool page id this file's page 0 gets.
     pub fn new(record_size: u32, first_page_id: u64) -> Self {
+        Self::with_layout(record_size, first_page_id, PageLayout::Nsm)
+    }
+
+    /// Creates an empty heap file with an explicit page layout. PAX requires
+    /// records to be whole 4-byte fields (all schemas in this workspace are).
+    pub fn with_layout(record_size: u32, first_page_id: u64, layout: PageLayout) -> Self {
         assert!(record_size >= 4 && record_size as u64 <= PAGE_SIZE - PAGE_HDR);
+        assert!(
+            record_size.is_multiple_of(4),
+            "records are whole 4-byte fields"
+        );
         HeapFile {
             record_size,
             page_cap: ((PAGE_SIZE - PAGE_HDR) / record_size as u64) as u32,
+            layout,
             pages: Rc::new(Vec::new()),
             n_records: 0,
             first_page_id,
         }
+    }
+
+    /// Number of 4-byte fields per record.
+    pub fn n_fields(&self) -> u32 {
+        self.record_size / 4
+    }
+
+    /// Byte distance between the same field of two consecutive slots:
+    /// `record_size` under NSM, 4 within a PAX minipage.
+    pub fn field_stride(&self) -> u64 {
+        match self.layout {
+            PageLayout::Nsm => self.record_size as u64,
+            PageLayout::Pax => 4,
+        }
+    }
+
+    /// Simulated address of field `col` of `slot` within the page at
+    /// `page_addr` (no bounds checks — the scan hot path).
+    #[inline]
+    pub fn field_addr_at(&self, page_addr: u64, slot: u32, col: usize) -> u64 {
+        match self.layout {
+            PageLayout::Nsm => {
+                page_addr + PAGE_HDR + slot as u64 * self.record_size as u64 + col as u64 * 4
+            }
+            PageLayout::Pax => {
+                page_addr + PAGE_HDR + col as u64 * self.minipage_bytes() + slot as u64 * 4
+            }
+        }
+    }
+
+    /// Bytes one PAX minipage occupies (`page_cap × 4`).
+    #[inline]
+    pub fn minipage_bytes(&self) -> u64 {
+        self.page_cap as u64 * 4
+    }
+
+    /// Start address of column `col`'s PAX minipage within the page at
+    /// `page_addr` (meaningful under [`PageLayout::Pax`] only).
+    #[inline]
+    pub fn minipage_base(&self, page_addr: u64, col: usize) -> u64 {
+        page_addr + PAGE_HDR + col as u64 * self.minipage_bytes()
+    }
+
+    /// Bounds-checked simulated address of field `col` of the record at
+    /// `rid`.
+    pub fn field_addr(&self, rid: Rid, col: usize) -> DbResult<u64> {
+        if rid.slot >= self.page_cap || col >= self.n_fields() as usize {
+            return Err(DbError::BadRid);
+        }
+        Ok(self.field_addr_at(self.page_addr(rid.page)?, rid.slot, col))
     }
 
     /// Number of pages.
@@ -95,12 +232,12 @@ impl HeapFile {
             .ok_or(DbError::BadRid)
     }
 
-    /// Simulated address of the record at `rid`.
+    /// Simulated address of the first field of the record at `rid`. Under
+    /// NSM the whole record is contiguous from here; under PAX this is the
+    /// record's entry in minipage 0 and the remaining fields live at
+    /// [`HeapFile::field_addr`] of the other columns.
     pub fn record_addr(&self, rid: Rid) -> DbResult<u64> {
-        if rid.slot >= self.page_cap {
-            return Err(DbError::BadRid);
-        }
-        Ok(self.page_addr(rid.page)? + PAGE_HDR + rid.slot as u64 * self.record_size as u64)
+        self.field_addr(rid, 0)
     }
 
     /// Appends a record (raw bytes, uninstrumented — used for bulk loading,
@@ -123,8 +260,18 @@ impl HeapFile {
             page: page_no,
             slot: slot_in_page,
         };
-        let addr = page + PAGE_HDR + slot_in_page as u64 * self.record_size as u64;
-        arena.write_bytes(addr, rec);
+        match self.layout {
+            PageLayout::Nsm => {
+                let addr = page + PAGE_HDR + slot_in_page as u64 * self.record_size as u64;
+                arena.write_bytes(addr, rec);
+            }
+            PageLayout::Pax => {
+                // Scatter one 4-byte field into each minipage.
+                for (c, field) in rec.chunks_exact(4).enumerate() {
+                    arena.write_bytes(self.field_addr_at(page, slot_in_page, c), field);
+                }
+            }
+        }
         arena.write_i32(page + HDR_NRECS, slot_in_page as i32 + 1);
         self.n_records += 1;
         rid
@@ -192,6 +339,76 @@ mod tests {
         h.insert_raw(&mut a, &record(100, 1));
         assert!(h.record_addr(Rid { page: 9, slot: 0 }).is_err());
         assert!(h.record_addr(Rid { page: 0, slot: 99 }).is_err());
+    }
+
+    #[test]
+    fn pax_capacity_and_rids_match_nsm() {
+        // Rids are layout-independent: same cap, same page count.
+        let nsm = HeapFile::new(100, 0);
+        let pax = HeapFile::with_layout(100, 0, PageLayout::Pax);
+        assert_eq!(nsm.page_cap, pax.page_cap);
+        assert_eq!(pax.field_stride(), 4);
+        assert_eq!(nsm.field_stride(), 100);
+    }
+
+    #[test]
+    fn pax_round_trips_values_through_minipages() {
+        let mut a = arena();
+        let mut h = HeapFile::with_layout(20, 0, PageLayout::Pax);
+        // 5-field records with distinguishable values per field.
+        let mut rids = Vec::new();
+        for i in 0..1000i32 {
+            let mut rec = Vec::new();
+            for c in 0..5 {
+                rec.extend_from_slice(&(i * 10 + c).to_le_bytes());
+            }
+            rids.push(h.insert_raw(&mut a, &rec));
+        }
+        for (i, rid) in rids.iter().enumerate() {
+            for c in 0..5usize {
+                let addr = h.field_addr(*rid, c).unwrap();
+                assert_eq!(a.read_i32(addr), i as i32 * 10 + c as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn pax_minipages_are_disjoint_and_within_the_page() {
+        let h = HeapFile::with_layout(100, 0, PageLayout::Pax);
+        let page = 0u64; // relative addresses
+        let mp = h.minipage_bytes();
+        assert_eq!(mp, h.page_cap as u64 * 4);
+        for c in 0..h.n_fields() as usize {
+            let base = h.minipage_base(page, c);
+            assert_eq!(base, PAGE_HDR + c as u64 * mp);
+            assert!(base + mp <= PAGE_SIZE, "minipage {c} overruns the page");
+            // First/last slot of this column stay inside the minipage.
+            assert_eq!(h.field_addr_at(page, 0, c), base);
+            assert!(h.field_addr_at(page, h.page_cap - 1, c) + 4 <= base + mp);
+        }
+    }
+
+    #[test]
+    fn pax_narrow_projection_touches_fewer_lines() {
+        // The PAX claim at the address level: distinct 32-byte lines needed
+        // to read columns {1, 2} of every slot in a full page.
+        let lines = |h: &HeapFile| {
+            let mut set = std::collections::HashSet::new();
+            for slot in 0..h.page_cap {
+                for col in [1usize, 2] {
+                    set.insert(h.field_addr_at(0, slot, col) / 32);
+                }
+            }
+            set.len()
+        };
+        let nsm = HeapFile::new(100, 0);
+        let pax = HeapFile::with_layout(100, 0, PageLayout::Pax);
+        assert!(
+            lines(&pax) * 3 < lines(&nsm),
+            "PAX should touch >3x fewer lines: pax {} vs nsm {}",
+            lines(&pax),
+            lines(&nsm)
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use db::{Database, DbCtx, IndexMeta, Table};
 pub use error::{DbError, DbResult};
 pub use exec::{Batch, ExecMode, BATCH_ROWS};
 pub use expr::{ArithOp, CmpOp, Expr};
-pub use heap::{HeapFile, Rid, PAGE_HDR, PAGE_SIZE};
+pub use heap::{HeapFile, PageLayout, Rid, PAGE_HDR, PAGE_SIZE};
 pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize, SystemId};
 pub use query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
 pub use schema::{Column, Schema};

@@ -19,37 +19,15 @@
 //!
 //! Query answers are asserted exactly in every regime.
 
-use proptest::prelude::*;
-use wdtg_memdb::{
-    AggSpec, Database, EngineProfile, ExecMode, Query, QueryPredicate, QueryResult, Schema,
-    SystemId,
-};
-use wdtg_sim::{CpuConfig, Event, InterruptCfg, Snapshot};
+mod common;
 
-fn quiet() -> CpuConfig {
-    CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
-}
+use common::{build_db_layout, measure, rows_for};
+use proptest::prelude::*;
+use wdtg_memdb::{AggSpec, Database, ExecMode, PageLayout, Query, QueryPredicate, SystemId};
+use wdtg_sim::{Event, Snapshot};
 
 fn build_db(sys: SystemId, tables: &[(&str, &[Vec<i32>])], index_a2: bool) -> Database {
-    let mut db = Database::new(EngineProfile::system(sys), quiet());
-    db.ctx.instrument = false;
-    for (name, rows) in tables {
-        db.create_table(name, Schema::paper_relation(20)).unwrap();
-        db.load_rows(name, rows.iter().cloned()).unwrap();
-    }
-    if index_a2 {
-        db.create_index("R", "a2").unwrap();
-    }
-    db.ctx.instrument = true;
-    db
-}
-
-/// Runs `q` once to warm the machine, then measures a second execution.
-fn measure(db: &mut Database, q: &Query) -> (QueryResult, Snapshot) {
-    db.run(q).expect("warm-up run");
-    let before = db.cpu().snapshot();
-    let res = db.run(q).expect("measured run");
-    (res, db.cpu().snapshot().delta(&before))
+    build_db_layout(sys, PageLayout::Nsm, tables, index_a2)
 }
 
 /// Builds two identical databases, runs `q` row-mode on one and batch-mode
@@ -60,8 +38,22 @@ fn assert_modes_agree(
     index_a2: bool,
     q: &Query,
 ) -> (Snapshot, Snapshot) {
-    let mut row_db = build_db(sys, tables, index_a2);
-    let mut batch_db = build_db(sys, tables, index_a2).with_exec_mode(ExecMode::Batch);
+    assert_modes_agree_layout(sys, PageLayout::Nsm, tables, index_a2, q)
+}
+
+/// [`assert_modes_agree`] over an explicit page layout: the row-vs-batch
+/// contract (identical answers, near-identical data misses) holds for both
+/// on-page layouts.
+fn assert_modes_agree_layout(
+    sys: SystemId,
+    layout: PageLayout,
+    tables: &[(&str, &[Vec<i32>])],
+    index_a2: bool,
+    q: &Query,
+) -> (Snapshot, Snapshot) {
+    let mut row_db = build_db_layout(sys, layout, tables, index_a2);
+    let mut batch_db =
+        build_db_layout(sys, layout, tables, index_a2).with_exec_mode(ExecMode::Batch);
     let (row_res, row_d) = measure(&mut row_db, q);
     let (batch_res, batch_d) = measure(&mut batch_db, q);
 
@@ -86,22 +78,6 @@ fn assert_modes_agree(
         "{sys:?} {q:?}: L2 data misses diverge: row {row_miss} vs batch {batch_miss}"
     );
     (row_d, batch_d)
-}
-
-fn rows_for(n: usize, seed: u64) -> Vec<Vec<i32>> {
-    // 5-column (20-byte) rows with a1 sequential, a2/a3 pseudo-random.
-    (0..n)
-        .map(|i| {
-            let x = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9e37_79b9);
-            vec![
-                i as i32,
-                (x % 512) as i32,
-                (x % 1009) as i32,
-                (x % 7) as i32,
-                0,
-            ]
-        })
-        .collect()
 }
 
 #[test]
@@ -131,6 +107,35 @@ fn srs_instruction_collapse_and_miss_parity_all_systems() {
         assert!(
             batch_d.cycles < row_d.cycles,
             "{sys:?}: batch mode must also be faster in simulated cycles"
+        );
+    }
+}
+
+#[test]
+fn srs_miss_parity_holds_under_pax_too() {
+    // The batched PAX scan arm streams minipage spans through the run fast
+    // lane; its simulated line traffic must match the row path's per-slot
+    // touches the same way the NSM arms match — otherwise the layout
+    // comparison would measure the executor, not the layout.
+    let rows = rows_for(60_000, 17);
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: Some(QueryPredicate::Range {
+            col: "a2".into(),
+            lo: 100,
+            hi: 400,
+        }),
+        agg: AggSpec::avg("a3"),
+    };
+    // A: fields-only; B: prefetching full-record; C: plain full-record.
+    for sys in [SystemId::A, SystemId::B, SystemId::C] {
+        let (row_d, batch_d) =
+            assert_modes_agree_layout(sys, PageLayout::Pax, &[("R", &rows)], false, &q);
+        let row_instr = row_d.counters.total(Event::InstRetired) as f64;
+        let batch_instr = batch_d.counters.total(Event::InstRetired) as f64;
+        assert!(
+            batch_instr < row_instr * 0.5,
+            "{sys:?}: instruction collapse must survive the PAX layout"
         );
     }
 }

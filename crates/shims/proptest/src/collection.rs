@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Accepted element-count specifications for [`vec`].
+/// Accepted element-count specifications for [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,

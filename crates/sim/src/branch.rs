@@ -4,10 +4,10 @@
 //! Branch Target Buffer (BTB) to store the targets of the last branches
 //! executed. A hit in this buffer activates a branch prediction algorithm,
 //! which decides which will be the target of the branch based on previous
-//! history [20]. On a BTB miss, the prediction is static (backward branch is
+//! history \[20\]. On a BTB miss, the prediction is static (backward branch is
 //! taken, forward is not taken)."
 //!
-//! The dynamic predictor is a Yeh–Patt two-level adaptive scheme [20]:
+//! The dynamic predictor is a Yeh–Patt two-level adaptive scheme \[20\]:
 //! per-branch local history kept in the BTB entry selects a 2-bit saturating
 //! counter in a shared pattern history table.
 

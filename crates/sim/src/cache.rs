@@ -4,6 +4,27 @@
 //! functional: it tracks which line addresses are resident and reports
 //! hit/miss plus any eviction (so an inclusive outer level can back-invalidate
 //! inner levels, the ablation of §5.2.2). Timing is charged by the caller.
+//!
+//! # Accounting rules
+//!
+//! * A byte address maps to line `addr >> line_shift` and set
+//!   `line % sets`; whether two fields share a line is therefore decided
+//!   purely by the addresses storage hands out — which is how the NSM/PAX
+//!   page-layout comparison works: PAX packs a column's values into
+//!   adjacent addresses so a narrow projection occupies fewer lines, and
+//!   this model observes that without any layout-specific code.
+//! * Demand accesses count in `accesses`/`misses`; [`Cache::install`]
+//!   (prefetch fill) and [`Cache::probe`] count in neither, so miss *rates*
+//!   are demand-only, like the Pentium II counters the paper reads.
+//! * Misses allocate (write-allocate) and evict the true-LRU way; evicting
+//!   a dirty line counts one writeback (write-back policy, Table 4.1).
+//! * [`Cache::access_run`] is the contiguous-span fast lane used by
+//!   batched scans: residency, LRU state and statistics end up identical to
+//!   per-line [`Cache::access_line`] calls — a property-tested invariant —
+//!   only the per-call bookkeeping is amortized.
+//!
+//! Stall *cycles* for misses are charged by the [`crate::cpu::Cpu`] into the
+//! [`crate::stalls::StallLedger`]; this module only decides hit or miss.
 
 use crate::config::CacheGeom;
 

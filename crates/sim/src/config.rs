@@ -47,7 +47,7 @@ pub struct BtbGeom {
     pub entries: u32,
     /// BTB associativity (4-way on the Pentium II).
     pub assoc: u32,
-    /// Bits of per-branch local history kept in each BTB entry (Yeh–Patt [20]).
+    /// Bits of per-branch local history kept in each BTB entry (Yeh–Patt \[20\]).
     pub history_bits: u32,
     /// Number of 2-bit counters in the shared pattern history table.
     pub pattern_entries: u32,
@@ -196,7 +196,7 @@ impl CpuConfig {
         self
     }
 
-    /// Same processor with a different BTB entry count (ablation A1; ref [7]
+    /// Same processor with a different BTB entry count (ablation A1; ref \[7\]
     /// evaluates BTBs up to 16 K entries).
     pub fn with_btb_entries(mut self, entries: u32) -> Self {
         self.btb.entries = entries;

@@ -9,6 +9,31 @@
 //! component as it is spent, so the ledger *is* the ground truth; the
 //! `wdtg-emon` crate reconstructs the paper-style estimates from counters and
 //! can be validated against this ledger.
+//!
+//! # Charging rules
+//!
+//! * **Exactly-once**: every simulated cycle lands in exactly one
+//!   [`Component`] under exactly one [`Mode`]; `grand_total()` equals the
+//!   CPU cycle counter by construction (an invariant test enforces it), so
+//!   there is no unattributed or double-counted time and `T_OVL` — the
+//!   overlap term the real hardware cannot expose — is folded into the
+//!   per-component charges as they happen.
+//! * **Hierarchy**: a data load that misses L1D but hits L2 charges `Tl1d`;
+//!   missing L2 too charges `Tl2d` (main-memory latency) instead — the
+//!   levels are exclusive in the ledger even though the hardware overlaps
+//!   them. Instruction fetches charge `Tl1i`/`Tl2i` the same way; TLB walks
+//!   charge `Tdtlb`/`Titlb`. This is why the NSM-vs-PAX page-layout
+//!   comparison reads `Tl2d` directly: fewer distinct data lines touched ⇒
+//!   fewer L2 data misses ⇒ fewer cycles charged here, with no modelling
+//!   shortcut in between.
+//! * **Overlap discounts**: stall charges are scaled by what the
+//!   out-of-order window hides (e.g. overlappable [`crate::MemDep::Demand`]
+//!   loads charge less than serialized [`crate::MemDep::Chase`] chains);
+//!   the discounted remainder is what lands in the ledger, so components
+//!   sum to wall-clock cycles, not to the count×penalty upper bounds.
+//! * **Fractional cycles**: charges are `f64` because bulk-modelled
+//!   branches and partial-overlap penalties accumulate sub-cycle amounts;
+//!   only totals are meaningful.
 
 use crate::events::Mode;
 

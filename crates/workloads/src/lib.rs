@@ -21,7 +21,10 @@ pub mod scale;
 pub mod tpcc;
 pub mod tpcd;
 
-pub use micro::{load_microbench, prepare, query, MicroQuery, DEFAULT_SEED};
+pub use micro::{
+    load_microbench, load_microbench_with_layout, prepare, prepare_with_layout, query, MicroQuery,
+    DEFAULT_SEED,
+};
 pub use scale::Scale;
 pub use tpcc::{TpccDriver, TpccScale, TxnKind};
 pub use tpcd::TpcdScale;

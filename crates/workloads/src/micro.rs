@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wdtg_memdb::{Database, DbResult, Query, Schema};
+use wdtg_memdb::{Database, DbResult, PageLayout, Query, Schema};
 
 use crate::scale::Scale;
 
@@ -41,7 +41,7 @@ impl MicroQuery {
 
 /// Generates R's rows: `a1` sequential unique, `a2` uniform over the domain
 /// (1..=|S|), `a3` uniform values to aggregate, the rest filler (§3.3:
-/// "<rest of fields> stands for a list of integers that is not used by any
+/// "`<rest of fields>` stands for a list of integers that is not used by any
 /// of the queries").
 pub fn r_rows(scale: Scale, seed: u64) -> impl Iterator<Item = Vec<i32>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -74,7 +74,10 @@ pub fn s_rows(scale: Scale, seed: u64) -> impl Iterator<Item = Vec<i32>> {
     })
 }
 
-/// Loads R (and S) into `db` at the given scale, uninstrumented.
+/// Loads R (and S) into `db` at the given scale, uninstrumented. Tables are
+/// created in the database's current page layout
+/// ([`Database::set_page_layout`]); use [`load_microbench_with_layout`] to
+/// pick one explicitly.
 pub fn load_microbench(db: &mut Database, scale: Scale, with_s: bool) -> DbResult<()> {
     db.create_table("R", Schema::paper_relation(scale.record_bytes))?;
     db.load_rows("R", r_rows(scale, DEFAULT_SEED))?;
@@ -83,6 +86,22 @@ pub fn load_microbench(db: &mut Database, scale: Scale, with_s: bool) -> DbResul
         db.load_rows("S", s_rows(scale, DEFAULT_SEED))?;
     }
     Ok(())
+}
+
+/// [`load_microbench`] with an explicit page layout for the §3.3 relations
+/// (the layout knob the NSM-vs-PAX comparisons turn). The database's
+/// default layout for other tables is left unchanged.
+pub fn load_microbench_with_layout(
+    db: &mut Database,
+    scale: Scale,
+    with_s: bool,
+    layout: PageLayout,
+) -> DbResult<()> {
+    let prev = db.page_layout();
+    db.set_page_layout(layout);
+    let res = load_microbench(db, scale, with_s);
+    db.set_page_layout(prev);
+    res
 }
 
 /// Builds the paper query at the requested selectivity.
@@ -106,6 +125,21 @@ pub fn prepare(db: &mut Database, scale: Scale, q: MicroQuery) -> DbResult<()> {
         db.create_index("R", "a2")?;
     }
     Ok(())
+}
+
+/// [`prepare`] with an explicit page layout for the relations. The
+/// database's default layout for other tables is left unchanged.
+pub fn prepare_with_layout(
+    db: &mut Database,
+    scale: Scale,
+    q: MicroQuery,
+    layout: PageLayout,
+) -> DbResult<()> {
+    let prev = db.page_layout();
+    db.set_page_layout(layout);
+    let res = prepare(db, scale, q);
+    db.set_page_layout(prev);
+    res
 }
 
 #[cfg(test)]
@@ -148,6 +182,25 @@ mod tests {
             .unwrap();
         // Every R row joins exactly once with S's primary key.
         assert_eq!(res.rows, scale.r_records);
+    }
+
+    #[test]
+    fn pax_layout_gives_identical_answers() {
+        let scale = Scale::tiny();
+        for q in MicroQuery::ALL {
+            let mut nsm = tiny_db();
+            prepare(&mut nsm, scale, q).unwrap();
+            let mut pax = tiny_db();
+            prepare_with_layout(&mut pax, scale, q, PageLayout::Pax).unwrap();
+            let query = query(scale, q, 0.1);
+            let a = nsm.run(&query).unwrap();
+            let b = pax.run(&query).unwrap();
+            assert_eq!(a.rows, b.rows, "{q:?}: row counts differ across layouts");
+            assert!(
+                (a.value - b.value).abs() < 1e-9,
+                "{q:?}: values differ across layouts"
+            );
+        }
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! invariant because the Scale type preserves every dataset ratio) and
 //! asserts the machine-checked claims of `wdtg_core::validate`.
 
-use wdtg_core::figures::{FigureCtx, MicrobenchGrid, SelectivitySweep};
-use wdtg_core::methodology::Methodology;
+use wdtg_core::figures::{systems_for, FigureCtx, MicrobenchGrid, SelectivitySweep};
+use wdtg_core::methodology::{build_db_with_layout, Methodology};
 use wdtg_core::validate::{validate_grid, validate_selectivity};
-use wdtg_sim::CpuConfig;
-use wdtg_workloads::Scale;
+use wdtg_memdb::{EngineProfile, ExecMode, PageLayout, SystemId};
+use wdtg_sim::{CpuConfig, Event, InterruptCfg};
+use wdtg_workloads::{micro, MicroQuery, Scale};
 
 fn test_ctx() -> FigureCtx {
     FigureCtx {
@@ -60,5 +61,93 @@ fn selectivity_couples_branch_and_instruction_stalls() {
     assert!(
         max - min < 0.05,
         "misprediction rate should be stable across selectivities: {rates:?}"
+    );
+}
+
+#[test]
+fn pax_layout_preserves_answers_and_cuts_l2_data_misses() {
+    // The PAX claim, asserted over the same query suite the row/batch
+    // parity tests cover: every (query, system, exec-mode) cell returns
+    // identical results under NSM and PAX pages, and the narrow-projection
+    // sequential scan — the layout's target workload — takes strictly fewer
+    // simulated L2 data misses under PAX.
+    let scale = Scale {
+        r_records: 30_000,
+        s_records: 1_000,
+        record_bytes: 100,
+    };
+    let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+
+    for query in MicroQuery::ALL {
+        for &sys in systems_for(query) {
+            for mode in [ExecMode::Row, ExecMode::Batch] {
+                let mut results = Vec::new();
+                for layout in PageLayout::ALL {
+                    let mut db = build_db_with_layout(
+                        EngineProfile::system(sys),
+                        scale,
+                        query,
+                        &cfg,
+                        layout,
+                    )
+                    .expect("build");
+                    db.set_exec_mode(mode);
+                    let q = micro::query(scale, query, 0.1);
+                    results.push(db.run(&q).expect("query runs"));
+                }
+                let (nsm, pax) = (&results[0], &results[1]);
+                assert_eq!(
+                    nsm.rows, pax.rows,
+                    "{query:?} {sys:?} {mode:?}: row counts differ across layouts"
+                );
+                assert!(
+                    (nsm.value - pax.value).abs() < 1e-9,
+                    "{query:?} {sys:?} {mode:?}: values differ across layouts"
+                );
+            }
+        }
+    }
+
+    // Strict miss ordering on the narrow projection (2 of 25 columns) for
+    // the fields-only engine, System A.
+    let mut misses = Vec::new();
+    for layout in PageLayout::ALL {
+        let mut db = build_db_with_layout(
+            EngineProfile::system(SystemId::A),
+            scale,
+            MicroQuery::SequentialRangeSelection,
+            &cfg,
+            layout,
+        )
+        .expect("build");
+        let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
+        db.run(&q).expect("warm-up");
+        let before = db.cpu().snapshot();
+        db.run(&q).expect("measured run");
+        let delta = db.cpu().snapshot().delta(&before);
+        misses.push(delta.counters.total(Event::SimL2DataMiss));
+    }
+    assert!(
+        misses[1] < misses[0],
+        "PAX must take strictly fewer L2 data misses on the narrow scan: \
+         NSM {} vs PAX {}",
+        misses[0],
+        misses[1]
+    );
+}
+
+#[test]
+fn layout_comparison_shows_pax_attacking_t_l2d() {
+    // The LayoutComparison harness itself reproduces the PAX result: System
+    // A's T_L2D shrinks on the sequential range selection.
+    let ctx = test_ctx();
+    let cmp = wdtg_core::LayoutComparison::run(&ctx, MicroQuery::SequentialRangeSelection)
+        .expect("comparison runs");
+    let reduction = cmp
+        .l2d_reduction(SystemId::A)
+        .expect("System A participates");
+    assert!(
+        reduction > 1.5,
+        "PAX should cut System A's T_L2D substantially (got {reduction:.2}x)"
     );
 }
