@@ -1,0 +1,115 @@
+//! CI bench-regression gate: re-runs the three headline bench measurements
+//! (`exec_mode`, `layout_compare`, `join_compare` — via the shared
+//! [`wdtg_bench::runners`] code, so the gate cannot drift from the bins)
+//! and fails if any headline metric regresses more than 15% versus the
+//! committed `BENCH_*.json` baselines at the repository root (directory
+//! overridable via `BENCH_BASELINE_DIR`).
+//!
+//! Gated metrics — all simulated, so the gate is deterministic and immune
+//! to CI-runner wall-clock noise:
+//!
+//! * `instr_collapse` (BENCH_exec.json) — the row→batch per-tuple
+//!   instruction collapse;
+//! * `l2d_miss_reduction` of the narrow projection (BENCH_layout.json) —
+//!   PAX's L2 data-miss win;
+//! * `l2d_miss_reduction_row` and `join_speedup_batch` (BENCH_join.json) —
+//!   the partitioned join's miss win and its batch-mode cycle speedup.
+
+use wdtg_bench::runners::{json_number, run_exec_report, run_join_report, run_layout_report};
+
+/// Fractional regression tolerated before the gate fails.
+const TOLERANCE: f64 = 0.15;
+
+struct Gate {
+    name: &'static str,
+    baseline: f64,
+    current: f64,
+}
+
+impl Gate {
+    /// Higher-is-better metrics regress when current < baseline × (1 − tol).
+    fn regressed(&self) -> bool {
+        self.current < self.baseline * (1.0 - TOLERANCE)
+    }
+}
+
+fn read_baseline(dir: &str, file: &str) -> String {
+    let path = format!("{dir}/{file}");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("baseline {path} must be committed: {e}"))
+}
+
+fn baseline_metric(doc: &str, file: &str, scope: Option<&str>, key: &str) -> f64 {
+    json_number(doc, scope, key)
+        .unwrap_or_else(|| panic!("baseline {file} has no {key} (scope {scope:?})"))
+}
+
+fn main() {
+    let dir = std::env::var("BENCH_BASELINE_DIR").unwrap_or_else(|_| ".".into());
+    let exec_doc = read_baseline(&dir, "BENCH_exec.json");
+    let layout_doc = read_baseline(&dir, "BENCH_layout.json");
+    let join_doc = read_baseline(&dir, "BENCH_join.json");
+
+    println!("== bench_check == re-running headline benches against {dir}/BENCH_*.json");
+    let exec = run_exec_report();
+    let layout = run_layout_report();
+    let join = run_join_report();
+
+    let gates = [
+        Gate {
+            name: "exec: instr_collapse",
+            baseline: baseline_metric(&exec_doc, "BENCH_exec.json", None, "instr_collapse"),
+            current: exec.instr_collapse(),
+        },
+        Gate {
+            name: "layout: narrow l2d_miss_reduction",
+            baseline: baseline_metric(
+                &layout_doc,
+                "BENCH_layout.json",
+                Some("\"narrow_projection_scan\""),
+                "l2d_miss_reduction",
+            ),
+            current: layout.narrow_l2d_miss_reduction(),
+        },
+        Gate {
+            name: "join: l2d_miss_reduction_row",
+            baseline: baseline_metric(&join_doc, "BENCH_join.json", None, "l2d_miss_reduction_row"),
+            current: join.l2d_miss_reduction_row(),
+        },
+        Gate {
+            name: "join: join_speedup_batch",
+            baseline: baseline_metric(&join_doc, "BENCH_join.json", None, "join_speedup_batch"),
+            current: join.join_speedup_batch(),
+        },
+    ];
+
+    let mut failed = false;
+    for g in &gates {
+        let status = if g.regressed() {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:38} baseline {:7.3}  current {:7.3}  ({:+.1}%)  {status}",
+            g.name,
+            g.baseline,
+            g.current,
+            100.0 * (g.current / g.baseline.max(1e-9) - 1.0),
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_check: headline metric(s) regressed >{:.0}% vs committed baselines; \
+             if the regression is intended, regenerate BENCH_*.json with the bench bins \
+             and commit the new baselines",
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_check: all headline metrics within {:.0}% of baselines",
+        TOLERANCE * 100.0
+    );
+}

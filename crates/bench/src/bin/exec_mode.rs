@@ -6,114 +6,36 @@
 //! drives far fewer per-tuple simulation events (one amortized block per
 //! batch instead of a full operator path per row), so wall-clock speedup
 //! here tracks the same per-tuple overhead collapse the simulated
-//! instruction counts show.
+//! instruction counts show. The measurement itself lives in
+//! [`wdtg_bench::runners`], shared with the `bench_check` regression gate.
 
-use std::time::Instant;
-
-use wdtg_memdb::{Database, EngineProfile, ExecMode, Query, Schema, SystemId};
-use wdtg_sim::{CpuConfig, Event, InterruptCfg};
-
-const ROWS: u64 = 100_000;
-const RECORD_BYTES: u32 = 100;
-
-fn build_db(sys: SystemId, mode: ExecMode) -> Database {
-    let mut db = Database::new(
-        EngineProfile::system(sys),
-        CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
-    )
-    .with_exec_mode(mode);
-    db.ctx.instrument = false;
-    db.create_table("R", Schema::paper_relation(RECORD_BYTES))
-        .unwrap();
-    let ncols = (RECORD_BYTES / 4) as usize;
-    db.load_rows(
-        "R",
-        (0..ROWS).map(|i| {
-            let mut r = vec![0i32; ncols];
-            let x = i.wrapping_mul(0x9e37_79b9);
-            r[0] = i as i32;
-            r[1] = (x % 2_000) as i32 + 1;
-            r[2] = (x % 10_000) as i32;
-            r
-        }),
-    )
-    .unwrap();
-    db.ctx.instrument = true;
-    db
-}
-
-struct ModeResult {
-    host_secs: f64,
-    rows: u64,
-    instr_per_tuple: f64,
-    cycles_per_tuple: f64,
-}
-
-fn measure(sys: SystemId, mode: ExecMode) -> ModeResult {
-    let mut db = build_db(sys, mode);
-    // The paper's 10% selectivity band on a 1..=2000 domain.
-    let q = Query::range_select_avg("R", 900, 1101);
-    let rows = db.run(&q).unwrap().rows; // warm caches/TLB/BTB
-    let before = db.cpu().snapshot();
-    let start = Instant::now();
-    db.run(&q).unwrap();
-    let host_secs = start.elapsed().as_secs_f64();
-    let delta = db.cpu().snapshot().delta(&before);
-    ModeResult {
-        host_secs,
-        rows,
-        instr_per_tuple: delta.counters.total(Event::InstRetired) as f64 / ROWS as f64,
-        cycles_per_tuple: delta.cycles / ROWS as f64,
-    }
-}
+use wdtg_bench::runners::{run_exec_report, SCAN_RECORD_BYTES, SCAN_ROWS};
 
 fn main() {
-    let sys = SystemId::C; // the paper's interpreted generalist
+    let report = run_exec_report();
     println!(
         "== exec_mode == sequential range selection, {} rows x {} B, {}",
-        ROWS,
-        RECORD_BYTES,
-        sys.name()
+        SCAN_ROWS,
+        SCAN_RECORD_BYTES,
+        report.system.name()
     );
-    let row = measure(sys, ExecMode::Row);
-    let batch = measure(sys, ExecMode::Batch);
-    assert_eq!(row.rows, batch.rows, "modes must agree on the answer");
-
-    let host_speedup = row.host_secs / batch.host_secs;
-    let instr_collapse = row.instr_per_tuple / batch.instr_per_tuple;
-    let cycle_speedup = row.cycles_per_tuple / batch.cycles_per_tuple;
     println!(
         "row:   {:8.4} s host, {:7.0} instr/tuple, {:7.0} cyc/tuple",
-        row.host_secs, row.instr_per_tuple, row.cycles_per_tuple
+        report.row.host_secs, report.row.instr_per_tuple, report.row.cycles_per_tuple
     );
     println!(
         "batch: {:8.4} s host, {:7.0} instr/tuple, {:7.0} cyc/tuple",
-        batch.host_secs, batch.instr_per_tuple, batch.cycles_per_tuple
+        report.batch.host_secs, report.batch.instr_per_tuple, report.batch.cycles_per_tuple
     );
-    println!("host speedup {host_speedup:.2}x, instr collapse {instr_collapse:.2}x, simulated speedup {cycle_speedup:.2}x");
+    let host_speedup = report.host_speedup();
+    let instr_collapse = report.instr_collapse();
+    println!(
+        "host speedup {host_speedup:.2}x, instr collapse {instr_collapse:.2}x, simulated speedup {:.2}x",
+        report.simulated_speedup()
+    );
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"sequential_range_selection\",\n  \"system\": \"{}\",\n  \
-         \"rows\": {},\n  \"record_bytes\": {},\n  \"selected_rows\": {},\n  \
-         \"row_mode\": {{ \"host_secs\": {:.6}, \"instr_per_tuple\": {:.1}, \"cycles_per_tuple\": {:.1} }},\n  \
-         \"batch_mode\": {{ \"host_secs\": {:.6}, \"instr_per_tuple\": {:.1}, \"cycles_per_tuple\": {:.1} }},\n  \
-         \"host_speedup\": {:.3},\n  \"instr_collapse\": {:.3},\n  \"simulated_speedup\": {:.3}\n}}\n",
-        sys.letter(),
-        ROWS,
-        RECORD_BYTES,
-        row.rows,
-        row.host_secs,
-        row.instr_per_tuple,
-        row.cycles_per_tuple,
-        batch.host_secs,
-        batch.instr_per_tuple,
-        batch.cycles_per_tuple,
-        host_speedup,
-        instr_collapse,
-        cycle_speedup,
-    );
     let out = std::env::var("BENCH_EXEC_OUT").unwrap_or_else(|_| "BENCH_exec.json".into());
-    std::fs::write(&out, json).expect("write BENCH_exec.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_exec.json");
     println!("wrote {out}");
 
     assert!(

@@ -1,0 +1,57 @@
+//! Join-strategy benchmark: the paper's two-table equijoin measured under
+//! {HashJoin, PartitionedHashJoin, IndexNlJoin} × {Row, Batch} ×
+//! {Nsm, Pax} with the Figure 5.1-style component breakdown per cell,
+//! written to `BENCH_join.json` (path overridable via `BENCH_JOIN_OUT`).
+//!
+//! The workload sizes the build side so the naive join's transient hash
+//! table is ≈3× the 512 KB L2 — the regime the paper measures, where the
+//! join's time goes to L2 data misses. The asserted claims are the join
+//! chapter's acceptance behaviour: the radix-partitioned join returns the
+//! same cardinality while taking strictly fewer simulated L2 data misses
+//! and a strictly lower memory-stall share than the naive hash join. The
+//! measurement itself lives in [`wdtg_bench::runners`], shared with the
+//! `bench_check` regression gate.
+
+use wdtg_bench::runners::run_join_report;
+use wdtg_memdb::{ExecMode, JoinAlgo, PageLayout};
+
+fn main() {
+    let report = run_join_report();
+    println!("{}", report.cmp.render());
+
+    let out = std::env::var("BENCH_JOIN_OUT").unwrap_or_else(|_| "BENCH_join.json".into());
+    std::fs::write(&out, report.to_json()).expect("write BENCH_join.json");
+    println!("wrote {out}");
+
+    // The acceptance claims.
+    let rows: Vec<u64> = report.cmp.cells.iter().map(|c| c.rows).collect();
+    assert!(
+        rows.windows(2).all(|w| w[0] == w[1]),
+        "every strategy must return the same cardinality: {rows:?}"
+    );
+    for mode in [ExecMode::Row, ExecMode::Batch] {
+        for layout in PageLayout::ALL {
+            let hash = report.cmp.get(JoinAlgo::Hash, mode, layout).unwrap();
+            let part = report
+                .cmp
+                .get(JoinAlgo::PartitionedHash, mode, layout)
+                .unwrap();
+            assert!(
+                part.l2_data_misses < hash.l2_data_misses,
+                "{mode:?}/{layout:?}: partitioned join must cut L2 data misses \
+                 (hash {} vs partitioned {})",
+                hash.l2_data_misses,
+                part.l2_data_misses
+            );
+            let hash_tm = hash.truth.tm() / hash.truth.cycles.max(1e-9);
+            let part_tm = part.truth.tm() / part.truth.cycles.max(1e-9);
+            assert!(
+                part_tm < hash_tm,
+                "{mode:?}/{layout:?}: partitioned join must lower the T_M share \
+                 ({:.1}% vs {:.1}%)",
+                100.0 * hash_tm,
+                100.0 * part_tm
+            );
+        }
+    }
+}

@@ -7,121 +7,25 @@
 //! scan projecting 2 of 25 columns must take strictly fewer simulated L2
 //! data misses under PAX (it touches only the projected minipages' lines),
 //! while a full-record scan — which gathers one field from every minipage —
-//! must stay within a few percent of NSM.
+//! must stay within a few percent of NSM. The measurement itself lives in
+//! [`wdtg_bench::runners`], shared with the `bench_check` regression gate.
 
-use wdtg_core::TimeBreakdown;
-use wdtg_memdb::{Database, EngineProfile, PageLayout, Query, Schema, SystemId};
-use wdtg_sim::{CpuConfig, Event, InterruptCfg, Mode};
-
-const ROWS: u64 = 100_000;
-const RECORD_BYTES: u32 = 100;
-
-fn build_db(sys: SystemId, layout: PageLayout) -> Database {
-    let mut db = Database::new(
-        EngineProfile::system(sys),
-        CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
-    )
-    .with_page_layout(layout);
-    db.ctx.instrument = false;
-    db.create_table("R", Schema::paper_relation(RECORD_BYTES))
-        .unwrap();
-    let ncols = (RECORD_BYTES / 4) as usize;
-    db.load_rows(
-        "R",
-        (0..ROWS).map(|i| {
-            let mut r = vec![0i32; ncols];
-            let x = i.wrapping_mul(0x9e37_79b9);
-            r[0] = i as i32;
-            r[1] = (x % 2_000) as i32 + 1;
-            r[2] = (x % 10_000) as i32;
-            r
-        }),
-    )
-    .unwrap();
-    db.ctx.instrument = true;
-    db
-}
-
-struct LayoutResult {
-    rows: u64,
-    l2_data_misses: u64,
-    cycles_per_tuple: f64,
-    truth: TimeBreakdown,
-}
-
-fn measure(sys: SystemId, layout: PageLayout) -> LayoutResult {
-    let mut db = build_db(sys, layout);
-    // The paper's 10% selectivity band on a 1..=2000 domain; the scan
-    // projects a2 (predicate) and a3 (aggregate) — 2 of 25 columns.
-    let q = Query::range_select_avg("R", 900, 1101);
-    let rows = db.run(&q).unwrap().rows; // warm caches/TLB/BTB
-    let before = db.cpu().snapshot();
-    db.run(&q).unwrap();
-    let delta = db.cpu().snapshot().delta(&before);
-    LayoutResult {
-        rows,
-        l2_data_misses: delta.counters.total(Event::SimL2DataMiss),
-        cycles_per_tuple: delta.cycles / ROWS as f64,
-        truth: TimeBreakdown::from_snapshot(&delta, Mode::User),
-    }
-}
-
-fn tm_json(t: &TimeBreakdown) -> String {
-    let total = t.cycles.max(1e-9);
-    format!(
-        "{{ \"t_m_share\": {:.4}, \"t_l1d_share\": {:.4}, \"t_l1i_share\": {:.4}, \
-         \"t_l2d_share\": {:.4}, \"t_l2i_share\": {:.4}, \"t_dtlb_share\": {:.4}, \
-         \"t_itlb_share\": {:.4} }}",
-        t.tm() / total,
-        t.tl1d / total,
-        t.tl1i / total,
-        t.tl2d / total,
-        t.tl2i / total,
-        t.tdtlb.unwrap_or(0.0) / total,
-        t.titlb / total,
-    )
-}
-
-fn scenario_json(name: &str, sys: SystemId, nsm: &LayoutResult, pax: &LayoutResult) -> String {
-    format!(
-        "  \"{name}\": {{\n    \"system\": \"{}\",\n    \"selected_rows\": {},\n    \
-         \"nsm\": {{ \"l2_data_misses\": {}, \"cycles_per_tuple\": {:.1}, \"memory\": {} }},\n    \
-         \"pax\": {{ \"l2_data_misses\": {}, \"cycles_per_tuple\": {:.1}, \"memory\": {} }},\n    \
-         \"l2d_miss_reduction\": {:.3},\n    \"simulated_speedup\": {:.3}\n  }}",
-        sys.letter(),
-        nsm.rows,
-        nsm.l2_data_misses,
-        nsm.cycles_per_tuple,
-        tm_json(&nsm.truth),
-        pax.l2_data_misses,
-        pax.cycles_per_tuple,
-        tm_json(&pax.truth),
-        nsm.l2_data_misses as f64 / pax.l2_data_misses.max(1) as f64,
-        nsm.cycles_per_tuple / pax.cycles_per_tuple.max(1e-9),
-    )
-}
+use wdtg_bench::runners::{run_layout_report, SCAN_RECORD_BYTES, SCAN_ROWS};
 
 fn main() {
     println!(
         "== layout_compare == sequential range selection, {} rows x {} B",
-        ROWS, RECORD_BYTES
+        SCAN_ROWS, SCAN_RECORD_BYTES
     );
-
-    // Narrow projection on a fields-only engine (System A): PAX's sweet
-    // spot — only the a2/a3 minipages' lines are pulled.
-    let narrow_nsm = measure(SystemId::A, PageLayout::Nsm);
-    let narrow_pax = measure(SystemId::A, PageLayout::Pax);
-    assert_eq!(narrow_nsm.rows, narrow_pax.rows, "layouts must agree");
-
-    // Full-record engine (System C): every minipage is gathered per record,
-    // so PAX touches the same lines NSM does — near-parity.
-    let full_nsm = measure(SystemId::C, PageLayout::Nsm);
-    let full_pax = measure(SystemId::C, PageLayout::Pax);
-    assert_eq!(full_nsm.rows, full_pax.rows, "layouts must agree");
+    let report = run_layout_report();
 
     for (name, nsm, pax) in [
-        ("narrow (A, 2/25 cols)", &narrow_nsm, &narrow_pax),
-        ("full-row (C)", &full_nsm, &full_pax),
+        (
+            "narrow (A, 2/25 cols)",
+            &report.narrow_nsm,
+            &report.narrow_pax,
+        ),
+        ("full-row (C)", &report.full_nsm, &report.full_pax),
     ] {
         println!(
             "{name:24} L2D misses: NSM {:7} vs PAX {:7} ({:.2}x) | T_M share: {:.0}% vs {:.0}% | cyc/tuple {:.0} vs {:.0}",
@@ -135,34 +39,23 @@ fn main() {
         );
     }
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"page_layout_comparison\",\n  \"rows\": {ROWS},\n  \
-         \"record_bytes\": {RECORD_BYTES},\n{},\n{}\n}}\n",
-        scenario_json(
-            "narrow_projection_scan",
-            SystemId::A,
-            &narrow_nsm,
-            &narrow_pax
-        ),
-        scenario_json("full_row_scan", SystemId::C, &full_nsm, &full_pax),
-    );
     let out = std::env::var("BENCH_LAYOUT_OUT").unwrap_or_else(|_| "BENCH_layout.json".into());
-    std::fs::write(&out, json).expect("write BENCH_layout.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_layout.json");
     println!("wrote {out}");
 
     // The acceptance claims.
     assert!(
-        narrow_pax.l2_data_misses < narrow_nsm.l2_data_misses,
+        report.narrow_pax.l2_data_misses < report.narrow_nsm.l2_data_misses,
         "PAX must cut L2 data misses on a narrow projection: NSM {} vs PAX {}",
-        narrow_nsm.l2_data_misses,
-        narrow_pax.l2_data_misses
+        report.narrow_nsm.l2_data_misses,
+        report.narrow_pax.l2_data_misses
     );
     assert!(
-        narrow_pax.truth.tm() / narrow_pax.truth.cycles.max(1e-9)
-            < narrow_nsm.truth.tm() / narrow_nsm.truth.cycles.max(1e-9),
+        report.narrow_pax.truth.tm() / report.narrow_pax.truth.cycles.max(1e-9)
+            < report.narrow_nsm.truth.tm() / report.narrow_nsm.truth.cycles.max(1e-9),
         "PAX must lower the memory-stall share on a narrow projection"
     );
-    let full_ratio = full_pax.l2_data_misses as f64 / full_nsm.l2_data_misses.max(1) as f64;
+    let full_ratio = report.full_row_miss_ratio();
     assert!(
         (0.8..=1.2).contains(&full_ratio),
         "full-row scans must stay near parity across layouts (PAX/NSM = {full_ratio:.3})"

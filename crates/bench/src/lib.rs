@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod runners;
+
 use wdtg_core::figures::FigureCtx;
 
 /// Builds the default experiment context and prints its parameters.

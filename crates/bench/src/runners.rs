@@ -1,0 +1,426 @@
+//! The measurement cores of the headline bench binaries (`exec_mode`,
+//! `layout_compare`, `join_compare`), shared with `bench_check` so the
+//! CI regression gate re-runs *exactly* the code that produced the
+//! committed `BENCH_*.json` baselines, not a reimplementation that could
+//! drift.
+//!
+//! Each runner returns a report struct that renders itself to the same
+//! JSON the corresponding binary writes; the headline metrics the gate
+//! compares are plain accessors on the reports.
+
+use std::time::Instant;
+
+use wdtg_core::{JoinComparison, TimeBreakdown};
+use wdtg_memdb::{
+    Database, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, Schema, SystemId,
+};
+use wdtg_sim::{CpuConfig, Event, InterruptCfg, Mode};
+use wdtg_workloads::JoinSpec;
+
+/// Rows in the selection benchmarks' single relation.
+pub const SCAN_ROWS: u64 = 100_000;
+/// Record size of the selection benchmarks' relation.
+pub const SCAN_RECORD_BYTES: u32 = 100;
+
+fn build_scan_db(sys: SystemId, layout: PageLayout) -> Database {
+    let mut db = Database::new(
+        EngineProfile::system(sys),
+        CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+    )
+    .with_page_layout(layout);
+    db.ctx.instrument = false;
+    db.create_table("R", Schema::paper_relation(SCAN_RECORD_BYTES))
+        .unwrap();
+    let ncols = (SCAN_RECORD_BYTES / 4) as usize;
+    db.load_rows(
+        "R",
+        (0..SCAN_ROWS).map(|i| {
+            let mut r = vec![0i32; ncols];
+            let x = i.wrapping_mul(0x9e37_79b9);
+            r[0] = i as i32;
+            r[1] = (x % 2_000) as i32 + 1;
+            r[2] = (x % 10_000) as i32;
+            r
+        }),
+    )
+    .unwrap();
+    db.ctx.instrument = true;
+    db
+}
+
+/// The paper's 10% selectivity band on the scan relation's 1..=2000 domain.
+fn scan_query() -> Query {
+    Query::range_select_avg("R", 900, 1101)
+}
+
+// ---------------------------------------------------------------------
+// exec_mode: row vs batch executor
+// ---------------------------------------------------------------------
+
+/// One execution mode's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecModeResult {
+    /// Host wall-clock seconds of the measured run (simulator speed).
+    pub host_secs: f64,
+    /// Selected rows (must agree across modes).
+    pub rows: u64,
+    /// Simulated instructions retired per tuple.
+    pub instr_per_tuple: f64,
+    /// Simulated cycles per tuple.
+    pub cycles_per_tuple: f64,
+}
+
+fn measure_exec_mode(sys: SystemId, mode: ExecMode) -> ExecModeResult {
+    let mut db = build_scan_db(sys, PageLayout::Nsm).with_exec_mode(mode);
+    let q = scan_query();
+    let rows = db.run(&q).unwrap().rows; // warm caches/TLB/BTB
+    let before = db.cpu().snapshot();
+    let start = Instant::now();
+    db.run(&q).unwrap();
+    let host_secs = start.elapsed().as_secs_f64();
+    let delta = db.cpu().snapshot().delta(&before);
+    ExecModeResult {
+        host_secs,
+        rows,
+        instr_per_tuple: delta.counters.total(Event::InstRetired) as f64 / SCAN_ROWS as f64,
+        cycles_per_tuple: delta.cycles / SCAN_ROWS as f64,
+    }
+}
+
+/// Row-vs-batch comparison on the sequential range selection (System C).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecReport {
+    /// System measured.
+    pub system: SystemId,
+    /// Row-mode measurements.
+    pub row: ExecModeResult,
+    /// Batch-mode measurements.
+    pub batch: ExecModeResult,
+}
+
+impl ExecReport {
+    /// Host wall-clock speedup of batch over row mode.
+    pub fn host_speedup(&self) -> f64 {
+        self.row.host_secs / self.batch.host_secs.max(1e-12)
+    }
+
+    /// Simulated per-tuple instruction collapse (the gated headline).
+    pub fn instr_collapse(&self) -> f64 {
+        self.row.instr_per_tuple / self.batch.instr_per_tuple.max(1e-9)
+    }
+
+    /// Simulated cycle speedup.
+    pub fn simulated_speedup(&self) -> f64 {
+        self.row.cycles_per_tuple / self.batch.cycles_per_tuple.max(1e-9)
+    }
+
+    /// The `BENCH_exec.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"sequential_range_selection\",\n  \"system\": \"{}\",\n  \
+             \"rows\": {},\n  \"record_bytes\": {},\n  \"selected_rows\": {},\n  \
+             \"row_mode\": {{ \"host_secs\": {:.6}, \"instr_per_tuple\": {:.1}, \"cycles_per_tuple\": {:.1} }},\n  \
+             \"batch_mode\": {{ \"host_secs\": {:.6}, \"instr_per_tuple\": {:.1}, \"cycles_per_tuple\": {:.1} }},\n  \
+             \"host_speedup\": {:.3},\n  \"instr_collapse\": {:.3},\n  \"simulated_speedup\": {:.3}\n}}\n",
+            self.system.letter(),
+            SCAN_ROWS,
+            SCAN_RECORD_BYTES,
+            self.row.rows,
+            self.row.host_secs,
+            self.row.instr_per_tuple,
+            self.row.cycles_per_tuple,
+            self.batch.host_secs,
+            self.batch.instr_per_tuple,
+            self.batch.cycles_per_tuple,
+            self.host_speedup(),
+            self.instr_collapse(),
+            self.simulated_speedup(),
+        )
+    }
+}
+
+/// Runs the row-vs-batch benchmark (System C, the interpreted generalist).
+pub fn run_exec_report() -> ExecReport {
+    let sys = SystemId::C;
+    let row = measure_exec_mode(sys, ExecMode::Row);
+    let batch = measure_exec_mode(sys, ExecMode::Batch);
+    assert_eq!(row.rows, batch.rows, "modes must agree on the answer");
+    ExecReport {
+        system: sys,
+        row,
+        batch,
+    }
+}
+
+// ---------------------------------------------------------------------
+// layout_compare: NSM vs PAX
+// ---------------------------------------------------------------------
+
+/// One layout's measurements on the selection scan.
+#[derive(Debug, Clone)]
+pub struct LayoutResult {
+    /// Selected rows (must agree across layouts).
+    pub rows: u64,
+    /// Simulated L2 data misses of the measured run.
+    pub l2_data_misses: u64,
+    /// Simulated cycles per tuple.
+    pub cycles_per_tuple: f64,
+    /// Ground-truth breakdown of the measured run.
+    pub truth: TimeBreakdown,
+}
+
+fn measure_layout(sys: SystemId, layout: PageLayout) -> LayoutResult {
+    let mut db = build_scan_db(sys, layout);
+    let q = scan_query();
+    let rows = db.run(&q).unwrap().rows; // warm caches/TLB/BTB
+    let before = db.cpu().snapshot();
+    db.run(&q).unwrap();
+    let delta = db.cpu().snapshot().delta(&before);
+    LayoutResult {
+        rows,
+        l2_data_misses: delta.counters.total(Event::SimL2DataMiss),
+        cycles_per_tuple: delta.cycles / SCAN_ROWS as f64,
+        truth: TimeBreakdown::from_snapshot(&delta, Mode::User),
+    }
+}
+
+/// NSM-vs-PAX comparison: a narrow projection (System A, PAX's sweet spot)
+/// and a full-row scan (System C, the parity check).
+#[derive(Debug, Clone)]
+pub struct LayoutReport {
+    /// Narrow projection under NSM.
+    pub narrow_nsm: LayoutResult,
+    /// Narrow projection under PAX.
+    pub narrow_pax: LayoutResult,
+    /// Full-row scan under NSM.
+    pub full_nsm: LayoutResult,
+    /// Full-row scan under PAX.
+    pub full_pax: LayoutResult,
+}
+
+fn tm_json(t: &TimeBreakdown) -> String {
+    let total = t.cycles.max(1e-9);
+    format!(
+        "{{ \"t_m_share\": {:.4}, \"t_l1d_share\": {:.4}, \"t_l1i_share\": {:.4}, \
+         \"t_l2d_share\": {:.4}, \"t_l2i_share\": {:.4}, \"t_dtlb_share\": {:.4}, \
+         \"t_itlb_share\": {:.4} }}",
+        t.tm() / total,
+        t.tl1d / total,
+        t.tl1i / total,
+        t.tl2d / total,
+        t.tl2i / total,
+        t.tdtlb.unwrap_or(0.0) / total,
+        t.titlb / total,
+    )
+}
+
+fn layout_scenario_json(
+    name: &str,
+    sys: SystemId,
+    nsm: &LayoutResult,
+    pax: &LayoutResult,
+) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"system\": \"{}\",\n    \"selected_rows\": {},\n    \
+         \"nsm\": {{ \"l2_data_misses\": {}, \"cycles_per_tuple\": {:.1}, \"memory\": {} }},\n    \
+         \"pax\": {{ \"l2_data_misses\": {}, \"cycles_per_tuple\": {:.1}, \"memory\": {} }},\n    \
+         \"l2d_miss_reduction\": {:.3},\n    \"simulated_speedup\": {:.3}\n  }}",
+        sys.letter(),
+        nsm.rows,
+        nsm.l2_data_misses,
+        nsm.cycles_per_tuple,
+        tm_json(&nsm.truth),
+        pax.l2_data_misses,
+        pax.cycles_per_tuple,
+        tm_json(&pax.truth),
+        nsm.l2_data_misses as f64 / pax.l2_data_misses.max(1) as f64,
+        nsm.cycles_per_tuple / pax.cycles_per_tuple.max(1e-9),
+    )
+}
+
+impl LayoutReport {
+    /// Narrow-projection L2 data-miss reduction (the gated headline).
+    pub fn narrow_l2d_miss_reduction(&self) -> f64 {
+        self.narrow_nsm.l2_data_misses as f64 / self.narrow_pax.l2_data_misses.max(1) as f64
+    }
+
+    /// Full-row PAX/NSM miss ratio (must stay near parity).
+    pub fn full_row_miss_ratio(&self) -> f64 {
+        self.full_pax.l2_data_misses as f64 / self.full_nsm.l2_data_misses.max(1) as f64
+    }
+
+    /// The `BENCH_layout.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"page_layout_comparison\",\n  \"rows\": {SCAN_ROWS},\n  \
+             \"record_bytes\": {SCAN_RECORD_BYTES},\n{},\n{}\n}}\n",
+            layout_scenario_json(
+                "narrow_projection_scan",
+                SystemId::A,
+                &self.narrow_nsm,
+                &self.narrow_pax
+            ),
+            layout_scenario_json("full_row_scan", SystemId::C, &self.full_nsm, &self.full_pax),
+        )
+    }
+}
+
+/// Runs the NSM-vs-PAX benchmark.
+pub fn run_layout_report() -> LayoutReport {
+    let narrow_nsm = measure_layout(SystemId::A, PageLayout::Nsm);
+    let narrow_pax = measure_layout(SystemId::A, PageLayout::Pax);
+    assert_eq!(narrow_nsm.rows, narrow_pax.rows, "layouts must agree");
+    let full_nsm = measure_layout(SystemId::C, PageLayout::Nsm);
+    let full_pax = measure_layout(SystemId::C, PageLayout::Pax);
+    assert_eq!(full_nsm.rows, full_pax.rows, "layouts must agree");
+    LayoutReport {
+        narrow_nsm,
+        narrow_pax,
+        full_nsm,
+        full_pax,
+    }
+}
+
+// ---------------------------------------------------------------------
+// join_compare: join strategies
+// ---------------------------------------------------------------------
+
+/// The join-strategy comparison (a [`JoinComparison`] grid plus the
+/// headline accessors the regression gate reads).
+#[derive(Debug, Clone)]
+pub struct JoinReport {
+    /// The measured grid (3 strategies × 2 modes × 2 layouts).
+    pub cmp: JoinComparison,
+}
+
+impl JoinReport {
+    /// Row-mode NSM L2 data-miss reduction, naive hash / partitioned
+    /// (the gated headline).
+    pub fn l2d_miss_reduction_row(&self) -> f64 {
+        self.cmp
+            .l2d_miss_reduction(ExecMode::Row, PageLayout::Nsm)
+            .expect("grid measured")
+    }
+
+    /// Batch-mode NSM simulated speedup, naive hash / partitioned (the
+    /// gated headline: batching amortizes the scatter code, so this is
+    /// where partitioning's miss savings show up as cycles).
+    pub fn join_speedup_batch(&self) -> f64 {
+        self.cmp
+            .speedup(ExecMode::Batch, PageLayout::Nsm)
+            .expect("grid measured")
+    }
+
+    /// T_M share of one cell.
+    pub fn t_m_share(&self, algo: JoinAlgo, mode: ExecMode) -> f64 {
+        let c = self.cmp.get(algo, mode, PageLayout::Nsm).expect("measured");
+        c.truth.tm() / c.truth.cycles.max(1e-9)
+    }
+
+    /// The `BENCH_join.json` document.
+    pub fn to_json(&self) -> String {
+        let spec = &self.cmp.spec;
+        let mut cells = String::new();
+        for (i, c) in self.cmp.cells.iter().enumerate() {
+            let f = c.truth.four_way();
+            let algo = match c.algo {
+                JoinAlgo::Hash => "hash",
+                JoinAlgo::PartitionedHash => "partitioned_hash",
+                JoinAlgo::IndexNestedLoop => "index_nl",
+            };
+            cells.push_str(&format!(
+                "    {{ \"strategy\": \"{algo}\", \"mode\": \"{:?}\", \"layout\": \"{:?}\", \
+                 \"rows\": {}, \"l2_data_misses\": {}, \"cycles\": {:.0}, \
+                 \"instructions\": {}, \"t_c_share\": {:.4}, \"t_m_share\": {:.4}, \
+                 \"t_b_share\": {:.4}, \"t_r_share\": {:.4} }}{}\n",
+                c.mode,
+                c.layout,
+                c.rows,
+                c.l2_data_misses,
+                c.truth.cycles,
+                c.truth.inst_retired,
+                f.computation,
+                f.memory,
+                f.branch,
+                f.resource,
+                if i + 1 == self.cmp.cells.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        format!(
+            "{{\n  \"benchmark\": \"join_comparison\",\n  \"system\": \"{}\",\n  \
+             \"build_rows\": {},\n  \"probe_rows\": {},\n  \"record_bytes\": {},\n  \
+             \"match_rate\": {:.2},\n  \"cells\": [\n{cells}  ],\n  \
+             \"l2d_miss_reduction_row\": {:.3},\n  \"l2d_miss_reduction_batch\": {:.3},\n  \
+             \"t_m_share_hash_row\": {:.4},\n  \"t_m_share_partitioned_row\": {:.4},\n  \
+             \"join_speedup_row\": {:.3},\n  \"join_speedup_batch\": {:.3}\n}}\n",
+            self.cmp.system.letter(),
+            spec.build_rows,
+            spec.probe_rows,
+            spec.record_bytes,
+            spec.match_rate,
+            self.l2d_miss_reduction_row(),
+            self.cmp
+                .l2d_miss_reduction(ExecMode::Batch, PageLayout::Nsm)
+                .expect("grid measured"),
+            self.t_m_share(JoinAlgo::Hash, ExecMode::Row),
+            self.t_m_share(JoinAlgo::PartitionedHash, ExecMode::Row),
+            self.cmp
+                .speedup(ExecMode::Row, PageLayout::Nsm)
+                .expect("grid measured"),
+            self.join_speedup_batch(),
+        )
+    }
+}
+
+/// Runs the join-strategy benchmark: the default join workload (naive hash
+/// table ≈3× the L2) on System C, all strategies × modes × layouts.
+pub fn run_join_report() -> JoinReport {
+    let cmp = JoinComparison::run(
+        SystemId::C,
+        JoinSpec::default(),
+        &CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+    )
+    .expect("join comparison runs");
+    JoinReport { cmp }
+}
+
+// ---------------------------------------------------------------------
+// Baseline JSON extraction (bench_check)
+// ---------------------------------------------------------------------
+
+/// Extracts the first `"key": <number>` after the optional `scope`
+/// substring of a `BENCH_*.json` document. Hand-rolled on purpose: the
+/// documents are produced by the formatters above, and the workspace takes
+/// no serde dependency.
+pub fn json_number(text: &str, scope: Option<&str>, key: &str) -> Option<f64> {
+    let start = match scope {
+        Some(s) => text.find(s)? + s.len(),
+        None => 0,
+    };
+    let pat = format!("\"{key}\":");
+    let at = text[start..].find(&pat)? + start + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_number_extracts_scoped_and_unscoped_keys() {
+        let doc = "{ \"a\": { \"x\": 1.5 }, \"b\": { \"x\": -2 }, \"y\": 7 }";
+        assert_eq!(json_number(doc, None, "x"), Some(1.5));
+        assert_eq!(json_number(doc, Some("\"b\""), "x"), Some(-2.0));
+        assert_eq!(json_number(doc, None, "y"), Some(7.0));
+        assert_eq!(json_number(doc, None, "missing"), None);
+        assert_eq!(json_number(doc, Some("\"zzz\""), "x"), None);
+    }
+}

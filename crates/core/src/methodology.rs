@@ -8,7 +8,9 @@
 //! of numbers exhibit a standard deviation of less than 5 percent."
 
 use wdtg_emon::{measure_breakdown, ModeSel, Penalties, Target};
-use wdtg_memdb::{Database, DbResult, EngineProfile, ExecMode, PageLayout, Query, SystemId};
+use wdtg_memdb::{
+    Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, SystemId,
+};
 use wdtg_sim::{measure_memory_latency, Cpu, CpuConfig, Event, Mode, Snapshot};
 use wdtg_workloads::{micro, MicroQuery, Scale};
 
@@ -40,6 +42,11 @@ pub struct Methodology {
     /// [`PageLayout::Pax`] regenerates the same breakdowns over
     /// cache-conscious per-attribute minipages.
     pub layout: PageLayout,
+    /// Join-algorithm override for equijoin queries. `None` (the default)
+    /// keeps the engine profile's own choice — the paper's systems run the
+    /// naive transient hash join; `Some` regenerates the same breakdowns
+    /// under another strategy (e.g. [`JoinAlgo::PartitionedHash`]).
+    pub join_algo: Option<JoinAlgo>,
 }
 
 impl Default for Methodology {
@@ -52,6 +59,7 @@ impl Default for Methodology {
             with_emon: false,
             exec_mode: ExecMode::Row,
             layout: PageLayout::Nsm,
+            join_algo: None,
         }
     }
 }
@@ -67,6 +75,7 @@ impl Methodology {
             with_emon: true,
             exec_mode: ExecMode::Row,
             layout: PageLayout::Nsm,
+            join_algo: None,
         }
     }
 
@@ -86,6 +95,19 @@ impl Methodology {
     /// The same methodology over PAX pages.
     pub fn pax(self) -> Methodology {
         self.with_layout(PageLayout::Pax)
+    }
+
+    /// The same methodology with a join-algorithm override.
+    pub fn with_join_algo(self, algo: JoinAlgo) -> Methodology {
+        Methodology {
+            join_algo: Some(algo),
+            ..self
+        }
+    }
+
+    /// The same methodology under the radix-partitioned hash join.
+    pub fn partitioned(self) -> Methodology {
+        self.with_join_algo(JoinAlgo::PartitionedHash)
     }
 }
 
@@ -264,6 +286,9 @@ pub fn measure_query_with(
     let system = profile.system;
     let mut db = build_db_with_layout(profile, scale, query, cfg, m.layout)?;
     db.set_exec_mode(m.exec_mode);
+    if let Some(algo) = m.join_algo {
+        db.set_join_algo(algo);
+    }
     let q = micro::query(scale, query, selectivity);
 
     // Warm-up runs (§4.3): caches, TLBs, BTB reach steady state.

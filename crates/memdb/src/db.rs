@@ -13,6 +13,7 @@ use crate::exec::filter::{Filter, PredicateExec};
 use crate::exec::indexscan::{descend_to_leaf, IndexRangeScan, LeafCursor};
 use crate::exec::join_hash::HashJoin;
 use crate::exec::join_nl::IndexNlJoin;
+use crate::exec::join_partitioned::PartitionedHashJoin;
 use crate::exec::seqscan::SeqScan;
 use crate::exec::{ExecEnv, ExecMode, Operator};
 use crate::heap::{HeapFile, PageLayout, Rid, HDR_NRECS};
@@ -137,6 +138,18 @@ impl DbCtx {
     pub fn touch_run(&mut self, addr: u64, len: u32, dep: MemDep) {
         if self.instrument {
             self.cpu.load_run(addr, len, dep);
+        }
+    }
+
+    /// The store-side twin of [`DbCtx::touch_run`]
+    /// ([`wdtg_sim::Cpu::store_run`]): charges a contiguous write of `len`
+    /// bytes with amortized bookkeeping. Used by the partitioned join's
+    /// batched scatter, whose appends land in contiguous spans of each
+    /// partition's column buffers.
+    #[inline]
+    pub fn store_run(&mut self, addr: u64, len: u32, dep: MemDep) {
+        if self.instrument {
+            self.cpu.store_run(addr, len, dep);
         }
     }
 
@@ -273,6 +286,25 @@ impl Database {
     /// Builder-style [`Database::set_page_layout`].
     pub fn with_page_layout(mut self, layout: PageLayout) -> Self {
         self.page_layout = layout;
+        self
+    }
+
+    /// The join algorithm the planner picks for equijoins.
+    pub fn join_algo(&self) -> JoinAlgo {
+        self.profile.join_algo
+    }
+
+    /// Overrides the engine profile's join algorithm for subsequent queries
+    /// (the knob the join-strategy comparisons turn; everything else about
+    /// the profile — code paths, materialization, prefetching — stays as
+    /// the system under test had it).
+    pub fn set_join_algo(&mut self, algo: JoinAlgo) {
+        self.profile.join_algo = algo;
+    }
+
+    /// Builder-style [`Database::set_join_algo`].
+    pub fn with_join_algo(mut self, algo: JoinAlgo) -> Self {
+        self.profile.join_algo = algo;
         self
     }
 
@@ -584,6 +616,10 @@ impl Database {
                     JoinAlgo::IndexNestedLoop if self.index_on(ri, rkey).is_some() => {
                         format!("IndexNLJoin[{right}.{right_col} B+tree probe per outer row]")
                     }
+                    JoinAlgo::PartitionedHash => format!(
+                        "PartitionedHashJoin[radix-scatter {right}.{right_col} and \
+                         {left}.{left_col} into L2-sized partitions, build+probe per partition]"
+                    ),
                     _ => format!("HashJoin[build {right}.{right_col}, probe {left}.{left_col}]"),
                 };
                 Ok(format!(
@@ -749,6 +785,23 @@ impl Database {
                             self.tables[ri].heap.clone(),
                             vec![rkey],
                             Rc::clone(&blocks),
+                        ))
+                    }
+                    JoinAlgo::PartitionedHash => {
+                        let build = SeqScan::new(
+                            self.tables[ri].heap.clone(),
+                            vec![rkey],
+                            Rc::clone(&blocks),
+                            self.profile.materialize,
+                            self.profile.prefetch_lines_ahead,
+                        );
+                        Box::new(PartitionedHashJoin::new(
+                            Box::new(build),
+                            0,
+                            Box::new(probe),
+                            lkey_pos,
+                            Rc::clone(&blocks),
+                            self.ctx.cpu.config().l2.size_bytes,
                         ))
                     }
                     _ => {

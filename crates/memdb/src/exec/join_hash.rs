@@ -67,8 +67,15 @@ impl HashJoin {
 
     /// Inserts one staged `(key, payload)` pair with its instrumented data
     /// traffic (bucket-head read, entry write, head write) — identical in
-    /// both execution modes.
-    fn insert_staged(env: &mut ExecEnv<'_>, table: &mut JoinHashTable, key: i32, payload: u64) {
+    /// both execution modes. Shared with the partitioned join, whose
+    /// per-partition build phase performs the same inserts into a smaller
+    /// (cache-resident) table.
+    pub(crate) fn insert_staged(
+        env: &mut ExecEnv<'_>,
+        table: &mut JoinHashTable,
+        key: i32,
+        payload: u64,
+    ) {
         let bucket_probe = table.bucket_addr(key);
         // Read old head, write entry (24 B), write new head.
         env.ctx.touch(bucket_probe, 8, MemDep::Chase);

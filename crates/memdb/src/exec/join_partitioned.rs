@@ -1,0 +1,558 @@
+//! Radix-partitioned hash join: the cache-conscious answer to the paper's
+//! join finding.
+//!
+//! The paper's sequential join (§5, "SJ") spends its time in L2 *data*
+//! misses: the naive [`crate::exec::join_hash::HashJoin`] builds one hash
+//! table whose bucket directory plus entry pool exceed the 512 KB L2 (or is
+//! steadily evicted by the probe-side scan streaming past it), so every
+//! probe is a pointer chase into cold memory. Sirin & Ailamaki's
+//! micro-architectural OLAP analysis shows the same story on modern cores,
+//! and Durner et al. show the partitioning phase's allocation behaviour is a
+//! first-order effect — which is why this operator scatters through
+//! *arena-backed* column buffers (bump-allocated 4 KB chunks, no per-row
+//! allocation) rather than growing per-partition vectors.
+//!
+//! # Algorithm
+//!
+//! 1. **Partition.** Both inputs are drained at `open` and radix-scattered
+//!    into `2^k` partitions by the low bits of a multiplicative hash of the
+//!    join key (the per-partition hash *table* uses the high bits, so
+//!    partitioning steals no bucket entropy). `2^k` is chosen so one build
+//!    partition's hash table fits comfortably in a quarter of the L2. Each
+//!    partition stores its rows column-major in chunked
+//!    [`crate::arena::SimArena`] buffers; appends are sequential per
+//!    partition, so the scatter's data traffic is streaming stores.
+//! 2. **Build + probe per partition.** For each partition, a hash table
+//!    over its build rows is (re)built — it fits in cache — and its probe
+//!    rows are replayed sequentially against it. Probe-side bucket and
+//!    chain accesses keep their pointer-chasing character
+//!    ([`wdtg_sim::MemDep::Chase`]) but now land in cache-resident lines.
+//!
+//! The trade the simulator must (and does) see: partitioning charges one
+//! `part_scatter` path per input row plus the scatter/replay store and load
+//! traffic of every partition buffer, and in exchange the probe phase's L2
+//! data misses collapse. Batch mode amortizes the scatter and probe *code*
+//! per batch ([`crate::profiles::BatchBlocks::partition_step`]) and streams
+//! the buffer traffic through the simulator's contiguous-run fast lanes
+//! ([`wdtg_sim::Cpu::store_run`], [`wdtg_sim::Cpu::load_run`]); the line
+//! traffic itself is identical in both modes.
+
+use std::rc::Rc;
+
+use wdtg_sim::MemDep;
+
+use crate::db::DbCtx;
+use crate::error::DbResult;
+use crate::exec::batch::{Batch, ExecMode};
+use crate::exec::join_hash::HashJoin;
+use crate::exec::{ExecEnv, Operator, BATCH_ROWS};
+use crate::index::hash::{JoinHashTable, ENTRY_BYTES};
+use crate::profiles::EngineBlocks;
+
+/// Rows per arena chunk of one partition column (4 KB of `i32`s — one
+/// allocation amortizes a thousand appends, the Durner et al. lesson).
+const CHUNK_ROWS: u32 = 1024;
+
+/// One partition's rows, stored column-major in chunked arena buffers.
+///
+/// Each column is a list of fixed-size arena chunks; row `r` of column `c`
+/// lives at `chunks[r / CHUNK_ROWS] + (r % CHUNK_ROWS) * 4`. Appends within
+/// a partition are sequential, which is what makes the scatter's store
+/// traffic streaming rather than random.
+struct Partition {
+    /// Per-column chunk base addresses (all columns share `rows`).
+    col_chunks: Vec<Vec<u64>>,
+    /// Rows appended so far.
+    rows: u32,
+}
+
+impl Partition {
+    fn new(arity: usize) -> Partition {
+        Partition {
+            col_chunks: vec![Vec::new(); arity],
+            rows: 0,
+        }
+    }
+
+    /// Simulated address of `(row, col)`.
+    #[inline]
+    fn addr(&self, row: u32, col: usize) -> u64 {
+        self.col_chunks[col][(row / CHUNK_ROWS) as usize] + (row % CHUNK_ROWS) as u64 * 4
+    }
+
+    /// Grows every column by one chunk if `rows` sits on a chunk boundary.
+    fn ensure_capacity(&mut self, ctx: &mut DbCtx, row: u32) {
+        if row.is_multiple_of(CHUNK_ROWS) && (row / CHUNK_ROWS) as usize == self.col_chunks[0].len()
+        {
+            for chunks in &mut self.col_chunks {
+                chunks.push(ctx.index.alloc(CHUNK_ROWS as u64 * 4, 64));
+            }
+        }
+    }
+
+    /// Appends one row with instrumented stores (row-mode scatter).
+    fn append_row(&mut self, ctx: &mut DbCtx, row: &[i32]) {
+        debug_assert_eq!(row.len(), self.col_chunks.len());
+        self.ensure_capacity(ctx, self.rows);
+        for (c, &v) in row.iter().enumerate() {
+            ctx.store_i32(self.addr(self.rows, c), v, MemDep::Demand);
+        }
+        self.rows += 1;
+    }
+
+    /// Appends a group of rows gathered from `batch` (batch-mode scatter):
+    /// values are written raw, then each column's new span is charged as
+    /// contiguous store runs — the same lines row-mode appends would dirty,
+    /// with the per-value bookkeeping amortized.
+    fn append_batch_rows(&mut self, ctx: &mut DbCtx, batch: &Batch, rows: &[usize]) {
+        let start = self.rows;
+        for (k, &r) in rows.iter().enumerate() {
+            let row_no = start + k as u32;
+            self.ensure_capacity(ctx, row_no);
+            for c in 0..self.col_chunks.len() {
+                ctx.index.write_i32(self.addr(row_no, c), batch.value(c, r));
+            }
+        }
+        self.rows = start + rows.len() as u32;
+        for c in 0..self.col_chunks.len() {
+            self.charge_spans(ctx, c, start, self.rows, true);
+        }
+    }
+
+    /// Charges the contiguous chunk-bounded spans of column `c` covering
+    /// rows `[from, to)` as run stores (`write`) or run loads.
+    fn charge_spans(&self, ctx: &mut DbCtx, c: usize, from: u32, to: u32, write: bool) {
+        let mut row = from;
+        while row < to {
+            let end = ((row / CHUNK_ROWS) + 1) * CHUNK_ROWS;
+            let end = end.min(to);
+            let len = (end - row) * 4;
+            if write {
+                ctx.store_run(self.addr(row, c), len, MemDep::Demand);
+            } else {
+                ctx.touch_run(self.addr(row, c), len, MemDep::Demand);
+            }
+            row = end;
+        }
+    }
+}
+
+/// Radix-partitioned hash join emitting `probe_row ++ build_row`.
+pub struct PartitionedHashJoin {
+    build: Box<dyn Operator>,
+    build_key: usize,
+    probe: Box<dyn Operator>,
+    probe_key: usize,
+    blocks: Rc<EngineBlocks>,
+    l2_bytes: u32,
+    // partition state (after open)
+    build_parts: Vec<Partition>,
+    probe_parts: Vec<Partition>,
+    cur_part: usize,
+    /// Hash table over the current partition's build rows.
+    table: Option<JoinHashTable>,
+    /// The current partition's build rows, replayed out of its buffers.
+    part_build_rows: Vec<Vec<i32>>,
+    // probe cursor within the current partition
+    probe_pos: u32,
+    probe_row: Vec<i32>,
+    chain: u64,
+    // batch-mode probe staging
+    probe_batch: Batch,
+    probe_batch_pos: usize,
+    out_scratch: Vec<i32>,
+    scatter_groups: Vec<Vec<usize>>,
+}
+
+impl PartitionedHashJoin {
+    /// Creates the join; both children are drained and partitioned at
+    /// `open`. `l2_bytes` is the simulated L2 capacity the partition fan-out
+    /// is sized against.
+    pub fn new(
+        build: Box<dyn Operator>,
+        build_key: usize,
+        probe: Box<dyn Operator>,
+        probe_key: usize,
+        blocks: Rc<EngineBlocks>,
+        l2_bytes: u32,
+    ) -> Self {
+        PartitionedHashJoin {
+            build,
+            build_key,
+            probe,
+            probe_key,
+            blocks,
+            l2_bytes,
+            build_parts: Vec::new(),
+            probe_parts: Vec::new(),
+            cur_part: 0,
+            table: None,
+            part_build_rows: Vec::new(),
+            probe_pos: 0,
+            probe_row: Vec::new(),
+            chain: 0,
+            probe_batch: Batch::default(),
+            probe_batch_pos: 0,
+            out_scratch: Vec::new(),
+            scatter_groups: Vec::new(),
+        }
+    }
+
+    /// Partition index of `key`: the *low* bits of the multiplicative hash.
+    /// [`JoinHashTable::bucket_of`] uses the high bits, so rows that share a
+    /// partition still spread over the whole per-partition directory — the
+    /// classic radix-join pitfall (partition bits aliasing bucket bits,
+    /// which collapses every partition onto a sliver of its directory) is
+    /// avoided by construction.
+    #[inline]
+    fn part_of(key: i32, n_parts: usize) -> usize {
+        let h = (key as u32 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h & (n_parts as u64 - 1)) as usize
+    }
+
+    /// Fan-out so one build partition's table (directory + entry pool) fits
+    /// in a quarter of the L2, leaving room for the sequential probe stream
+    /// and the engine's code. Power of two, capped so tiny inputs do not
+    /// shatter into empty partitions.
+    fn fanout(l2_bytes: u32, build_rows: u64) -> usize {
+        let per_row = ENTRY_BYTES + 8; // entry + its share of the directory
+        let target = (l2_bytes as u64 / 4).max(4096);
+        let parts = (build_rows * per_row).div_ceil(target);
+        parts.next_power_of_two().clamp(1, 512) as usize
+    }
+
+    /// Drains the build child (mode-appropriate) into a staging vector.
+    /// The child charges its own scan costs here; scatter costs are charged
+    /// when the staged rows are scattered, once the fan-out is known.
+    fn drain_build(&mut self, env: &mut ExecEnv<'_>) -> DbResult<Vec<Vec<i32>>> {
+        let mut staged = Vec::new();
+        match env.mode {
+            ExecMode::Row => {
+                let mut row = Vec::with_capacity(self.build.arity());
+                while self.build.next(env, &mut row)? {
+                    staged.push(row.clone());
+                }
+            }
+            ExecMode::Batch => {
+                let mut batch = Batch::new(self.build.arity());
+                let mut row = Vec::with_capacity(self.build.arity());
+                while self.build.next_batch(env, &mut batch)? {
+                    for r in 0..batch.len() {
+                        batch.read_row(r, &mut row);
+                        staged.push(row.clone());
+                    }
+                }
+            }
+        }
+        Ok(staged)
+    }
+
+    /// Scatters one batch of probe/build rows into `parts`, charging the
+    /// batched scatter path: one `part_scatter` dispatch per batch, the
+    /// tight `partition_step` loop per row, and per-partition contiguous
+    /// store runs for the buffer appends.
+    fn scatter_batch(
+        env: &mut ExecEnv<'_>,
+        blocks: &EngineBlocks,
+        parts: &mut [Partition],
+        batch: &Batch,
+        key_col: usize,
+        groups: &mut Vec<Vec<usize>>,
+    ) {
+        env.ctx.exec(&blocks.part_scatter);
+        env.ctx
+            .exec_scaled(&blocks.batch.partition_step, batch.len() as u32);
+        groups.resize(parts.len(), Vec::new());
+        for g in groups.iter_mut() {
+            g.clear();
+        }
+        for r in 0..batch.len() {
+            let key = batch.value(key_col, r);
+            groups[Self::part_of(key, parts.len())].push(r);
+        }
+        for (p, group) in groups.iter().enumerate() {
+            if !group.is_empty() {
+                parts[p].append_batch_rows(env.ctx, batch, group);
+            }
+        }
+    }
+
+    /// Builds the cache-resident hash table over partition `p`'s build rows,
+    /// replaying them out of the partition buffers (sequential loads) and
+    /// charging the same per-insert bucket/entry traffic as the naive join.
+    fn build_partition_table(&mut self, env: &mut ExecEnv<'_>, p: usize) {
+        let part = &self.build_parts[p];
+        let arity = self.build.arity();
+        let mut table = JoinHashTable::new(&mut env.ctx.index, part.rows.max(1) as u64);
+        self.part_build_rows.clear();
+        match env.mode {
+            ExecMode::Row => {
+                for i in 0..part.rows {
+                    let mut row = Vec::with_capacity(arity);
+                    for c in 0..arity {
+                        row.push(env.ctx.load_i32(part.addr(i, c), MemDep::Demand));
+                    }
+                    env.ctx.exec(&self.blocks.hash_build);
+                    HashJoin::insert_staged(env, &mut table, row[self.build_key], i as u64);
+                    self.part_build_rows.push(row);
+                }
+            }
+            ExecMode::Batch => {
+                let mut i = 0u32;
+                while i < part.rows {
+                    let n = (part.rows - i).min(BATCH_ROWS as u32);
+                    env.ctx.exec(&self.blocks.hash_build);
+                    env.ctx.exec_scaled(&self.blocks.batch.hash_step, n);
+                    for c in 0..arity {
+                        part.charge_spans(env.ctx, c, i, i + n, false);
+                    }
+                    for k in i..i + n {
+                        let mut row = Vec::with_capacity(arity);
+                        for c in 0..arity {
+                            row.push(env.ctx.read_raw_i32(part.addr(k, c)));
+                        }
+                        HashJoin::insert_staged(env, &mut table, row[self.build_key], k as u64);
+                        self.part_build_rows.push(row);
+                    }
+                    i += n;
+                }
+            }
+        }
+        self.table = Some(table);
+    }
+
+    /// Advances to the next partition with probe rows left to replay;
+    /// returns false when all partitions are exhausted. Entering a fresh
+    /// partition builds its table; partitions with no probe rows are
+    /// skipped without building (nothing would be probed).
+    fn enter_next_partition(&mut self, env: &mut ExecEnv<'_>) -> bool {
+        if self.table.is_some() {
+            if self.probe_pos < self.probe_parts[self.cur_part].rows {
+                return true;
+            }
+            self.table = None;
+            self.cur_part += 1;
+        }
+        while self.cur_part < self.build_parts.len() {
+            if self.probe_parts[self.cur_part].rows == 0 {
+                self.cur_part += 1;
+                continue;
+            }
+            self.build_partition_table(env, self.cur_part);
+            self.probe_pos = 0;
+            self.probe_batch.reset(self.probe.arity());
+            self.probe_batch_pos = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Reads the next probe row of the current partition (row mode):
+    /// sequential instrumented loads from the partition buffers, then the
+    /// probe path and the bucket-head chase.
+    fn load_next_probe_row(&mut self, env: &mut ExecEnv<'_>) {
+        let part = &self.probe_parts[self.cur_part];
+        let arity = self.probe.arity();
+        self.probe_row.clear();
+        for c in 0..arity {
+            self.probe_row.push(
+                env.ctx
+                    .load_i32(part.addr(self.probe_pos, c), MemDep::Demand),
+            );
+        }
+        self.probe_pos += 1;
+        env.ctx.exec(&self.blocks.hash_probe);
+        let key = self.probe_row[self.probe_key];
+        let table = self.table.as_ref().expect("partition table built");
+        env.ctx.touch(table.bucket_addr(key), 8, MemDep::Chase);
+        self.chain = table.chain_head(&env.ctx.index, key);
+    }
+
+    /// Refills the batch-mode probe staging batch from the current
+    /// partition's buffers: per-column contiguous load runs plus the batched
+    /// probe code (one `hash_probe` dispatch, the tight loop per row).
+    fn refill_probe_batch(&mut self, env: &mut ExecEnv<'_>) {
+        let part = &self.probe_parts[self.cur_part];
+        let arity = self.probe.arity();
+        let n = (part.rows - self.probe_pos).min(BATCH_ROWS as u32);
+        self.probe_batch.reset(arity);
+        env.ctx.exec(&self.blocks.hash_probe);
+        env.ctx.exec_scaled(&self.blocks.batch.hash_step, n);
+        for c in 0..arity {
+            part.charge_spans(env.ctx, c, self.probe_pos, self.probe_pos + n, false);
+            let col = self.probe_batch.col_mut(c);
+            for k in 0..n {
+                col.push(env.ctx.read_raw_i32(part.addr(self.probe_pos + k, c)));
+            }
+        }
+        self.probe_batch.set_rows(n as usize);
+        self.probe_batch_pos = 0;
+        self.probe_pos += n;
+    }
+}
+
+impl Operator for PartitionedHashJoin {
+    fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
+        // Drain the build side first: its cardinality sizes the fan-out
+        // (real engines know |S| from the catalog or a sample; the staging
+        // copy is host bookkeeping, the scatter below charges the work).
+        self.build.open(env)?;
+        let staged = self.drain_build(env)?;
+        let n_parts = Self::fanout(self.l2_bytes, staged.len() as u64);
+        self.build_parts = (0..n_parts)
+            .map(|_| Partition::new(self.build.arity()))
+            .collect();
+        self.probe_parts = (0..n_parts)
+            .map(|_| Partition::new(self.probe.arity()))
+            .collect();
+
+        // Scatter the build side.
+        match env.mode {
+            ExecMode::Row => {
+                for row in &staged {
+                    env.ctx.exec(&self.blocks.part_scatter);
+                    let p = Self::part_of(row[self.build_key], n_parts);
+                    self.build_parts[p].append_row(env.ctx, row);
+                }
+            }
+            ExecMode::Batch => {
+                let mut groups = std::mem::take(&mut self.scatter_groups);
+                let mut batch = Batch::new(self.build.arity());
+                for chunk in staged.chunks(BATCH_ROWS) {
+                    batch.reset(self.build.arity());
+                    for row in chunk {
+                        batch.push_row(row);
+                    }
+                    Self::scatter_batch(
+                        env,
+                        &self.blocks,
+                        &mut self.build_parts,
+                        &batch,
+                        self.build_key,
+                        &mut groups,
+                    );
+                }
+                self.scatter_groups = groups;
+            }
+        }
+        drop(staged);
+
+        // Stream the probe side straight into its partitions.
+        self.probe.open(env)?;
+        match env.mode {
+            ExecMode::Row => {
+                let mut row = Vec::with_capacity(self.probe.arity());
+                while self.probe.next(env, &mut row)? {
+                    env.ctx.exec(&self.blocks.part_scatter);
+                    let p = Self::part_of(row[self.probe_key], n_parts);
+                    self.probe_parts[p].append_row(env.ctx, &row);
+                }
+            }
+            ExecMode::Batch => {
+                let mut groups = std::mem::take(&mut self.scatter_groups);
+                let mut batch = Batch::new(self.probe.arity());
+                while self.probe.next_batch(env, &mut batch)? {
+                    Self::scatter_batch(
+                        env,
+                        &self.blocks,
+                        &mut self.probe_parts,
+                        &batch,
+                        self.probe_key,
+                        &mut groups,
+                    );
+                }
+                self.scatter_groups = groups;
+            }
+        }
+
+        self.cur_part = 0;
+        self.table = None;
+        self.chain = 0;
+        self.probe_pos = 0;
+        self.probe_batch.reset(self.probe.arity());
+        self.probe_batch_pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, env: &mut ExecEnv<'_>, out: &mut Vec<i32>) -> DbResult<bool> {
+        loop {
+            // Walk the pending chain of the current probe row.
+            while self.chain != 0 {
+                let entry_addr = self.chain;
+                env.ctx.touch(entry_addr, 20, MemDep::Chase);
+                let table = self.table.as_ref().expect("partition table built");
+                let (k, payload, next) = table.entry(&env.ctx.index, entry_addr);
+                self.chain = next;
+                let key = self.probe_row[self.probe_key];
+                let matched = k == key;
+                env.ctx.branch(self.blocks.match_site, matched);
+                if matched {
+                    env.ctx.exec(&self.blocks.join_match);
+                    out.clear();
+                    out.extend_from_slice(&self.probe_row);
+                    out.extend_from_slice(&self.part_build_rows[payload as usize]);
+                    return Ok(true);
+                }
+            }
+            if !self.enter_next_partition(env) {
+                return Ok(false);
+            }
+            self.load_next_probe_row(env);
+        }
+    }
+
+    fn next_batch(&mut self, env: &mut ExecEnv<'_>, out: &mut Batch) -> DbResult<bool> {
+        out.reset(self.arity());
+        let mut matches_in_batch: u32 = 0;
+        loop {
+            // Drain the pending chain, pausing at batch capacity (skewed
+            // keys must not balloon one output batch).
+            while self.chain != 0 && !out.is_full() {
+                let entry_addr = self.chain;
+                env.ctx.touch(entry_addr, 20, MemDep::Chase);
+                let table = self.table.as_ref().expect("partition table built");
+                let (k, payload, next) = table.entry(&env.ctx.index, entry_addr);
+                self.chain = next;
+                let key = self.probe_row[self.probe_key];
+                let matched = k == key;
+                env.ctx.branch(self.blocks.match_site, matched);
+                if matched {
+                    matches_in_batch += 1;
+                    self.out_scratch.clear();
+                    self.out_scratch.extend_from_slice(&self.probe_row);
+                    self.out_scratch
+                        .extend_from_slice(&self.part_build_rows[payload as usize]);
+                    out.push_row(&self.out_scratch);
+                }
+            }
+            if out.is_full() {
+                break;
+            }
+            // Next probe row from the staged probe batch.
+            if self.probe_batch_pos < self.probe_batch.len() {
+                self.probe_batch
+                    .read_row(self.probe_batch_pos, &mut self.probe_row);
+                self.probe_batch_pos += 1;
+                let table = self.table.as_ref().expect("partition table built");
+                let key = self.probe_row[self.probe_key];
+                env.ctx.touch(table.bucket_addr(key), 8, MemDep::Chase);
+                self.chain = table.chain_head(&env.ctx.index, key);
+                continue;
+            }
+            // Refill from the current partition, or move to the next one.
+            if !self.enter_next_partition(env) {
+                break;
+            }
+            self.refill_probe_batch(env);
+        }
+        if matches_in_batch > 0 {
+            env.ctx
+                .exec_scaled(&self.blocks.join_match, matches_in_batch);
+        }
+        Ok(!out.is_empty())
+    }
+
+    fn arity(&self) -> usize {
+        self.probe.arity() + self.build.arity()
+    }
+}

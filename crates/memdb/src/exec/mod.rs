@@ -42,6 +42,7 @@ pub mod groupby;
 pub mod indexscan;
 pub mod join_hash;
 pub mod join_nl;
+pub mod join_partitioned;
 pub mod seqscan;
 
 pub use batch::{Batch, ExecMode, BATCH_ROWS};

@@ -27,6 +27,7 @@ pub mod index;
 pub mod profiles;
 pub mod query;
 pub mod schema;
+pub mod testutil;
 
 pub use arena::SimArena;
 pub use db::{Database, DbCtx, IndexMeta, Table};

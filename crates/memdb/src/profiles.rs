@@ -100,6 +100,13 @@ pub enum JoinAlgo {
     /// Index nested-loop (requires an index on the inner join column;
     /// planner falls back to hash if absent).
     IndexNestedLoop,
+    /// Radix-partitioned hash join: both inputs are scattered into
+    /// L2-sized partitions through arena-backed column buffers, then each
+    /// partition is joined with a cache-resident hash table
+    /// ([`crate::exec::join_partitioned::PartitionedHashJoin`]). Spends
+    /// extra partitioning instructions to convert the naive join's random
+    /// L2-missing probes into cache hits.
+    PartitionedHash,
 }
 
 /// The tight-loop code paths of the vectorized execution path.
@@ -127,6 +134,9 @@ pub struct BatchBlocks {
     pub hash_step: CodeBlock,
     /// Per-tuple rid-fetch inner loop (index scans).
     pub fetch_step: CodeBlock,
+    /// Per-tuple radix-scatter inner loop (partitioned joins): hash the
+    /// key, pick the partition, bump its write cursor.
+    pub partition_step: CodeBlock,
 }
 
 /// The instrumented code paths of one engine build.
@@ -159,6 +169,11 @@ pub struct EngineBlocks {
     pub hash_build: CodeBlock,
     pub hash_probe: CodeBlock,
     pub join_match: CodeBlock,
+    /// Radix-scatter path of the partitioned join, run once per input row
+    /// in row mode: hash the join key, select the partition, append the
+    /// row to its column buffers. Deliberately lean — partitioning only
+    /// pays off because this path is a fraction of `hash_probe`.
+    pub part_scatter: CodeBlock,
     pub update_step: CodeBlock,
     pub insert_step: CodeBlock,
     pub txn_begin_commit: CodeBlock,
@@ -213,6 +228,7 @@ struct SysParams {
     hash_build: u32,
     hash_probe: u32,
     join_match: u32,
+    part_scatter: u32,
     update_step: u32,
     insert_step: u32,
     txn: u32,
@@ -257,6 +273,7 @@ fn params(sys: SystemId) -> SysParams {
             hash_build: 1_400,
             hash_probe: 1_100,
             join_match: 800,
+            part_scatter: 260,
             update_step: 6_000,
             insert_step: 8_000,
             txn: 140_000,
@@ -284,6 +301,7 @@ fn params(sys: SystemId) -> SysParams {
             hash_build: 2_000,
             hash_probe: 1_600,
             join_match: 1_200,
+            part_scatter: 340,
             update_step: 8_000,
             insert_step: 10_000,
             txn: 170_000,
@@ -311,6 +329,7 @@ fn params(sys: SystemId) -> SysParams {
             hash_build: 2_400,
             hash_probe: 2_000,
             join_match: 1_500,
+            part_scatter: 400,
             update_step: 10_000,
             insert_step: 12_000,
             txn: 190_000,
@@ -338,6 +357,7 @@ fn params(sys: SystemId) -> SysParams {
             hash_build: 3_200,
             hash_probe: 2_600,
             join_match: 2_000,
+            part_scatter: 460,
             update_step: 12_000,
             insert_step: 14_000,
             txn: 210_000,
@@ -594,6 +614,19 @@ impl EngineProfile {
             512,
             p.agg_bias,
         );
+        // Radix scatter is copy-style code (hash, mask, append): plenty of
+        // independent work per row, a well-predicted partition-select
+        // branch, so it is neither dependency- nor branch-bound.
+        let mut part_scatter = place(
+            &mut alloc,
+            "part_scatter",
+            p.part_scatter,
+            &p,
+            private + 11_264,
+            512,
+            p.dyn_bias,
+        );
+        part_scatter.dep_frac = (part_scatter.dep_frac - 0.14).max(0.20);
         let mut update_step = place(
             &mut alloc,
             "update_step",
@@ -693,6 +726,13 @@ impl EngineProfile {
                 &p,
                 private + 23_040,
             ),
+            partition_step: place_batch(
+                &mut alloc,
+                "batch_partition_step",
+                (p.part_scatter / 8).max(48),
+                &p,
+                private + 23_552,
+            ),
         };
 
         let qualify_site = BranchSite {
@@ -720,6 +760,7 @@ impl EngineProfile {
             hash_build,
             hash_probe,
             join_match,
+            part_scatter,
             update_step,
             insert_step,
             txn_begin_commit,
@@ -845,6 +886,27 @@ mod tests {
             );
             assert!(b.batch.agg_step.path_bytes * 6 <= b.agg_step.path_bytes);
             assert!(b.batch.hash_step.path_bytes * 4 <= b.hash_probe.path_bytes);
+        }
+    }
+
+    #[test]
+    fn partition_scatter_stays_a_fraction_of_the_probe_path() {
+        // The partitioned join's economics rest on this: the per-row
+        // scatter path must be far leaner than the probe path whose misses
+        // it buys away, and its batch loop leaner still — for every system.
+        for sys in SystemId::ALL {
+            let p = EngineProfile::system(sys);
+            let b = &p.blocks;
+            assert!(
+                b.part_scatter.path_bytes * 4 <= b.hash_probe.path_bytes,
+                "{}: part_scatter not lean enough vs hash_probe",
+                sys.letter()
+            );
+            assert!(
+                b.batch.partition_step.path_bytes * 4 <= b.part_scatter.path_bytes,
+                "{}: batch partition loop not lean enough",
+                sys.letter()
+            );
         }
     }
 

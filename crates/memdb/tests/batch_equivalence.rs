@@ -19,10 +19,8 @@
 //!
 //! Query answers are asserted exactly in every regime.
 
-mod common;
-
-use common::{build_db_layout, measure, rows_for};
 use proptest::prelude::*;
+use wdtg_memdb::testutil::{build_db_layout, measure, rows_for};
 use wdtg_memdb::{AggSpec, Database, ExecMode, PageLayout, Query, QueryPredicate, SystemId};
 use wdtg_sim::{Event, Snapshot};
 

@@ -1,13 +1,9 @@
 //! Grouped aggregation and plan explanation.
 
+use wdtg_memdb::testutil::quiet;
 use wdtg_memdb::{
     AggKind, AggSpec, Database, EngineProfile, Query, QueryPredicate, Schema, SystemId,
 };
-use wdtg_sim::{CpuConfig, InterruptCfg};
-
-fn quiet() -> CpuConfig {
-    CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
-}
 
 fn cell(i: u64, c: usize) -> i32 {
     let x = i.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(c as u64);

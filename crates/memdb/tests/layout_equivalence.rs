@@ -5,10 +5,8 @@
 //! PAX sequential scan must touch strictly fewer cache lines (the layout's
 //! entire reason to exist).
 
-mod common;
-
-use common::{build_db_layout, measure, rows_for};
 use proptest::prelude::*;
+use wdtg_memdb::testutil::{build_db_layout, measure, rows_for};
 use wdtg_memdb::{AggSpec, ExecMode, PageLayout, Query, QueryPredicate, SystemId};
 use wdtg_sim::{Event, Snapshot};
 

@@ -4,15 +4,12 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
+use wdtg_memdb::testutil::quiet;
 use wdtg_memdb::{
     index::btree::BTree, index::hash::JoinHashTable, AggSpec, Database, EngineProfile, Expr, Query,
     QueryPredicate, Schema, SimArena, SystemId,
 };
-use wdtg_sim::{segment, CpuConfig, InterruptCfg};
-
-fn quiet() -> CpuConfig {
-    CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
-}
+use wdtg_sim::segment;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

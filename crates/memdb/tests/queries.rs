@@ -1,14 +1,10 @@
 //! End-to-end query correctness: every engine profile must return the same
 //! (correct) answers; only their hardware behaviour may differ.
 
+use wdtg_memdb::testutil::quiet;
 use wdtg_memdb::{
     AggKind, AggSpec, Database, EngineProfile, Expr, Query, QueryPredicate, Schema, SystemId,
 };
-use wdtg_sim::{CpuConfig, InterruptCfg};
-
-fn quiet() -> CpuConfig {
-    CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
-}
 
 /// Deterministic value for row i, column c.
 fn cell(i: u64, c: usize) -> i32 {

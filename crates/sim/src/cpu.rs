@@ -424,6 +424,47 @@ impl Cpu {
         self.run_miss_buf = missed;
     }
 
+    /// Contiguous-run data write: the store-side twin of [`Cpu::load_run`],
+    /// added for the partitioned join's partition buffers — a radix scatter
+    /// appends values to each partition's column buffer in contiguous spans,
+    /// so the write traffic is run-shaped even though rows arrive in scatter
+    /// order. Cache/TLB behaviour (lines allocated, RFO bus traffic, dirty
+    /// state, stall cycles) is identical to storing the span value by value;
+    /// only access-granularity counters are amortized, exactly like
+    /// `load_run`.
+    pub fn store_run(&mut self, addr: u64, len: u32, dep: MemDep) {
+        let len = len.max(1);
+        self.bump(Event::DataMemRefs, 1);
+        let last = addr + len as u64 - 1;
+        for page in (addr >> 12)..=(last >> 12) {
+            if !self.dtlb.access(page << 12) {
+                self.bump(Event::SimDtlbMiss, 1);
+                self.charge(Component::Tdtlb, self.cfg.pipe.dtlb_miss_penalty as f64);
+            }
+        }
+        let first_line = addr >> self.line_shift;
+        let last_line = last >> self.line_shift;
+        if last_line > first_line {
+            self.bump(Event::MisalignMemRef, 1);
+        }
+        let mut missed = std::mem::take(&mut self.run_miss_buf);
+        missed.clear();
+        let stats = self
+            .l1d
+            .access_run(first_line, last_line - first_line + 1, true, &mut missed);
+        if stats.dirty_writebacks > 0 {
+            self.bump(Event::DcuMLinesOut, stats.dirty_writebacks);
+        }
+        if !missed.is_empty() {
+            self.bump(Event::DcuLinesIn, missed.len() as u64);
+            self.bump(Event::DcuMLinesIn, missed.len() as u64);
+            for &line in &missed {
+                self.l2_data_fill(line, dep, true);
+            }
+        }
+        self.run_miss_buf = missed;
+    }
+
     fn handle_l2_eviction(&mut self, evicted: Option<u64>, dirty: bool) {
         let Some(line) = evicted else { return };
         self.bump(Event::L2LinesOut, 1);
@@ -771,6 +812,39 @@ mod tests {
             "one bookkeeping ref per run"
         );
         assert_eq!(cr.total(Event::DataMemRefs), 655);
+    }
+
+    #[test]
+    fn store_run_matches_per_record_stores_on_misses_and_stalls() {
+        // The write twin of the load_run parity test: a 64 KB span written
+        // as 8-byte appends vs. as contiguous runs must allocate the same
+        // lines, mark the same dirty state and charge the same stall cycles.
+        let mut row = quiet_cpu();
+        let mut run = quiet_cpu();
+        for rep in 0..2 {
+            for rec in 0..8192u64 {
+                row.store(segment::HEAP + rec * 8, 8, MemDep::Demand);
+            }
+            run.store_run(segment::HEAP, 8192 * 8, MemDep::Demand);
+            if rep == 0 {
+                row.reset_stats();
+                run.reset_stats();
+            }
+        }
+        let (cr, cu) = (row.counters(), run.counters());
+        assert_eq!(cu.total(Event::DcuLinesIn), cr.total(Event::DcuLinesIn));
+        assert_eq!(cu.total(Event::DcuMLinesIn), cr.total(Event::DcuMLinesIn));
+        assert_eq!(
+            cu.total(Event::SimL2DataMiss),
+            cr.total(Event::SimL2DataMiss)
+        );
+        assert_eq!(cu.total(Event::BusTranRfo), cr.total(Event::BusTranRfo));
+        assert!(
+            (run.ledger().total(Component::Tl2d) - row.ledger().total(Component::Tl2d)).abs()
+                < 1e-6
+        );
+        assert_eq!(cu.total(Event::DataMemRefs), 1);
+        assert_eq!(cr.total(Event::DataMemRefs), 8192);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   uniform over 1..=40 000), relation S (40 K rows, `a1` primary key), and
 //!   the three queries (sequential range selection, indexed range selection,
 //!   sequential join) at any selectivity;
+//! * [`join`] — the join chapter's workload: the same two-table equijoin
+//!   with independent build/probe scale knobs and a match-rate
+//!   (join-selectivity) knob, sized so the naive hash table overflows L2;
 //! * [`tpcd`] — the §5.5 TPC-D-like DSS suite (17 selection-flavoured
 //!   queries over a lineitem/orders database, ≈100 MB at paper scale);
 //! * [`tpcc`] — the §5.5 TPC-C-like OLTP mix (single warehouse, 10 logical
@@ -16,11 +19,13 @@
 
 #![warn(missing_docs)]
 
+pub mod join;
 pub mod micro;
 pub mod scale;
 pub mod tpcc;
 pub mod tpcd;
 
+pub use join::JoinSpec;
 pub use micro::{
     load_microbench, load_microbench_with_layout, prepare, prepare_with_layout, query, MicroQuery,
     DEFAULT_SEED,

@@ -1,0 +1,55 @@
+//! The join chapter in one sitting: run the paper's two-table equijoin
+//! under all three join strategies and let the simulator's own counters
+//! arbitrate.
+//!
+//! The paper finds the sequential join's time going to L2 data misses and
+//! L1 instruction misses (§5). The naive transient hash join is the
+//! strategy its systems ran; the radix-partitioned hash join is the
+//! cache-conscious fix the join literature converged on (partition both
+//! inputs into L2-sized buckets, then join partition by partition); the
+//! index nested-loop join is the strategy the paper's authors *didn't*
+//! measure — and the counters show why nobody picks it for this shape
+//! (one cold B+tree descent plus a random record fetch per probe row).
+//!
+//! The example asserts the partitioned join's contract — identical answer,
+//! strictly fewer simulated L2 data misses than the naive join — so
+//! running it checks the claim, not just prints it.
+//!
+//! Run with: `cargo run --release --example join_strategies`
+
+use wdtg_core::figures::JoinComparison;
+use wdtg_memdb::{ExecMode, JoinAlgo, PageLayout, SystemId};
+use wdtg_sim::{CpuConfig, InterruptCfg};
+use wdtg_workloads::JoinSpec;
+
+fn main() {
+    // A compact spec that keeps the interesting cache regime: the naive
+    // join's hash table (build 20 K rows ≈ 640 KB of directory + entries)
+    // does not fit the 512 KB L2.
+    let spec = JoinSpec::test_scale();
+    let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+
+    let cmp = JoinComparison::run_nsm(SystemId::C, spec, &cfg).expect("comparison runs");
+    println!("{}", cmp.render());
+
+    let hash = cmp
+        .get(JoinAlgo::Hash, ExecMode::Row, PageLayout::Nsm)
+        .expect("measured");
+    let part = cmp
+        .get(JoinAlgo::PartitionedHash, ExecMode::Row, PageLayout::Nsm)
+        .expect("measured");
+    assert_eq!(hash.rows, part.rows, "strategies must agree on the answer");
+    assert!(
+        part.l2_data_misses < hash.l2_data_misses,
+        "partitioned join must cut L2 data misses (hash {} vs partitioned {})",
+        hash.l2_data_misses,
+        part.l2_data_misses
+    );
+    println!(
+        "checked: partitioning cut L2 data misses {:.2}x (hash {} -> partitioned {})",
+        hash.l2_data_misses as f64 / part.l2_data_misses.max(1) as f64,
+        hash.l2_data_misses,
+        part.l2_data_misses
+    );
+    println!("with identical join answers — the compute-for-misses trade, measured.");
+}
