@@ -1,9 +1,9 @@
-//! CI bench-regression gate: re-runs the three headline bench measurements
-//! (`exec_mode`, `layout_compare`, `join_compare` — via the shared
-//! [`wdtg_bench::runners`] code, so the gate cannot drift from the bins)
-//! and fails if any headline metric regresses more than 15% versus the
-//! committed `BENCH_*.json` baselines at the repository root (directory
-//! overridable via `BENCH_BASELINE_DIR`).
+//! CI bench-regression gate: re-runs the four headline bench measurements
+//! (`exec_mode`, `layout_compare`, `join_compare`, `branch_compare` — via
+//! the shared [`wdtg_bench::runners`] code, so the gate cannot drift from
+//! the bins) and fails if any headline metric regresses more than 15%
+//! versus the committed `BENCH_*.json` baselines at the repository root
+//! (directory overridable via `BENCH_BASELINE_DIR`).
 //!
 //! Gated metrics — all simulated, so the gate is deterministic and immune
 //! to CI-runner wall-clock noise:
@@ -13,9 +13,13 @@
 //! * `l2d_miss_reduction` of the narrow projection (BENCH_layout.json) —
 //!   PAX's L2 data-miss win;
 //! * `l2d_miss_reduction_row` and `join_speedup_batch` (BENCH_join.json) —
-//!   the partitioned join's miss win and its batch-mode cycle speedup.
+//!   the partitioned join's miss win and its batch-mode cycle speedup;
+//! * `tb_peak_reduction_batch` (BENCH_branch.json) — predication's cut of
+//!   the peak branch-misprediction stall share.
 
-use wdtg_bench::runners::{json_number, run_exec_report, run_join_report, run_layout_report};
+use wdtg_bench::runners::{
+    json_number, run_branch_report, run_exec_report, run_join_report, run_layout_report,
+};
 
 /// Fractional regression tolerated before the gate fails.
 const TOLERANCE: f64 = 0.15;
@@ -49,11 +53,13 @@ fn main() {
     let exec_doc = read_baseline(&dir, "BENCH_exec.json");
     let layout_doc = read_baseline(&dir, "BENCH_layout.json");
     let join_doc = read_baseline(&dir, "BENCH_join.json");
+    let branch_doc = read_baseline(&dir, "BENCH_branch.json");
 
     println!("== bench_check == re-running headline benches against {dir}/BENCH_*.json");
     let exec = run_exec_report();
     let layout = run_layout_report();
     let join = run_join_report();
+    let branch = run_branch_report();
 
     let gates = [
         Gate {
@@ -80,6 +86,16 @@ fn main() {
             name: "join: join_speedup_batch",
             baseline: baseline_metric(&join_doc, "BENCH_join.json", None, "join_speedup_batch"),
             current: join.join_speedup_batch(),
+        },
+        Gate {
+            name: "branch: tb_peak_reduction_batch",
+            baseline: baseline_metric(
+                &branch_doc,
+                "BENCH_branch.json",
+                None,
+                "tb_peak_reduction_batch",
+            ),
+            current: branch.tb_peak_reduction_batch(),
         },
     ];
 

@@ -1,0 +1,67 @@
+//! Selection-mode benchmark: the paper's sequential range selection swept
+//! across selectivity (1% → 99%) under {Branching, Predicated} × {Row,
+//! Batch} × {Nsm, Pax} with the Figure 5.1-style component breakdown per
+//! cell, written to `BENCH_branch.json` (path overridable via
+//! `BENCH_BRANCH_OUT`).
+//!
+//! §5.3/Fig 5.4 finds branch-misprediction stalls (T_B) peaking where the
+//! qualify branch is least predictable — near 50% selectivity — at 10–20%
+//! of query time. The asserted claims are the branch chapter's acceptance
+//! behaviour: branching T_B reproduces that unimodal peak, and predicated
+//! (branch-free, cmov-style) evaluation returns identical answers with the
+//! qualify misprediction count pinned at zero, cutting the peak T_B share
+//! at least 5×. The measurement itself lives in [`wdtg_bench::runners`],
+//! shared with the `bench_check` regression gate.
+
+use wdtg_bench::runners::run_branch_report;
+use wdtg_memdb::{ExecMode, PageLayout, SelectionMode};
+
+fn main() {
+    let report = run_branch_report();
+    println!("{}", report.cmp.render());
+
+    let out = std::env::var("BENCH_BRANCH_OUT").unwrap_or_else(|_| "BENCH_branch.json".into());
+    std::fs::write(&out, report.to_json()).expect("write BENCH_branch.json");
+    println!("wrote {out}");
+
+    // The acceptance claims.
+    for mode in [ExecMode::Row, ExecMode::Batch] {
+        for layout in PageLayout::ALL {
+            let branching = report.cmp.series(SelectionMode::Branching, mode, layout);
+            let predicated = report.cmp.series(SelectionMode::Predicated, mode, layout);
+            for (b, p) in branching.iter().zip(&predicated) {
+                assert_eq!(
+                    (b.rows, b.value),
+                    (p.rows, p.value),
+                    "{mode:?}/{layout:?} @ {:.0}%: selection modes must agree on the answer",
+                    b.selectivity * 100.0
+                );
+                assert_eq!(
+                    p.qualify_branch_misses,
+                    0,
+                    "{mode:?}/{layout:?} @ {:.0}%: predicated evaluation left a \
+                     data-dependent branch behind",
+                    p.selectivity * 100.0
+                );
+            }
+        }
+    }
+    let peak = report.branching_peak(ExecMode::Batch, PageLayout::Nsm);
+    assert!(
+        (0.4..=0.6).contains(&peak.selectivity),
+        "Fig 5.4 shape: branching T_B must peak within ±10 points of 50% \
+         selectivity, peaked at {:.0}%",
+        peak.selectivity * 100.0
+    );
+    let reduction = report.tb_peak_reduction_batch();
+    assert!(
+        reduction >= 5.0,
+        "predication must cut the peak T_B share at least 5x, got {reduction:.2}x"
+    );
+    println!(
+        "branching T_B peaks at {:.0}% selectivity ({:.1}% of T_Q); predication cuts the \
+         peak {reduction:.1}x with zero qualify mispredictions",
+        peak.selectivity * 100.0,
+        peak.tb_share() * 100.0,
+    );
+}

@@ -10,12 +10,12 @@
 
 use std::time::Instant;
 
-use wdtg_core::{JoinComparison, TimeBreakdown};
+use wdtg_core::{BranchCell, JoinComparison, SelectivityComparison, TimeBreakdown};
 use wdtg_memdb::{
-    Database, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, Schema, SystemId,
+    Database, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, Schema, SelectionMode, SystemId,
 };
 use wdtg_sim::{CpuConfig, Event, InterruptCfg, Mode};
-use wdtg_workloads::JoinSpec;
+use wdtg_workloads::{JoinSpec, Scale, SweepSpec};
 
 /// Rows in the selection benchmarks' single relation.
 pub const SCAN_ROWS: u64 = 100_000;
@@ -386,6 +386,134 @@ pub fn run_join_report() -> JoinReport {
     )
     .expect("join comparison runs");
     JoinReport { cmp }
+}
+
+// ---------------------------------------------------------------------
+// branch_compare: branching vs predicated selection across selectivity
+// ---------------------------------------------------------------------
+
+/// Dataset for the selectivity sweep: the §3.3 shape with 20-byte records
+/// (the branch term does not depend on record width, and narrow records —
+/// the same choice [`JoinSpec`]'s default makes — keep the per-page
+/// buffer-pool code, which contributes selectivity-independent structural
+/// T_B noise, from diluting the qualify term the sweep studies) at a size
+/// where the full selection × mode × layout × 9-point grid stays
+/// CI-friendly.
+pub fn branch_scale() -> Scale {
+    Scale {
+        r_records: 48_000,
+        s_records: 1_600,
+        record_bytes: 20,
+    }
+}
+
+/// The selection-mode comparison (a [`SelectivityComparison`] grid plus the
+/// headline accessors the regression gate reads).
+#[derive(Debug, Clone)]
+pub struct BranchReport {
+    /// The measured grid (2 selection modes × 2 exec modes × 2 layouts ×
+    /// the 1%→99% sweep).
+    pub cmp: SelectivityComparison,
+}
+
+impl BranchReport {
+    /// The branching series' T_B-share peak in one (mode, layout) slice.
+    pub fn branching_peak(&self, mode: ExecMode, layout: PageLayout) -> &BranchCell {
+        self.cmp
+            .peak_tb(SelectionMode::Branching, mode, layout)
+            .expect("grid measured")
+    }
+
+    /// Batch-mode NSM peak-T_B-share reduction, branching / predicated
+    /// (the gated headline: batch mode is where the structural loop
+    /// branches predict almost perfectly, so the qualify branch *is* the
+    /// T_B term and predication's full win is visible).
+    pub fn tb_peak_reduction_batch(&self) -> f64 {
+        self.cmp
+            .peak_tb_reduction(ExecMode::Batch, PageLayout::Nsm)
+            .expect("grid measured")
+    }
+
+    /// Largest predicated T_B share across the batch/NSM sweep (must stay
+    /// a sliver of T_Q — nothing data-dependent is left to mispredict).
+    pub fn predicated_tb_max_share(&self) -> f64 {
+        self.cmp
+            .series(SelectionMode::Predicated, ExecMode::Batch, PageLayout::Nsm)
+            .iter()
+            .map(|c| c.tb_share())
+            .fold(0.0, f64::max)
+    }
+
+    /// The `BENCH_branch.json` document.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::new();
+        for (i, c) in self.cmp.cells.iter().enumerate() {
+            let f = c.truth.four_way();
+            let selection = match c.selection {
+                SelectionMode::Branching => "branching",
+                SelectionMode::Predicated => "predicated",
+            };
+            cells.push_str(&format!(
+                "    {{ \"selection\": \"{selection}\", \"mode\": \"{:?}\", \
+                 \"layout\": \"{:?}\", \"selectivity\": {:.2}, \"rows\": {}, \
+                 \"qualify_branch_misses\": {}, \"select_ops\": {}, \"cycles\": {:.0}, \
+                 \"t_c_share\": {:.4}, \"t_m_share\": {:.4}, \"t_b_share\": {:.4}, \
+                 \"t_r_share\": {:.4} }}{}\n",
+                c.mode,
+                c.layout,
+                c.selectivity,
+                c.rows,
+                c.qualify_branch_misses,
+                c.select_ops,
+                c.truth.cycles,
+                f.computation,
+                f.memory,
+                f.branch,
+                f.resource,
+                if i + 1 == self.cmp.cells.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        let peak = self.branching_peak(ExecMode::Batch, PageLayout::Nsm);
+        let row_peak = self.branching_peak(ExecMode::Row, PageLayout::Nsm);
+        format!(
+            "{{\n  \"benchmark\": \"selection_mode_comparison\",\n  \"system\": \"{}\",\n  \
+             \"rows\": {},\n  \"record_bytes\": {},\n  \"cells\": [\n{cells}  ],\n  \
+             \"branching_tb_peak_share\": {:.4},\n  \"branching_tb_peak_selectivity\": {:.2},\n  \
+             \"branching_tb_peak_share_row\": {:.4},\n  \"predicated_tb_max_share\": {:.4},\n  \
+             \"tb_peak_reduction_batch\": {:.3},\n  \"tb_peak_reduction_row\": {:.3}\n}}\n",
+            self.cmp.system.letter(),
+            self.cmp.scale.r_records,
+            self.cmp.scale.record_bytes,
+            peak.tb_share(),
+            peak.selectivity,
+            row_peak.tb_share(),
+            self.predicated_tb_max_share(),
+            self.tb_peak_reduction_batch(),
+            self.cmp
+                .peak_tb_reduction(ExecMode::Row, PageLayout::Nsm)
+                .expect("grid measured"),
+        )
+    }
+}
+
+/// Runs the selection-mode benchmark: the full selection × mode × layout
+/// grid over the 1%→99% sweep on System A — the lean *compiled* engine,
+/// where predication (a code-generation technique) is at home and whose
+/// minimal structural branch noise isolates the data-dependent qualify
+/// term the sweep studies.
+pub fn run_branch_report() -> BranchReport {
+    let cmp = SelectivityComparison::run(
+        SystemId::A,
+        branch_scale(),
+        &SweepSpec::branch_sweep(),
+        &CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+    )
+    .expect("selectivity comparison runs");
+    BranchReport { cmp }
 }
 
 // ---------------------------------------------------------------------

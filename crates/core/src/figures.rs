@@ -6,12 +6,14 @@
 //! dominance, trends under selectivity/record-size variation — are the
 //! reproduction targets (see EXPERIMENTS.md).
 
-use wdtg_memdb::{Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, SystemId};
+use wdtg_memdb::{
+    Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, SelectionMode, SystemId,
+};
 use wdtg_sim::{CpuConfig, Event, Mode};
-use wdtg_workloads::{join, JoinSpec, MicroQuery, Scale};
+use wdtg_workloads::{join, micro, JoinSpec, MicroQuery, Scale, SweepSpec};
 
 use crate::breakdown::TimeBreakdown;
-use crate::methodology::{measure_query, Methodology, QueryMeasurement};
+use crate::methodology::{build_db_with_layout, measure_query, Methodology, QueryMeasurement};
 use crate::tables::{pct, TextTable};
 
 /// Shared experiment context.
@@ -667,6 +669,230 @@ impl SelectivitySweep {
             ]);
         }
         out.push_str(&t.render());
+        out
+    }
+}
+
+/// One measured cell of the branch-stall selectivity comparison.
+#[derive(Debug, Clone)]
+pub struct BranchCell {
+    /// Selection mode under test.
+    pub selection: SelectionMode,
+    /// Execution mode the query ran under.
+    pub mode: ExecMode,
+    /// Page layout of the relation.
+    pub layout: PageLayout,
+    /// Target selectivity of the range predicate.
+    pub selectivity: f64,
+    /// Selected rows.
+    pub rows: u64,
+    /// Aggregate value (must agree across selection modes).
+    pub value: f64,
+    /// Mispredictions of individually simulated data-dependent branches
+    /// ([`Event::SimDataBranchMiss`]) in the measured run. The swept plan
+    /// is the sequential range selection, whose only such site is the
+    /// qualify branch — so this *is* the qualify-misprediction count, and
+    /// zero by construction under [`SelectionMode::Predicated`].
+    pub qualify_branch_misses: u64,
+    /// Conditional-select lanes executed ([`Event::SimSelectOps`]) — the
+    /// predication work bought in exchange.
+    pub select_ops: u64,
+    /// Ground-truth breakdown (user mode) of the measured run.
+    pub truth: TimeBreakdown,
+}
+
+impl BranchCell {
+    /// T_B as a share of the cell's total query time.
+    pub fn tb_share(&self) -> f64 {
+        self.truth.tb / self.truth.component_sum().max(1e-9)
+    }
+}
+
+/// The branch chapter: the sequential range selection swept across
+/// selectivity under every selection mode × execution mode × page layout of
+/// one engine, with the Figure 5.1-style T_C/T_M/T_B/T_R breakdown per cell.
+///
+/// §5.3/Fig 5.4 shows branch-misprediction stalls peaking where the qualify
+/// branch is least predictable — near 50% selectivity — and contributing
+/// 10–20% of query time. This runner regenerates that shape for
+/// [`SelectionMode::Branching`] and puts branch-free
+/// [`SelectionMode::Predicated`] evaluation next to it, so predication's
+/// trade — unconditional extra select instructions for eliminated
+/// mispredictions — is read off the same breakdown the paper uses.
+#[derive(Debug, Clone)]
+pub struct SelectivityComparison {
+    /// System the comparison ran on.
+    pub system: SystemId,
+    /// Dataset sizing.
+    pub scale: Scale,
+    /// One cell per (selection, mode, layout, selectivity).
+    pub cells: Vec<BranchCell>,
+}
+
+impl SelectivityComparison {
+    /// Runs the full selection × mode × layout grid over `sweep` on `sys`.
+    pub fn run(
+        sys: SystemId,
+        scale: Scale,
+        sweep: &SweepSpec,
+        cfg: &CpuConfig,
+    ) -> DbResult<SelectivityComparison> {
+        let mut cells = Vec::new();
+        for selection in SelectionMode::ALL {
+            for mode in [ExecMode::Row, ExecMode::Batch] {
+                for layout in PageLayout::ALL {
+                    cells.extend(Self::run_config(
+                        sys, scale, sweep, cfg, selection, mode, layout,
+                    )?);
+                }
+            }
+        }
+        Ok(SelectivityComparison {
+            system: sys,
+            scale,
+            cells,
+        })
+    }
+
+    /// Sweeps one (selection, mode, layout) configuration: one database,
+    /// §4.3 methodology per point — a warm-up run (which also trains the
+    /// qualify branch's predictor state onto this selectivity), then one
+    /// measured run.
+    pub fn run_config(
+        sys: SystemId,
+        scale: Scale,
+        sweep: &SweepSpec,
+        cfg: &CpuConfig,
+        selection: SelectionMode,
+        mode: ExecMode,
+        layout: PageLayout,
+    ) -> DbResult<Vec<BranchCell>> {
+        let mut db = build_db_with_layout(
+            EngineProfile::system(sys),
+            scale,
+            MicroQuery::SequentialRangeSelection,
+            cfg,
+            layout,
+        )?;
+        db.set_exec_mode(mode);
+        db.set_selection_mode(selection);
+        let mut cells = Vec::with_capacity(sweep.selectivities.len());
+        for &sel in &sweep.selectivities {
+            let q = micro::query(scale, MicroQuery::SequentialRangeSelection, sel);
+            db.run(&q)?; // warm-up (§4.3)
+            let before = db.cpu().snapshot();
+            let res = db.run(&q)?;
+            let delta = db.cpu().snapshot().delta(&before);
+            cells.push(BranchCell {
+                selection,
+                mode,
+                layout,
+                selectivity: sel,
+                rows: res.rows,
+                value: res.value,
+                qualify_branch_misses: delta.counters.total(Event::SimDataBranchMiss),
+                select_ops: delta.counters.total(Event::SimSelectOps),
+                truth: TimeBreakdown::from_snapshot(&delta, Mode::User),
+            });
+        }
+        Ok(cells)
+    }
+
+    /// The cells of one (selection, mode, layout) series, in sweep order.
+    pub fn series(
+        &self,
+        selection: SelectionMode,
+        mode: ExecMode,
+        layout: PageLayout,
+    ) -> Vec<&BranchCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.selection == selection && c.mode == mode && c.layout == layout)
+            .collect()
+    }
+
+    /// The cell with the largest T_B share in one series, if measured.
+    pub fn peak_tb(
+        &self,
+        selection: SelectionMode,
+        mode: ExecMode,
+        layout: PageLayout,
+    ) -> Option<&BranchCell> {
+        self.series(selection, mode, layout)
+            .into_iter()
+            .max_by(|a, b| a.tb_share().total_cmp(&b.tb_share()))
+    }
+
+    /// Peak-T_B-share reduction for one (mode, layout) slice — the headline
+    /// predication buys: the branching series' T_B share at its peak
+    /// selectivity, divided by the predicated series' share *at that same
+    /// selectivity* (the point where the qualify branch hurts most).
+    pub fn peak_tb_reduction(&self, mode: ExecMode, layout: PageLayout) -> Option<f64> {
+        let b = self.peak_tb(SelectionMode::Branching, mode, layout)?;
+        let p = self
+            .series(SelectionMode::Predicated, mode, layout)
+            .into_iter()
+            .find(|c| c.selectivity == b.selectivity)?;
+        Some(b.tb_share() / p.tb_share().max(1e-9))
+    }
+
+    fn selection_label(selection: SelectionMode) -> &'static str {
+        match selection {
+            SelectionMode::Branching => "Branching",
+            SelectionMode::Predicated => "Predicated",
+        }
+    }
+
+    /// Renders the comparison table (one row per cell).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Selection modes, {}: sequential range selection over {} rows\n\
+             (percent of execution time per component; qualify-branch mispredictions)\n",
+            self.system.name(),
+            self.scale.r_records,
+        );
+        let mut t = TextTable::new([
+            "selection",
+            "mode",
+            "layout",
+            "sel%",
+            "rows",
+            "Comp",
+            "Mem",
+            "Branch",
+            "Resource",
+            "qualify misp",
+        ]);
+        for c in &self.cells {
+            let f = c.truth.four_way();
+            t.row([
+                Self::selection_label(c.selection).to_string(),
+                format!("{:?}", c.mode),
+                format!("{:?}", c.layout),
+                format!("{:.0}", c.selectivity * 100.0),
+                c.rows.to_string(),
+                pct(f.computation),
+                pct(f.memory),
+                pct(f.branch),
+                pct(f.resource),
+                c.qualify_branch_misses.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        if let (Some(b), Some(p)) = (
+            self.peak_tb(SelectionMode::Branching, ExecMode::Batch, PageLayout::Nsm),
+            self.peak_tb(SelectionMode::Predicated, ExecMode::Batch, PageLayout::Nsm),
+        ) {
+            out.push_str(&format!(
+                "branching T_B peaks at {:.0}% selectivity ({:.1}% of T_Q, batch/NSM); \
+                 predication holds it at {:.1}% by spending {} unconditional select lanes —\n\
+                 the compute-for-mispredictions trade, on the same breakdown the paper uses.\n",
+                b.selectivity * 100.0,
+                b.tb_share() * 100.0,
+                p.tb_share() * 100.0,
+                p.select_ops,
+            ));
+        }
         out
     }
 }

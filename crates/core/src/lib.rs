@@ -36,8 +36,8 @@ pub mod validate;
 
 pub use breakdown::{BreakdownSource, FourWay, TimeBreakdown};
 pub use figures::{
-    ExecModeComparison, FigureCtx, JoinCell, JoinComparison, L1iHypotheses, LayoutComparison,
-    MicrobenchGrid, RecordSizeSweep, SelectivitySweep,
+    BranchCell, ExecModeComparison, FigureCtx, JoinCell, JoinComparison, L1iHypotheses,
+    LayoutComparison, MicrobenchGrid, RecordSizeSweep, SelectivityComparison, SelectivitySweep,
 };
 pub use methodology::{
     build_db, build_db_with, build_db_with_layout, measure_query, measure_query_with,

@@ -9,7 +9,8 @@
 
 use wdtg_emon::{measure_breakdown, ModeSel, Penalties, Target};
 use wdtg_memdb::{
-    Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, SystemId,
+    Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, SelectionMode,
+    SystemId,
 };
 use wdtg_sim::{measure_memory_latency, Cpu, CpuConfig, Event, Mode, Snapshot};
 use wdtg_workloads::{micro, MicroQuery, Scale};
@@ -47,6 +48,11 @@ pub struct Methodology {
     /// naive transient hash join; `Some` regenerates the same breakdowns
     /// under another strategy (e.g. [`JoinAlgo::PartitionedHash`]).
     pub join_algo: Option<JoinAlgo>,
+    /// How filters qualify rows. The paper's systems branch on the
+    /// predicate result ([`SelectionMode::Branching`], the default — the
+    /// source of the Fig 5.4 T_B term); [`SelectionMode::Predicated`]
+    /// regenerates the same breakdowns under branch-free qualification.
+    pub selection: SelectionMode,
 }
 
 impl Default for Methodology {
@@ -60,6 +66,7 @@ impl Default for Methodology {
             exec_mode: ExecMode::Row,
             layout: PageLayout::Nsm,
             join_algo: None,
+            selection: SelectionMode::Branching,
         }
     }
 }
@@ -76,6 +83,7 @@ impl Methodology {
             exec_mode: ExecMode::Row,
             layout: PageLayout::Nsm,
             join_algo: None,
+            selection: SelectionMode::Branching,
         }
     }
 
@@ -108,6 +116,16 @@ impl Methodology {
     /// The same methodology under the radix-partitioned hash join.
     pub fn partitioned(self) -> Methodology {
         self.with_join_algo(JoinAlgo::PartitionedHash)
+    }
+
+    /// The same methodology under a given selection mode.
+    pub fn with_selection(self, selection: SelectionMode) -> Methodology {
+        Methodology { selection, ..self }
+    }
+
+    /// The same methodology under branch-free (predicated) selection.
+    pub fn predicated(self) -> Methodology {
+        self.with_selection(SelectionMode::Predicated)
     }
 }
 
@@ -286,6 +304,7 @@ pub fn measure_query_with(
     let system = profile.system;
     let mut db = build_db_with_layout(profile, scale, query, cfg, m.layout)?;
     db.set_exec_mode(m.exec_mode);
+    db.set_selection_mode(m.selection);
     if let Some(algo) = m.join_algo {
         db.set_join_algo(algo);
     }

@@ -9,7 +9,7 @@ use crate::arena::SimArena;
 use crate::buffer::BufferPool;
 use crate::error::{DbError, DbResult};
 use crate::exec::agg::AggExec;
-use crate::exec::filter::{Filter, PredicateExec};
+use crate::exec::filter::{Filter, PredicateExec, SelectionMode};
 use crate::exec::indexscan::{descend_to_leaf, IndexRangeScan, LeafCursor};
 use crate::exec::join_hash::HashJoin;
 use crate::exec::join_nl::IndexNlJoin;
@@ -183,6 +183,17 @@ impl DbCtx {
         }
     }
 
+    /// Executes `lanes` branch-free conditional selects
+    /// ([`wdtg_sim::Cpu::select_run`]): the predicated filter's qualify
+    /// cost — unconditional extra instructions instead of a possible
+    /// misprediction.
+    #[inline]
+    pub fn select_ops(&mut self, lanes: u32) {
+        if self.instrument {
+            self.cpu.select_run(lanes);
+        }
+    }
+
     /// Issues a data prefetch.
     #[inline]
     pub fn prefetch(&mut self, addr: u64) {
@@ -226,6 +237,7 @@ pub struct Database {
     profile: EngineProfile,
     exec_mode: ExecMode,
     page_layout: PageLayout,
+    selection_mode: SelectionMode,
 }
 
 impl Database {
@@ -242,6 +254,7 @@ impl Database {
             profile,
             exec_mode: ExecMode::Row,
             page_layout: PageLayout::Nsm,
+            selection_mode: SelectionMode::Branching,
         }
     }
 
@@ -286,6 +299,24 @@ impl Database {
     /// Builder-style [`Database::set_page_layout`].
     pub fn with_page_layout(mut self, layout: PageLayout) -> Self {
         self.page_layout = layout;
+        self
+    }
+
+    /// How filters qualify rows (branching vs predicated).
+    pub fn selection_mode(&self) -> SelectionMode {
+        self.selection_mode
+    }
+
+    /// Selects branching or predicated (branch-free) row qualification for
+    /// subsequent queries — the knob that attacks the T_B term, orthogonal
+    /// to [`Database::set_exec_mode`] and [`Database::set_page_layout`].
+    pub fn set_selection_mode(&mut self, mode: SelectionMode) {
+        self.selection_mode = mode;
+    }
+
+    /// Builder-style [`Database::set_selection_mode`].
+    pub fn with_selection_mode(mut self, mode: SelectionMode) -> Self {
+        self.selection_mode = mode;
         self
     }
 
@@ -530,6 +561,7 @@ impl Database {
                     PredicateExec::Range { col: pos, lo, hi },
                     Rc::clone(&blocks),
                     self.profile.eval_mode == EvalMode::Interpreted,
+                    self.selection_mode,
                 ))
             }
         };
@@ -740,6 +772,7 @@ impl Database {
                             pexec,
                             Rc::clone(&blocks),
                             self.profile.eval_mode == EvalMode::Interpreted,
+                            self.selection_mode,
                         ))
                     }
                 };

@@ -70,9 +70,11 @@ impl AggExec {
     }
 
     /// Vectorized drain: the aggregate path runs once per batch, the tight
-    /// accumulate loop scales over the batch, and the accumulator lives in
-    /// registers (one representative spill per batch instead of one write
-    /// per row).
+    /// accumulate loop scales over the batch's *live* rows (a predicated
+    /// filter upstream publishes qualification as a selection vector, and
+    /// the accumulate loop walks exactly those lanes), and the accumulator
+    /// lives in registers (one representative spill per batch instead of
+    /// one write per row).
     fn run_batched(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
         self.child.open(env)?;
         let mut batch = Batch::new(self.child.arity());
@@ -81,17 +83,19 @@ impl AggExec {
         let mut min = i32::MAX;
         let mut max = i32::MIN;
         while self.child.next_batch(env, &mut batch)? {
+            let live = batch.live_rows();
             let col = batch.col(self.col);
             env.ctx.exec(&self.blocks.agg_step);
             env.ctx
-                .exec_scaled(&self.blocks.batch.agg_step, col.len() as u32);
+                .exec_scaled(&self.blocks.batch.agg_step, live as u32);
             env.ctx.store_touch(self.blocks.agg_buf, 16, MemDep::Demand);
-            for &v in col {
+            for i in 0..live {
+                let v = col[batch.live_index(i)];
                 sum += v as i64;
                 min = min.min(v);
                 max = max.max(v);
             }
-            count += col.len() as u64;
+            count += live as u64;
         }
         self.finish(sum, count, min, max)
     }

@@ -27,10 +27,20 @@ pub enum ExecMode {
 pub const BATCH_ROWS: usize = 1024;
 
 /// A column-major batch of `i32` tuples.
+///
+/// A batch optionally carries a **selection vector** — ascending physical
+/// row indices naming the rows that are logically alive. The predicated
+/// filter ([`crate::exec::filter::SelectionMode::Predicated`]) qualifies
+/// rows by *installing* a selection instead of compacting the columns, so
+/// no data-dependent copy (and no data-dependent branch) happens; downstream
+/// operators iterate `0..live_rows()` and resolve physical positions with
+/// [`Batch::live_index`], which is the identity when no selection is set.
 #[derive(Debug, Clone, Default)]
 pub struct Batch {
     cols: Vec<Vec<i32>>,
     rows: usize,
+    sel: Vec<u32>,
+    has_sel: bool,
 }
 
 impl Batch {
@@ -55,6 +65,7 @@ impl Batch {
             c.clear();
         }
         self.rows = 0;
+        self.clear_selection();
     }
 
     /// Number of columns.
@@ -95,9 +106,59 @@ impl Batch {
         self.rows = rows;
     }
 
+    /// Installs `sel` as the selection vector: ascending physical row
+    /// indices of the logically live rows. The column data is untouched —
+    /// this is the whole point of predicated selection: qualifying rows
+    /// costs no data-dependent copy and no data-dependent branch.
+    pub fn set_selection(&mut self, sel: &[u32]) {
+        debug_assert!(
+            sel.windows(2).all(|w| w[0] < w[1]),
+            "selection must be ascending and duplicate-free"
+        );
+        debug_assert!(
+            sel.last().is_none_or(|&r| (r as usize) < self.rows),
+            "selection index out of range"
+        );
+        self.sel.clear();
+        self.sel.extend_from_slice(sel);
+        self.has_sel = true;
+    }
+
+    /// The selection vector, if one is installed.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.has_sel.then_some(self.sel.as_slice())
+    }
+
+    /// Drops the selection vector: every physical row is live again.
+    pub fn clear_selection(&mut self) {
+        self.has_sel = false;
+        self.sel.clear();
+    }
+
+    /// Number of logically live rows: the selection's length if one is
+    /// installed, all physical rows otherwise.
+    pub fn live_rows(&self) -> usize {
+        if self.has_sel {
+            self.sel.len()
+        } else {
+            self.rows
+        }
+    }
+
+    /// Physical row index of the `i`-th live row (`i < live_rows()`).
+    #[inline]
+    pub fn live_index(&self, i: usize) -> usize {
+        if self.has_sel {
+            self.sel[i] as usize
+        } else {
+            i
+        }
+    }
+
     /// Appends one row (arity must match).
     pub fn push_row(&mut self, row: &[i32]) {
         debug_assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        debug_assert!(!self.has_sel, "cannot append under a selection vector");
         for (c, &v) in self.cols.iter_mut().zip(row) {
             c.push(v);
         }
@@ -118,7 +179,10 @@ impl Batch {
     }
 
     /// Keeps only the rows whose `keep` flag is set, compacting every column
-    /// in place (the vectorized selection primitive).
+    /// in place (the branching vectorized selection primitive; `keep` is
+    /// indexed by physical row). Any installed selection vector is consumed:
+    /// the caller is expected to have pre-masked `keep` with it, and the
+    /// compacted batch is fully live.
     pub fn retain_rows(&mut self, keep: &[bool]) {
         debug_assert_eq!(keep.len(), self.rows);
         for c in &mut self.cols {
@@ -132,6 +196,7 @@ impl Batch {
             c.truncate(w);
         }
         self.rows = keep.iter().filter(|&&k| k).count();
+        self.clear_selection();
     }
 }
 
@@ -172,6 +237,46 @@ mod tests {
         assert!(b.is_empty());
         b.reset(1);
         assert_eq!(b.arity(), 1);
+    }
+
+    #[test]
+    fn selection_vector_leaves_columns_untouched() {
+        let mut b = Batch::new(2);
+        for i in 0..6 {
+            b.push_row(&[i, 10 * i]);
+        }
+        b.set_selection(&[1, 4]);
+        assert_eq!(b.len(), 6, "physical rows unchanged");
+        assert_eq!(b.live_rows(), 2);
+        assert_eq!(b.live_index(0), 1);
+        assert_eq!(b.value(1, b.live_index(1)), 40);
+        assert_eq!(b.col(0), &[0, 1, 2, 3, 4, 5], "no compaction happened");
+        b.clear_selection();
+        assert_eq!(b.live_rows(), 6);
+    }
+
+    #[test]
+    fn reset_drops_the_selection() {
+        let mut b = Batch::new(1);
+        b.push_row(&[7]);
+        b.set_selection(&[0]);
+        b.reset(1);
+        assert!(b.selection().is_none());
+        assert_eq!(b.live_rows(), 0);
+    }
+
+    #[test]
+    fn retain_rows_consumes_the_selection() {
+        let mut b = Batch::new(1);
+        for i in 0..4 {
+            b.push_row(&[i]);
+        }
+        b.set_selection(&[0, 2]);
+        // keep pre-masked with the selection, as the branching filter does.
+        b.retain_rows(&[true, false, true, false]);
+        assert!(b.selection().is_none());
+        assert_eq!(b.col(0), &[0, 2]);
+        assert_eq!(b.live_rows(), 2);
     }
 
     #[test]

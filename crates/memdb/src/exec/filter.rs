@@ -1,10 +1,20 @@
 //! Selection filter.
 //!
-//! The qualify branch is simulated individually ([`wdtg_sim::BranchSite`]):
-//! its direction depends on the data, so its misprediction behaviour varies
-//! with selectivity exactly as §5.3/Fig 5.4 studies. Interpreted engines
-//! additionally dispatch one `pred_node` block per expression node per row —
-//! branch-dense code that pressures the BTB and the L1 I-cache.
+//! Under [`SelectionMode::Branching`] the qualify branch is simulated
+//! individually ([`wdtg_sim::BranchSite`]): its direction depends on the
+//! data, so its misprediction behaviour varies with selectivity exactly as
+//! §5.3/Fig 5.4 studies. Interpreted engines additionally dispatch one
+//! `pred_node` block per expression node per row — branch-dense code that
+//! pressures the BTB and the L1 I-cache.
+//!
+//! Under [`SelectionMode::Predicated`] the qualify bit is computed
+//! arithmetically (cmov-style, [`wdtg_sim::Cpu::select_run`]) and no
+//! data-dependent branch exists to mispredict. In batch mode the passing
+//! rows are published as a **selection vector** on the [`Batch`] instead of
+//! compacting the columns, so qualification costs neither a branch nor a
+//! data-dependent copy — the vectorized form compiled/branch-free engines
+//! use ("Code Generation Techniques for Raw Data Processing"; Sirin &
+//! Ailamaki's OLAP analysis).
 
 use std::rc::Rc;
 
@@ -13,6 +23,28 @@ use crate::exec::batch::Batch;
 use crate::exec::{ExecEnv, Operator};
 use crate::expr::Expr;
 use crate::profiles::EngineBlocks;
+
+/// How the filter turns a predicate result into control/data flow — the
+/// knob that attacks the paper's T_B term, orthogonal to
+/// [`crate::exec::ExecMode`] and [`crate::heap::PageLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectionMode {
+    /// One data-dependent qualify branch per row (every system the paper
+    /// measures): mispredictions peak near 50% selectivity (§5.3/Fig 5.4)
+    /// and charge the 17-cycle penalty each.
+    #[default]
+    Branching,
+    /// Branch-free qualification: the qualify bit is computed with
+    /// cmov-style arithmetic (extra unconditional instructions, zero
+    /// possible mispredictions); batch mode drives downstream operators
+    /// through a selection vector instead of compacting rows.
+    Predicated,
+}
+
+impl SelectionMode {
+    /// Both modes, in presentation order.
+    pub const ALL: [SelectionMode; 2] = [SelectionMode::Branching, SelectionMode::Predicated];
+}
 
 /// Executable predicate form.
 pub enum PredicateExec {
@@ -85,20 +117,23 @@ pub struct Filter {
     pred: PredicateExec,
     blocks: Rc<EngineBlocks>,
     interpreted: bool,
+    selection: SelectionMode,
     handlers: Vec<u8>,
     // batch-mode scratch (reused across batches; no per-batch allocation)
     keep: Vec<bool>,
+    sel_scratch: Vec<u32>,
     row_scratch: Vec<i32>,
 }
 
 impl Filter {
     /// Wraps `child` with a predicate; `interpreted` selects the
-    /// tree-walking evaluator cost model.
+    /// tree-walking evaluator cost model, `selection` the qualify strategy.
     pub fn new(
         child: Box<dyn Operator>,
         pred: PredicateExec,
         blocks: Rc<EngineBlocks>,
         interpreted: bool,
+        selection: SelectionMode,
     ) -> Self {
         let handlers = pred.handler_sequence();
         Filter {
@@ -106,9 +141,25 @@ impl Filter {
             pred,
             blocks,
             interpreted,
+            selection,
             handlers,
             keep: Vec::new(),
+            sel_scratch: Vec::new(),
             row_scratch: Vec::new(),
+        }
+    }
+
+    /// Evaluates the predicate on physical row `r` of `batch`.
+    fn eval_batch_row(&mut self, batch: &Batch, r: usize) -> bool {
+        match &self.pred {
+            PredicateExec::Range { col, lo, hi } => {
+                let v = batch.value(*col, r);
+                v > *lo && v < *hi
+            }
+            PredicateExec::Expr(e) => {
+                batch.read_row(r, &mut self.row_scratch);
+                e.eval_bool(&self.row_scratch)
+            }
         }
     }
 }
@@ -136,7 +187,19 @@ impl Operator for Filter {
                 env.ctx.exec(&self.blocks.pred_eval);
             }
             let pass = self.pred.eval(out);
-            env.ctx.branch(self.blocks.qualify_site, pass);
+            match self.selection {
+                SelectionMode::Branching => {
+                    env.ctx.branch(self.blocks.qualify_site, pass);
+                }
+                SelectionMode::Predicated => {
+                    // Branch-free qualify: the masking tail plus one cmov
+                    // lane per row, pass or fail — the cost is paid
+                    // unconditionally, which is why nothing here can
+                    // mispredict.
+                    env.ctx.exec(&self.blocks.pred_select);
+                    env.ctx.select_ops(1);
+                }
+            }
             if pass {
                 return Ok(true);
             }
@@ -148,7 +211,7 @@ impl Operator for Filter {
             if !self.child.next_batch(env, out)? {
                 return Ok(false);
             }
-            let n = out.len();
+            let live = out.live_rows();
             // Vectorized predicate evaluation. Compiled engines charge the
             // evaluation path once per batch plus a tight per-tuple loop.
             // Interpreted engines become a vector-at-a-time interpreter
@@ -161,35 +224,54 @@ impl Operator for Filter {
                 env.ctx.exec(&self.blocks.pred_node);
                 for &h in &self.handlers {
                     env.ctx.exec(&self.blocks.pred_handlers[h as usize]);
-                    env.ctx.exec_scaled(&self.blocks.batch.pred_step, n as u32);
+                    env.ctx
+                        .exec_scaled(&self.blocks.batch.pred_step, live as u32);
                 }
             } else {
                 env.ctx.exec(&self.blocks.pred_eval);
-                env.ctx.exec_scaled(&self.blocks.batch.pred_step, n as u32);
+                env.ctx
+                    .exec_scaled(&self.blocks.batch.pred_step, live as u32);
             }
-            // Evaluate per row; the qualify branch stays individually
-            // simulated so its selectivity-dependent misprediction
-            // behaviour (§5.3, Fig 5.4) is identical in both modes.
-            self.keep.clear();
-            match &self.pred {
-                PredicateExec::Range { col, lo, hi } => {
-                    for &v in out.col(*col) {
-                        self.keep.push(v > *lo && v < *hi);
+            match self.selection {
+                SelectionMode::Branching => {
+                    // Evaluate per row; the qualify branch stays
+                    // individually simulated so its selectivity-dependent
+                    // misprediction behaviour (§5.3, Fig 5.4) is identical
+                    // in both exec modes. `keep` is physical-row indexed
+                    // and pre-masked with any incoming selection.
+                    self.keep.clear();
+                    self.keep.resize(out.len(), false);
+                    for i in 0..live {
+                        let r = out.live_index(i);
+                        let pass = self.eval_batch_row(out, r);
+                        env.ctx.branch(self.blocks.qualify_site, pass);
+                        self.keep[r] = pass;
+                    }
+                    out.retain_rows(&self.keep);
+                    if !out.is_empty() {
+                        return Ok(true);
                     }
                 }
-                PredicateExec::Expr(e) => {
-                    for r in 0..n {
-                        out.read_row(r, &mut self.row_scratch);
-                        self.keep.push(e.eval_bool(&self.row_scratch));
+                SelectionMode::Predicated => {
+                    // Branch-free vectorized qualify: one tight select-loop
+                    // pass plus one cmov lane per live row, publishing the
+                    // passing rows as a selection vector — no
+                    // data-dependent branch, no data-dependent copy.
+                    env.ctx
+                        .exec_scaled(&self.blocks.batch.select_step, live as u32);
+                    env.ctx.select_ops(live as u32);
+                    self.sel_scratch.clear();
+                    for i in 0..live {
+                        let r = out.live_index(i);
+                        if self.eval_batch_row(out, r) {
+                            self.sel_scratch.push(r as u32);
+                        }
+                    }
+                    out.set_selection(&self.sel_scratch);
+                    if out.live_rows() > 0 {
+                        return Ok(true);
                     }
                 }
-            }
-            for &pass in &self.keep {
-                env.ctx.branch(self.blocks.qualify_site, pass);
-            }
-            out.retain_rows(&self.keep);
-            if !out.is_empty() {
-                return Ok(true);
             }
         }
     }

@@ -141,12 +141,15 @@ impl Operator for GroupByExec {
                 let mut batch = Batch::new(self.child.arity());
                 while self.child.next_batch(env, &mut batch)? {
                     // Vectorized: the aggregate path runs once per batch and
-                    // the tight accumulate loop scales over it, while the
-                    // group-table data traffic keeps per-row granularity.
+                    // the tight accumulate loop scales over its live rows
+                    // (honoring a predicated filter's selection vector),
+                    // while the group-table data traffic keeps per-row
+                    // granularity.
                     env.ctx.exec(&self.blocks.agg_step);
                     env.ctx
-                        .exec_scaled(&self.blocks.batch.agg_step, batch.len() as u32);
-                    for r in 0..batch.len() {
+                        .exec_scaled(&self.blocks.batch.agg_step, batch.live_rows() as u32);
+                    for i in 0..batch.live_rows() {
+                        let r = batch.live_index(i);
                         let key = batch.value(self.group_col, r);
                         let v = batch.value(self.agg_col, r);
                         self.touch_group_slot(env, key);

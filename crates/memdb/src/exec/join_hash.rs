@@ -104,8 +104,8 @@ impl Operator for HashJoin {
                 let mut batch = Batch::new(self.build.arity());
                 let mut row = Vec::with_capacity(self.build.arity());
                 while self.build.next_batch(env, &mut batch)? {
-                    for r in 0..batch.len() {
-                        batch.read_row(r, &mut row);
+                    for i in 0..batch.live_rows() {
+                        batch.read_row(batch.live_index(i), &mut row);
                         staged.push((row[self.build_key], self.build_rows.len() as u64));
                         self.build_rows.push(row.clone());
                     }
@@ -209,10 +209,14 @@ impl Operator for HashJoin {
             if out.is_full() {
                 break;
             }
-            // Advance to the next probe row within the current probe batch.
-            if self.probe_pos < self.probe_batch.len() {
-                self.probe_batch
-                    .read_row(self.probe_pos, &mut self.probe_row);
+            // Advance to the next live probe row within the current probe
+            // batch (a predicated filter upstream publishes qualification
+            // as a selection vector; the probe honors it).
+            if self.probe_pos < self.probe_batch.live_rows() {
+                self.probe_batch.read_row(
+                    self.probe_batch.live_index(self.probe_pos),
+                    &mut self.probe_row,
+                );
                 self.probe_pos += 1;
                 let key = self.probe_row[self.probe_key];
                 env.ctx.touch(table.bucket_addr(key), 8, MemDep::Chase);
@@ -220,13 +224,15 @@ impl Operator for HashJoin {
                 continue;
             }
             // Pull a fresh probe batch: the probe path runs once per batch,
-            // the tight loop scales over its rows.
+            // the tight loop scales over its live rows.
             if !self.probe.next_batch(env, &mut self.probe_batch)? {
                 break;
             }
             env.ctx.exec(&self.blocks.hash_probe);
-            env.ctx
-                .exec_scaled(&self.blocks.batch.hash_step, self.probe_batch.len() as u32);
+            env.ctx.exec_scaled(
+                &self.blocks.batch.hash_step,
+                self.probe_batch.live_rows() as u32,
+            );
             self.probe_pos = 0;
         }
         // Match emission code, amortized over the batch's matches.

@@ -237,8 +237,8 @@ impl PartitionedHashJoin {
                 let mut batch = Batch::new(self.build.arity());
                 let mut row = Vec::with_capacity(self.build.arity());
                 while self.build.next_batch(env, &mut batch)? {
-                    for r in 0..batch.len() {
-                        batch.read_row(r, &mut row);
+                    for i in 0..batch.live_rows() {
+                        batch.read_row(batch.live_index(i), &mut row);
                         staged.push(row.clone());
                     }
                 }
@@ -261,12 +261,13 @@ impl PartitionedHashJoin {
     ) {
         env.ctx.exec(&blocks.part_scatter);
         env.ctx
-            .exec_scaled(&blocks.batch.partition_step, batch.len() as u32);
+            .exec_scaled(&blocks.batch.partition_step, batch.live_rows() as u32);
         groups.resize(parts.len(), Vec::new());
         for g in groups.iter_mut() {
             g.clear();
         }
-        for r in 0..batch.len() {
+        for i in 0..batch.live_rows() {
+            let r = batch.live_index(i);
             let key = batch.value(key_col, r);
             groups[Self::part_of(key, parts.len())].push(r);
         }

@@ -25,6 +25,13 @@
 //! drains `next()` — row-mode costs, batch-shaped output — so the two paths
 //! compose even for operators without a native batched implementation.
 //!
+//! Orthogonally to the execution mode, [`SelectionMode`] decides how
+//! filters qualify rows: through a per-row data-dependent branch
+//! (`Branching`, the paper's configuration — the Fig 5.4 T_B source) or
+//! branch-free (`Predicated`), where batch-mode qualification travels as a
+//! selection vector on the [`Batch`] that every downstream operator honors
+//! via [`Batch::live_rows`]/[`Batch::live_index`].
+//!
 //! ## Batch size and the cache model
 //!
 //! [`BATCH_ROWS`] = 1024 rows keeps a few columns of `i32` values (host
@@ -46,6 +53,7 @@ pub mod join_partitioned;
 pub mod seqscan;
 
 pub use batch::{Batch, ExecMode, BATCH_ROWS};
+pub use filter::SelectionMode;
 
 use wdtg_sim::MemDep;
 

@@ -32,7 +32,7 @@ pub mod testutil;
 pub use arena::SimArena;
 pub use db::{Database, DbCtx, IndexMeta, Table};
 pub use error::{DbError, DbResult};
-pub use exec::{Batch, ExecMode, BATCH_ROWS};
+pub use exec::{Batch, ExecMode, SelectionMode, BATCH_ROWS};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use heap::{HeapFile, PageLayout, Rid, PAGE_HDR, PAGE_SIZE};
 pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize, SystemId};

@@ -137,6 +137,11 @@ pub struct BatchBlocks {
     /// Per-tuple radix-scatter inner loop (partitioned joins): hash the
     /// key, pick the partition, bump its write cursor.
     pub partition_step: CodeBlock,
+    /// Per-tuple predicated-selection inner loop (flag materialization +
+    /// selection-vector append) — straight-line code with no data-dependent
+    /// branch; the cmov itself is charged through
+    /// [`wdtg_sim::Cpu::select_run`].
+    pub select_step: CodeBlock,
 }
 
 /// The instrumented code paths of one engine build.
@@ -157,6 +162,13 @@ pub struct EngineBlocks {
     /// tree-walking evaluator its large instruction footprint — the paper's
     /// interpreted engines are exactly the L1I-bound ones (§5.2.2).
     pub pred_handlers: [CodeBlock; 4],
+    /// Row-mode predicated qualify tail: the branch-free masking sequence
+    /// that replaces the qualify branch under
+    /// [`crate::exec::filter::SelectionMode::Predicated`]. Deliberately
+    /// straight-line (zero dynamic branches) — eliminating the
+    /// data-dependent branch is the whole point; the unconditional extra
+    /// instructions are the price the simulator must see.
+    pub pred_select: CodeBlock,
     pub agg_step: CodeBlock,
     /// Per-field extraction/conversion path, run once per column during
     /// tuple materialization. This is what makes per-record cost scale with
@@ -410,9 +422,15 @@ fn place(
 }
 
 /// Places one batch-mode tight-loop block. Unlike the row-path blocks these
-/// are short straight-line loops: one well-predicted back-edge per
-/// iteration, independent work across lanes (lower dependency pressure),
-/// few branch sites.
+/// are short loops with loop-shaped branch character: a back-edge plus a
+/// hoisted bound check per handful of instructions (~5% density, versus
+/// 15–19% on the row paths), each overwhelmingly predictable — the trained
+/// back-edge mispredicts about once per loop exit, and even the static
+/// backward-taken rule gets a 90%-taken edge right. Independent work across
+/// lanes keeps dependency pressure low. These accuracies are what make
+/// the batch executor's *structural* T_B a sliver, leaving the
+/// individually-simulated data-dependent qualify branch as the dominant
+/// branch-stall term (§5.3/Fig 5.4, the selection-mode comparison).
 fn place_batch(
     alloc: &mut SegmentAlloc,
     name: &'static str,
@@ -422,16 +440,40 @@ fn place_batch(
 ) -> CodeBlock {
     let region = alloc.alloc(path_bytes as u64 * 3 / 2, 64);
     let x86 = (path_bytes as f64 / wdtg_sim::pipeline::BYTES_PER_X86_INSTR).round() as u32;
-    let dynamic = ((x86 as f64) * 0.10).round().max(1.0).min(u16::MAX as f64) as u16;
+    let dynamic = ((x86 as f64) * 0.05).round().max(1.0).min(u16::MAX as f64) as u16;
     CodeBlock::builder(name, path_bytes)
         .private(private_base, 512)
         .branches(dynamic.max(2), dynamic)
         .taken_frac(0.90) // dominated by the loop back-edge
-        .dyn_bias(0.995) // loop branches predict nearly perfectly
-        .static_acc(0.95)
+        .dyn_bias(0.999) // trained loop branches mispredict ~at loop exits
+        .static_acc(0.98) // backward-taken static rule fits a back-edge
         .dep_frac((p.dep_frac - 0.12).max(0.15)) // lanes are independent
         .fu_frac(p.fu_frac)
         .long_instr_frac(0.02)
+        .at(region.base)
+}
+
+/// Places one straight-line predication block: flag materialization and
+/// masking with **zero** dynamic branches — the code shape compilers emit
+/// for branch-free selection. Pipeline character follows the engine but
+/// with the dependency pressure of copy-style independent lanes; the cmov
+/// serialization itself is charged by [`wdtg_sim::Cpu::select_run`], not
+/// here.
+fn place_straight(
+    alloc: &mut SegmentAlloc,
+    name: &'static str,
+    path_bytes: u32,
+    p: &SysParams,
+    private_base: u64,
+) -> CodeBlock {
+    let region = alloc.alloc(path_bytes as u64 * 3 / 2, 64);
+    CodeBlock::builder(name, path_bytes)
+        .private(private_base, 256)
+        .mem_refs(2)
+        .branches(1, 0)
+        .dep_frac((p.dep_frac - 0.08).max(0.15))
+        .fu_frac(p.fu_frac)
+        .long_instr_frac(0.0)
         .at(region.base)
 }
 
@@ -537,6 +579,17 @@ impl EngineProfile {
                 p.dyn_bias - 0.05,
             ),
         ];
+        // Predicated qualify tail: a handful of masking instructions per
+        // row regardless of engine girth (a cmov sequence is a cmov
+        // sequence), with a small per-system flavor for the surrounding
+        // result handling.
+        let pred_select = place_straight(
+            &mut alloc,
+            "pred_select",
+            24 + p.pred_eval / 64,
+            &p,
+            private + 24_064,
+        );
         // Aggregate: branchy numeric code (drives T_B growth with
         // selectivity, Fig 5.4 right).
         let mut agg_step = place(
@@ -733,6 +786,13 @@ impl EngineProfile {
                 &p,
                 private + 23_552,
             ),
+            select_step: place_straight(
+                &mut alloc,
+                "batch_select_step",
+                16 + p.pred_eval / 160,
+                &p,
+                private + 24_576,
+            ),
         };
 
         let qualify_site = BranchSite {
@@ -752,6 +812,7 @@ impl EngineProfile {
             pred_eval,
             pred_node,
             pred_handlers,
+            pred_select,
             agg_step,
             field_extract,
             index_descend,
@@ -905,6 +966,40 @@ mod tests {
             assert!(
                 b.batch.partition_step.path_bytes * 4 <= b.part_scatter.path_bytes,
                 "{}: batch partition loop not lean enough",
+                sys.letter()
+            );
+        }
+    }
+
+    #[test]
+    fn predication_blocks_are_lean_and_branch_free() {
+        // The predicated qualify tail must be a sliver of the predicate
+        // path it rides on, and strictly straight-line: a single structural
+        // dynamic branch would reintroduce exactly the stall the mode
+        // exists to eliminate.
+        for sys in SystemId::ALL {
+            let p = EngineProfile::system(sys);
+            let b = &p.blocks;
+            assert_eq!(
+                b.pred_select.dyn_branches,
+                0,
+                "{}: pred_select must be branch-free",
+                sys.letter()
+            );
+            assert_eq!(
+                b.batch.select_step.dyn_branches,
+                0,
+                "{}: batch select loop must be branch-free",
+                sys.letter()
+            );
+            assert!(
+                b.pred_select.path_bytes * 8 <= b.pred_eval.path_bytes,
+                "{}: pred_select not lean enough vs pred_eval",
+                sys.letter()
+            );
+            assert!(
+                b.batch.select_step.path_bytes <= b.pred_select.path_bytes,
+                "{}: batch select loop fatter than the row tail",
                 sys.letter()
             );
         }

@@ -26,6 +26,26 @@ use crate::tlb::Tlb;
 /// `misses × latency` estimate is close to the truth).
 const DEMAND_OVERLAP_CREDIT: f64 = 10.0;
 
+/// x86 instructions retired per conditional-select lane (a `setcc`-style
+/// flag materialization plus the `cmov` itself).
+pub const SELECT_X86_PER_LANE: u64 = 2;
+/// µops retired per conditional-select lane.
+pub const SELECT_UOPS_PER_LANE: u64 = 3;
+/// Useful-computation cycles per conditional-select lane (µops / width).
+pub const SELECT_TC_PER_LANE: f64 = 1.0;
+/// Dependency-stall cycles per conditional-select lane: a cmov serializes on
+/// both of its inputs, so the chain a predicted branch would have broken
+/// stays intact (the classic predication tax).
+pub const SELECT_TDEP_PER_LANE: f64 = 0.5;
+
+/// Minimum dynamic-prediction accuracy of a structural branch during the
+/// warm iterations of one scaled block run ([`Cpu::exec_block_scaled`]): a
+/// tight loop's branches see a stationary pattern the two-level predictor
+/// locks onto, so a trained back-edge mispredicts roughly once per thousand
+/// iterations (≈ at loop exits) regardless of how the block predicts when
+/// invoked once among other code.
+pub const LOOP_TRAINED_BIAS: f64 = 0.999;
+
 /// Dependence class of an explicit data access, which determines how much of
 /// an L2 miss the out-of-order engine can hide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -542,12 +562,48 @@ impl Cpu {
         }
         if out.mispredicted {
             self.bump(Event::BrMissPredRetired, 1);
+            self.bump(Event::SimDataBranchMiss, 1);
             if taken {
                 self.bump(Event::BrMissPredTakenRet, 1);
             }
             self.bump(Event::Baclears, 1);
             self.charge(Component::Tb, self.cfg.pipe.mispredict_penalty as f64);
         }
+    }
+
+    /// Executes `lanes` conditional-select operations (cmov-style): the
+    /// branch-free alternative to running a data-dependent branch per row.
+    ///
+    /// Where [`Cpu::branch`] routes each qualify decision through the BTB +
+    /// two-level predictor and charges the 17-cycle penalty on every
+    /// misprediction, a predicated executor computes the qualify bit
+    /// arithmetically and *selects* the outcome — no branch instruction, no
+    /// BTB entry, no possible misprediction. The price is paid up front and
+    /// unconditionally: each lane retires [`SELECT_X86_PER_LANE`] extra x86
+    /// instructions ([`SELECT_UOPS_PER_LANE`] µops, counted in
+    /// [`Event::SimSelectOps`]), occupies the pipeline for
+    /// [`SELECT_TC_PER_LANE`] cycles of useful work, and — because a
+    /// conditional move joins both of its inputs into the dependent chain
+    /// where a predicted branch would have cut it — adds
+    /// [`SELECT_TDEP_PER_LANE`] cycles of dependency stall.
+    ///
+    /// This is the batch executor's fast lane: one call covers a whole
+    /// vector of rows (the select loop's surrounding code is charged
+    /// separately by the caller's `CodeBlock`s, exactly like the
+    /// [`Cpu::load_run`] split between code blocks and data traffic). Row
+    /// engines call it with `lanes == 1` per tuple.
+    pub fn select_run(&mut self, lanes: u32) {
+        if lanes == 0 {
+            return;
+        }
+        let lanes_f = lanes as f64;
+        self.bump(Event::SimSelectOps, lanes as u64);
+        self.bump(Event::InstRetired, SELECT_X86_PER_LANE * lanes as u64);
+        self.bump(Event::InstDecoded, SELECT_X86_PER_LANE * lanes as u64);
+        self.bump(Event::UopsRetired, SELECT_UOPS_PER_LANE * lanes as u64);
+        self.charge(Component::Tc, SELECT_TC_PER_LANE * lanes_f);
+        self.charge(Component::Tdep, SELECT_TDEP_PER_LANE * lanes_f);
+        self.bump_frac(Event::PartialRatStalls, SELECT_TDEP_PER_LANE * lanes_f);
     }
 
     // ------------------------------------------------------------------
@@ -625,7 +681,23 @@ impl Cpu {
 
         // Structural branches, bulk-modelled: BTB occupancy is simulated with
         // rotating representative sites; direction accuracy is the declared
-        // bias (dynamic) or the static rule's accuracy (on BTB miss).
+        // bias (dynamic) or the static rule's accuracy (on BTB miss). A
+        // scaled execution is a loop running `times` back-to-back
+        // iterations, and the prediction hardware trains within it:
+        //
+        // * a site that misses the BTB pays the static rule only for its
+        //   first iteration — the taken execution allocates the entry,
+        //   exactly what `BranchUnit::probe` has just simulated — and runs
+        //   under the dynamic predictor for the remaining `times - 1`;
+        // * the dynamic accuracy of those warm iterations is at least
+        //   [`LOOP_TRAINED_BIAS`]: inside one tight run the loop's few
+        //   branches see a stationary pattern the two-level predictor locks
+        //   onto (a trained back-edge mispredicts about once, at loop
+        //   exit), whereas the *declared* bias describes the block invoked
+        //   once among other code, histories polluted.
+        //
+        // With `times == 1` both refinements vanish and this degenerates to
+        // the single-invocation model.
         if block.dyn_branches > 0 {
             let dynamic = block.dyn_branches as u64 * times as u64;
             self.bump(Event::BrInstRetired, dynamic);
@@ -636,19 +708,25 @@ impl Cpu {
             let weight = dynamic as f64 / probes as f64;
             let spacing = (block.path_bytes / (sites + 1)).max(4) as u64;
             let penalty = self.cfg.pipe.mispredict_penalty as f64;
+            let warm_bias = if times > 1 {
+                block.dyn_bias.max(LOOP_TRAINED_BIAS)
+            } else {
+                block.dyn_bias
+            };
             for _ in 0..probes {
                 let idx = (block.next_rot() % sites) as u64;
                 let addr = block.base + 2 + idx * spacing;
                 let hit = self.branch_unit.probe(addr, block.taken_frac >= 0.5);
-                let acc = if hit {
-                    block.dyn_bias
+                let (cold, warm) = if hit {
+                    (0.0, weight)
                 } else {
-                    block.static_acc
+                    let cold = weight / times_f;
+                    (cold, weight - cold)
                 };
-                if !hit {
-                    self.bump_frac(Event::BtbMisses, weight);
+                if cold > 0.0 {
+                    self.bump_frac(Event::BtbMisses, cold);
                 }
-                let mispred = weight * (1.0 - acc);
+                let mispred = cold * (1.0 - block.static_acc) + warm * (1.0 - warm_bias);
                 if mispred > 0.0 {
                     self.bump_frac(Event::BrMissPredRetired, mispred);
                     self.bump_frac(Event::BrMissPredTakenRet, mispred * block.taken_frac);
@@ -900,6 +978,39 @@ mod tests {
         let charged = d.ledger.total(Component::Tl2d);
         let full = CpuConfig::pentium_ii_xeon().pipe.mem_latency as f64;
         assert!(charged > 0.0 && charged <= full + 4.0);
+    }
+
+    #[test]
+    fn select_run_charges_compute_not_branch_stalls() {
+        let mut cpu = quiet_cpu();
+        let snap = cpu.snapshot();
+        cpu.select_run(1000);
+        let d = cpu.snapshot().delta(&snap);
+        assert_eq!(d.counters.total(Event::SimSelectOps), 1000);
+        assert_eq!(
+            d.counters.total(Event::InstRetired),
+            SELECT_X86_PER_LANE * 1000
+        );
+        assert_eq!(d.counters.total(Event::BrInstRetired), 0, "no branches");
+        assert_eq!(d.ledger.total(Component::Tb), 0.0, "no mispredict stalls");
+        assert!((d.ledger.total(Component::Tc) - SELECT_TC_PER_LANE * 1000.0).abs() < 1e-9);
+        assert!((d.ledger.total(Component::Tdep) - SELECT_TDEP_PER_LANE * 1000.0).abs() < 1e-9);
+        assert!((d.ledger.grand_total() - d.cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn data_branch_misses_are_counted_separately() {
+        let mut cpu = quiet_cpu();
+        let site = BranchSite {
+            addr: segment::CODE + 40,
+            backward: false,
+        };
+        // Forward branch, first execution taken: static predicts not-taken.
+        cpu.branch(site, true);
+        assert_eq!(cpu.counters().total(Event::SimDataBranchMiss), 1);
+        // select_run never touches the data-branch counter.
+        cpu.select_run(64);
+        assert_eq!(cpu.counters().total(Event::SimDataBranchMiss), 1);
     }
 
     #[test]

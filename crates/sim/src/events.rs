@@ -123,6 +123,16 @@ pub enum Event {
     /// Demand instruction fetches satisfied by the sequential stream
     /// prefetcher rather than a full miss.
     SimStreamBufHit,
+    /// Conditional-select (cmov-style) lanes executed through
+    /// [`crate::Cpu::select_run`] — the predicated executor's qualify work.
+    SimSelectOps,
+    /// Mispredictions of *data-dependent* branches (those simulated
+    /// individually through [`crate::Cpu::branch`] — the selection
+    /// predicate's qualify branch and the joins' match branches), as
+    /// opposed to the bulk-modelled structural branches. In a plan whose
+    /// only such site is the qualify branch (the sequential range
+    /// selection), predicated selection must report zero.
+    SimDataBranchMiss,
 }
 
 impl Event {
@@ -212,11 +222,13 @@ impl Event {
             SimPrefetchLate,
             SimKernelEntries,
             SimStreamBufHit,
+            SimSelectOps,
+            SimDataBranchMiss,
         ]
     };
 
-    /// Total number of event types (74 hardware + 7 simulator-only).
-    pub const COUNT: usize = 81;
+    /// Total number of event types (74 hardware + 9 simulator-only).
+    pub const COUNT: usize = 83;
 
     /// Number of genuine Pentium II event types (the paper's "74 event types").
     pub const HARDWARE_COUNT: usize = 74;
@@ -312,6 +324,8 @@ impl Event {
             SimPrefetchLate => "SIM.PREFETCH_LATE",
             SimKernelEntries => "SIM.KERNEL_ENTRIES",
             SimStreamBufHit => "SIM.STREAM_BUF_HIT",
+            SimSelectOps => "SIM.SELECT_OPS",
+            SimDataBranchMiss => "SIM.DATA_BRANCH_MISS",
         }
     }
 

@@ -28,7 +28,7 @@ pub mod tpcd;
 pub use join::JoinSpec;
 pub use micro::{
     load_microbench, load_microbench_with_layout, prepare, prepare_with_layout, query, MicroQuery,
-    DEFAULT_SEED,
+    SweepSpec, DEFAULT_SEED,
 };
 pub use scale::Scale;
 pub use tpcc::{TpccDriver, TpccScale, TxnKind};

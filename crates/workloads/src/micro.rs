@@ -39,6 +39,44 @@ impl MicroQuery {
     ];
 }
 
+/// A selectivity-sweep specification: the x-axis of a T_B experiment.
+///
+/// The paper's Fig 5.4 samples {0, 1, 5, 10, 50, 100}% — dense at the low
+/// end where the DSS queries live. A *branch-stall* sweep needs the
+/// interior instead: misprediction probability on the qualify branch peaks
+/// where the direction is least predictable, near 50%, so the branch sweep
+/// samples 1% → 99% with extra points around the middle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Selectivities to measure, ascending, each in `[0.0, 1.0]`.
+    pub selectivities: Vec<f64>,
+}
+
+impl SweepSpec {
+    /// The branch-stall sweep: 1% → 99%, dense around the 50% misprediction
+    /// peak (`branch_compare`, `SelectivityComparison`).
+    pub fn branch_sweep() -> SweepSpec {
+        SweepSpec {
+            selectivities: vec![0.01, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 0.99],
+        }
+    }
+
+    /// A shorter interior sweep for CI-sized assertions: keeps the ±10-point
+    /// band around 50% resolvable at a fraction of the measurement count.
+    pub fn branch_sweep_coarse() -> SweepSpec {
+        SweepSpec {
+            selectivities: vec![0.01, 0.25, 0.4, 0.5, 0.6, 0.75, 0.99],
+        }
+    }
+
+    /// The paper's Fig 5.4 x-axis (0%, 1%, 5%, 10%, 50%, 100%).
+    pub fn fig5_4() -> SweepSpec {
+        SweepSpec {
+            selectivities: vec![0.0, 0.01, 0.05, 0.1, 0.5, 1.0],
+        }
+    }
+}
+
 /// Generates R's rows: `a1` sequential unique, `a2` uniform over the domain
 /// (1..=|S|), `a3` uniform values to aggregate, the rest filler (§3.3:
 /// "`<rest of fields>` stands for a list of integers that is not used by any

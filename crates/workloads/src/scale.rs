@@ -73,10 +73,36 @@ impl Scale {
     /// Range bounds `(lo, hi)` for `a2 > lo AND a2 < hi` hitting the target
     /// selectivity, centered in the domain. Qualifying values are
     /// `lo+1 ..= hi-1`.
+    ///
+    /// Total over its whole input space, with the edge guarantees the sweep
+    /// harnesses rely on: any `selectivity <= 0` (and NaN, which `clamp`
+    /// would silently pass through and the `as` cast would silently turn
+    /// into an empty range even for a full-scan *intent*) yields an exactly
+    /// empty range; any `selectivity >= 1` yields exactly the full domain —
+    /// at every table scale, including domains of 0 or 1 values where the
+    /// old centering arithmetic had nothing to round against.
     pub fn selectivity_range(&self, selectivity: f64) -> (i32, i32) {
-        let domain = self.a2_domain() as f64;
-        let width = (selectivity.clamp(0.0, 1.0) * domain).round() as i32;
-        let lo = ((self.a2_domain() - width) / 2).max(0);
+        let domain = self.a2_domain().max(0);
+        // NaN fails both comparisons below and is treated as 0 explicitly
+        // rather than falling out of `clamp` unchanged.
+        let sel = if selectivity >= 1.0 {
+            1.0
+        } else if selectivity > 0.0 {
+            selectivity
+        } else {
+            0.0
+        };
+        // Round the qualifying width, then force the edges to be exact:
+        // floating-point rounding must never shave a value off a full scan
+        // or leak one into an empty scan.
+        let width = if sel <= 0.0 {
+            0
+        } else if sel >= 1.0 {
+            domain
+        } else {
+            ((sel * domain as f64).round() as i32).clamp(0, domain)
+        };
+        let lo = (domain - width) / 2;
         (lo, lo + width + 1)
     }
 }
@@ -111,6 +137,72 @@ mod tests {
             let got = qualifying / s.a2_domain() as f64;
             assert!((got - sel).abs() < 0.001, "sel {sel}: got {got}");
             assert!(lo >= 0 && hi <= s.a2_domain() + 1);
+        }
+    }
+
+    /// Number of `a2` values qualifying under `scale.selectivity_range(sel)`.
+    fn qualifying(scale: Scale, sel: f64) -> i32 {
+        let (lo, hi) = scale.selectivity_range(sel);
+        (hi - lo - 1).max(0)
+    }
+
+    #[test]
+    fn edge_selectivities_are_exact_at_tiny_scales() {
+        // Regression: the old arithmetic only guaranteed the 0.0/1.0 edges
+        // at comfortable domains. They must be exact at *every* scale.
+        for s_records in [0u64, 1, 2, 3, 7, 400] {
+            let scale = Scale {
+                r_records: s_records * 30,
+                s_records,
+                record_bytes: 20,
+            };
+            let domain = scale.a2_domain();
+            assert_eq!(qualifying(scale, 0.0), 0, "|S|={s_records}: 0% not empty");
+            assert_eq!(
+                qualifying(scale, 1.0),
+                domain,
+                "|S|={s_records}: 100% not full"
+            );
+            let (lo, hi) = scale.selectivity_range(1.0);
+            assert!(lo >= 0 && hi > lo, "|S|={s_records}: inverted range");
+            // Qualifying values must lie inside the generated 1..=domain.
+            assert!(
+                lo >= 0 && hi <= domain + 1,
+                "|S|={s_records}: out of domain"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_domain_selectivities_clamp_to_the_edges() {
+        let s = Scale::tiny();
+        let domain = s.a2_domain();
+        assert_eq!(qualifying(s, -0.5), 0);
+        assert_eq!(qualifying(s, 1.5), domain);
+        assert_eq!(qualifying(s, f64::NEG_INFINITY), 0);
+        assert_eq!(qualifying(s, f64::INFINITY), domain);
+        // NaN used to slip through `clamp` into the `as` cast; it must be
+        // an explicit empty range, not an accident of cast saturation.
+        assert_eq!(qualifying(s, f64::NAN), 0);
+    }
+
+    #[test]
+    fn selectivity_width_is_monotone_in_the_target() {
+        for s_records in [3u64, 40, 400] {
+            let scale = Scale {
+                r_records: s_records * 30,
+                s_records,
+                record_bytes: 20,
+            };
+            let mut prev = -1;
+            for step in 0..=20 {
+                let q = qualifying(scale, step as f64 / 20.0);
+                assert!(
+                    q >= prev,
+                    "|S|={s_records}: width not monotone at step {step}"
+                );
+                prev = q;
+            }
         }
     }
 }

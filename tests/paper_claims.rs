@@ -5,13 +5,13 @@
 //! asserts the machine-checked claims of `wdtg_core::validate`.
 
 use wdtg_core::figures::{
-    systems_for, FigureCtx, JoinComparison, MicrobenchGrid, SelectivitySweep,
+    systems_for, FigureCtx, JoinComparison, MicrobenchGrid, SelectivityComparison, SelectivitySweep,
 };
 use wdtg_core::methodology::{build_db_with_layout, Methodology};
 use wdtg_core::validate::{validate_grid, validate_selectivity};
-use wdtg_memdb::{EngineProfile, ExecMode, JoinAlgo, PageLayout, SystemId};
+use wdtg_memdb::{EngineProfile, ExecMode, JoinAlgo, PageLayout, SelectionMode, SystemId};
 use wdtg_sim::{CpuConfig, Event, InterruptCfg};
-use wdtg_workloads::{micro, JoinSpec, MicroQuery, Scale};
+use wdtg_workloads::{micro, JoinSpec, MicroQuery, Scale, SweepSpec};
 
 fn test_ctx() -> FigureCtx {
     FigureCtx {
@@ -135,6 +135,103 @@ fn pax_layout_preserves_answers_and_cuts_l2_data_misses() {
          NSM {} vs PAX {}",
         misses[0],
         misses[1]
+    );
+}
+
+#[test]
+fn branching_tb_peaks_at_half_selectivity_and_predication_flattens_it() {
+    // The Fig 5.4 claim, isolated on the vectorized executor where the
+    // structural loop branches predict almost perfectly and the
+    // individually-simulated qualify branch *is* the T_B term: Branching
+    // T_B is unimodal in selectivity with its peak within ±10 points of
+    // 50% (misprediction probability is maximal where the direction stream
+    // is a coin flip), while Predicated T_B stays flat — under 1% of T_Q —
+    // across the whole sweep, at identical query answers.
+    let scale = Scale {
+        r_records: 24_000,
+        s_records: 800,
+        record_bytes: 20,
+    };
+    let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+    let sweep = SweepSpec::branch_sweep_coarse();
+    let mut cells = Vec::new();
+    for selection in SelectionMode::ALL {
+        cells.extend(
+            SelectivityComparison::run_config(
+                SystemId::A,
+                scale,
+                &sweep,
+                &cfg,
+                selection,
+                ExecMode::Batch,
+                PageLayout::Nsm,
+            )
+            .expect("sweep runs"),
+        );
+    }
+    let cmp = SelectivityComparison {
+        system: SystemId::A,
+        scale,
+        cells,
+    };
+    let branching = cmp.series(SelectionMode::Branching, ExecMode::Batch, PageLayout::Nsm);
+    let predicated = cmp.series(SelectionMode::Predicated, ExecMode::Batch, PageLayout::Nsm);
+
+    // Identical answers point by point.
+    for (b, p) in branching.iter().zip(&predicated) {
+        assert_eq!((b.rows, b.value), (p.rows, p.value), "answers must agree");
+        assert_eq!(
+            p.qualify_branch_misses, 0,
+            "predicated qualify mispredicted"
+        );
+    }
+
+    // Branching T_B: unimodal with the peak within ±10 points of 50%.
+    let shares: Vec<(f64, f64)> = branching
+        .iter()
+        .map(|c| (c.selectivity, c.tb_share()))
+        .collect();
+    let peak = shares
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+        .map(|(i, _)| i)
+        .expect("sweep non-empty");
+    assert!(
+        (0.4..=0.6).contains(&shares[peak].0),
+        "T_B peak must sit within ±10 points of 50% selectivity: {shares:?}"
+    );
+    for w in shares[..=peak].windows(2) {
+        assert!(
+            w[1].1 >= w[0].1 * 0.95,
+            "T_B share must rise towards the peak: {shares:?}"
+        );
+    }
+    for w in shares[peak..].windows(2) {
+        assert!(
+            w[1].1 <= w[0].1 * 1.05,
+            "T_B share must fall past the peak: {shares:?}"
+        );
+    }
+
+    // Predicated T_B: flat and a sliver of T_Q everywhere.
+    for c in &predicated {
+        assert!(
+            c.tb_share() < 0.01,
+            "predicated T_B must stay under 1% of T_Q at {:.0}% selectivity \
+             (got {:.2}%)",
+            c.selectivity * 100.0,
+            c.tb_share() * 100.0
+        );
+    }
+
+    // And the acceptance headline: predication cuts the peak T_B share >=5x.
+    let reduction = cmp
+        .peak_tb_reduction(ExecMode::Batch, PageLayout::Nsm)
+        .expect("both series measured");
+    assert!(
+        reduction >= 5.0,
+        "predication must cut the peak T_B share at least 5x, got {reduction:.2}x"
     );
 }
 
