@@ -1,9 +1,9 @@
-//! CI bench-regression gate: re-runs the four headline bench measurements
-//! (`exec_mode`, `layout_compare`, `join_compare`, `branch_compare` — via
-//! the shared [`wdtg_bench::runners`] code, so the gate cannot drift from
-//! the bins) and fails if any headline metric regresses more than 15%
-//! versus the committed `BENCH_*.json` baselines at the repository root
-//! (directory overridable via `BENCH_BASELINE_DIR`).
+//! CI bench-regression gate: re-runs the five headline bench measurements
+//! (`exec_mode`, `layout_compare`, `join_compare`, `branch_compare`,
+//! `scale_compare` — via the shared [`wdtg_bench::runners`] code, so the
+//! gate cannot drift from the bins) and fails if any headline metric
+//! regresses more than 15% versus the committed `BENCH_*.json` baselines at
+//! the repository root (directory overridable via `BENCH_BASELINE_DIR`).
 //!
 //! Gated metrics — all simulated, so the gate is deterministic and immune
 //! to CI-runner wall-clock noise:
@@ -15,14 +15,33 @@
 //! * `l2d_miss_reduction_row` and `join_speedup_batch` (BENCH_join.json) —
 //!   the partitioned join's miss win and its batch-mode cycle speedup;
 //! * `tb_peak_reduction_batch` (BENCH_branch.json) — predication's cut of
-//!   the peak branch-misprediction stall share.
+//!   the peak branch-misprediction stall share;
+//! * `speedup_4shard` (BENCH_scale.json) — the 4-shard wall-clock speedup
+//!   of the sharded scan.
+//!
+//! A missing baseline file or key is a configuration error, not a bench
+//! regression: the gate reports exactly which file/key it expected (and
+//! which bin regenerates it) and exits nonzero *before* burning CI minutes
+//! re-running the benches. It used to `panic!` here, which buried the
+//! actionable message under a backtrace.
 
 use wdtg_bench::runners::{
     json_number, run_branch_report, run_exec_report, run_join_report, run_layout_report,
+    run_scale_report,
 };
 
 /// Fractional regression tolerated before the gate fails.
 const TOLERANCE: f64 = 0.15;
+
+/// The baseline documents the gate needs, each with the bin that
+/// regenerates it.
+const BASELINES: [(&str, &str); 5] = [
+    ("BENCH_exec.json", "exec_mode"),
+    ("BENCH_layout.json", "layout_compare"),
+    ("BENCH_join.json", "join_compare"),
+    ("BENCH_branch.json", "branch_compare"),
+    ("BENCH_scale.json", "scale_compare"),
+];
 
 struct Gate {
     name: &'static str,
@@ -37,65 +56,119 @@ impl Gate {
     }
 }
 
-fn read_baseline(dir: &str, file: &str) -> String {
-    let path = format!("{dir}/{file}");
-    std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("baseline {path} must be committed: {e}"))
-}
-
-fn baseline_metric(doc: &str, file: &str, scope: Option<&str>, key: &str) -> f64 {
-    json_number(doc, scope, key)
-        .unwrap_or_else(|| panic!("baseline {file} has no {key} (scope {scope:?})"))
+/// Prints every collected problem plus the how-to-fix footer and exits 1.
+fn bail(dir: &str, problems: &[String]) -> ! {
+    for p in problems {
+        eprintln!("bench_check: {p}");
+    }
+    let files: Vec<&str> = BASELINES.iter().map(|(f, _)| *f).collect();
+    let bins: Vec<&str> = BASELINES.iter().map(|(_, b)| *b).collect();
+    eprintln!(
+        "bench_check: expected committed baselines {} in '{dir}' \
+         (override the directory with BENCH_BASELINE_DIR); regenerate any \
+         missing file with its bench bin ({}) and commit the result",
+        files.join(", "),
+        bins.join(", "),
+    );
+    std::process::exit(1);
 }
 
 fn main() {
     let dir = std::env::var("BENCH_BASELINE_DIR").unwrap_or_else(|_| ".".into());
-    let exec_doc = read_baseline(&dir, "BENCH_exec.json");
-    let layout_doc = read_baseline(&dir, "BENCH_layout.json");
-    let join_doc = read_baseline(&dir, "BENCH_join.json");
-    let branch_doc = read_baseline(&dir, "BENCH_branch.json");
+
+    // Read every baseline up front, collecting *all* problems so one CI run
+    // reports the complete fix.
+    let mut problems: Vec<String> = Vec::new();
+    let mut docs: Vec<String> = Vec::new();
+    for (file, bin) in BASELINES {
+        let path = format!("{dir}/{file}");
+        match std::fs::read_to_string(&path) {
+            Ok(doc) => docs.push(doc),
+            Err(e) => {
+                problems.push(format!(
+                    "missing baseline {path}: {e} (regenerate with `cargo run --release \
+                     -p wdtg-bench --bin {bin}` and commit {file})"
+                ));
+                docs.push(String::new());
+            }
+        }
+    }
+    if !problems.is_empty() {
+        bail(&dir, &problems);
+    }
+    let [exec_doc, layout_doc, join_doc, branch_doc, scale_doc]: [String; 5] =
+        docs.try_into().expect("one doc per baseline");
+
+    // Each baseline is bound by name right next to its (file, key), so a
+    // gate can only ever read the metric it names — there is no positional
+    // array to fall out of step with the gate list below.
+    let mut metric = |doc: &str, file: &str, scope: Option<&str>, key: &str| -> f64 {
+        json_number(doc, scope, key).unwrap_or_else(|| {
+            problems.push(format!(
+                "baseline {dir}/{file} has no \"{key}\" key (scope {scope:?}); the file \
+                 predates this gate — regenerate it with its bench bin"
+            ));
+            f64::NAN
+        })
+    };
+    let base_instr_collapse = metric(&exec_doc, "BENCH_exec.json", None, "instr_collapse");
+    let base_layout_miss_reduction = metric(
+        &layout_doc,
+        "BENCH_layout.json",
+        Some("\"narrow_projection_scan\""),
+        "l2d_miss_reduction",
+    );
+    let base_join_miss_reduction =
+        metric(&join_doc, "BENCH_join.json", None, "l2d_miss_reduction_row");
+    let base_join_speedup = metric(&join_doc, "BENCH_join.json", None, "join_speedup_batch");
+    let base_tb_peak_reduction = metric(
+        &branch_doc,
+        "BENCH_branch.json",
+        None,
+        "tb_peak_reduction_batch",
+    );
+    let base_scale_speedup = metric(&scale_doc, "BENCH_scale.json", None, "speedup_4shard");
+    if !problems.is_empty() {
+        bail(&dir, &problems);
+    }
 
     println!("== bench_check == re-running headline benches against {dir}/BENCH_*.json");
     let exec = run_exec_report();
     let layout = run_layout_report();
     let join = run_join_report();
     let branch = run_branch_report();
+    let scale = run_scale_report();
 
     let gates = [
         Gate {
             name: "exec: instr_collapse",
-            baseline: baseline_metric(&exec_doc, "BENCH_exec.json", None, "instr_collapse"),
+            baseline: base_instr_collapse,
             current: exec.instr_collapse(),
         },
         Gate {
             name: "layout: narrow l2d_miss_reduction",
-            baseline: baseline_metric(
-                &layout_doc,
-                "BENCH_layout.json",
-                Some("\"narrow_projection_scan\""),
-                "l2d_miss_reduction",
-            ),
+            baseline: base_layout_miss_reduction,
             current: layout.narrow_l2d_miss_reduction(),
         },
         Gate {
             name: "join: l2d_miss_reduction_row",
-            baseline: baseline_metric(&join_doc, "BENCH_join.json", None, "l2d_miss_reduction_row"),
+            baseline: base_join_miss_reduction,
             current: join.l2d_miss_reduction_row(),
         },
         Gate {
             name: "join: join_speedup_batch",
-            baseline: baseline_metric(&join_doc, "BENCH_join.json", None, "join_speedup_batch"),
+            baseline: base_join_speedup,
             current: join.join_speedup_batch(),
         },
         Gate {
             name: "branch: tb_peak_reduction_batch",
-            baseline: baseline_metric(
-                &branch_doc,
-                "BENCH_branch.json",
-                None,
-                "tb_peak_reduction_batch",
-            ),
+            baseline: base_tb_peak_reduction,
             current: branch.tb_peak_reduction_batch(),
+        },
+        Gate {
+            name: "scale: speedup_4shard",
+            baseline: base_scale_speedup,
+            current: scale.speedup_4shard(),
         },
     ];
 

@@ -1,0 +1,89 @@
+//! Sharded multi-core scaling benchmark: the DSS sequential range selection
+//! swept across shard counts {1, 2, 4, 8} × execution mode × page layout,
+//! written to `BENCH_scale.json` (path overridable via `BENCH_SCALE_OUT`).
+//!
+//! The asserted claims are the acceptance behaviour of the sharding work:
+//!
+//! * every shard count returns *bit-identical* answers to the 1-shard run
+//!   (the partial-aggregate merge is integer-exact, not merely close);
+//! * 4 shards cut the row-mode/NSM scan's simulated wall clock at least 3×
+//!   (wall = the slowest core's cycles; per-core setup is the serial tail);
+//! * a re-measured cell reproduces its wall clock cycle-exactly — sharding
+//!   keeps the simulator's determinism (`tests/determinism.rs`'s bar).
+//!
+//! The measurement itself lives in [`wdtg_bench::runners`], shared with the
+//! `bench_check` regression gate.
+
+use wdtg_bench::runners::{run_scale_report, scale_workload};
+use wdtg_core::ScalingComparison;
+use wdtg_memdb::{ExecMode, PageLayout, SystemId};
+use wdtg_sim::{CpuConfig, InterruptCfg};
+use wdtg_workloads::MicroQuery;
+
+fn main() {
+    let scale = scale_workload();
+    println!(
+        "== scale_compare == DSS sequential range selection, {} rows x {} B, shards {:?}",
+        scale.r_records,
+        scale.record_bytes,
+        ScalingComparison::SHARD_COUNTS,
+    );
+    let report = run_scale_report();
+
+    for c in &report.cmp.cells {
+        println!(
+            "{:>2} shards | {:>5?} | {:?} | wall {:>7.2} Mcyc | speedup {:>5.2}x | occupancy {:.2}",
+            c.shards,
+            c.mode,
+            c.layout,
+            c.wall_cycles / 1e6,
+            report
+                .cmp
+                .speedup(c.shards, c.mode, c.layout)
+                .unwrap_or(1.0),
+            c.occupancy(),
+        );
+    }
+
+    let out = std::env::var("BENCH_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+    std::fs::write(&out, report.to_json()).expect("write BENCH_scale.json");
+    println!("wrote {out}");
+
+    // The acceptance claims.
+    assert!(
+        report.answers_identical(),
+        "every shard count must return the 1-shard answer bit-identically"
+    );
+    let sp4 = report.speedup_4shard();
+    assert!(
+        sp4 >= 3.0,
+        "4-shard speedup on the DSS sequential scan must be >= 3x, got {sp4:.2}x"
+    );
+
+    // Determinism across repeats: re-measure one cell from scratch and
+    // demand a cycle-exact reproduction of the wall clock.
+    let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+    let again = ScalingComparison::measure_cell(
+        SystemId::C,
+        scale,
+        MicroQuery::SequentialRangeSelection,
+        &cfg,
+        4,
+        ExecMode::Row,
+        PageLayout::Nsm,
+    )
+    .expect("re-measurement runs");
+    let first = report
+        .cmp
+        .get(4, ExecMode::Row, PageLayout::Nsm)
+        .expect("cell measured");
+    assert_eq!(
+        first.wall_cycles, again.wall_cycles,
+        "sharded runs must be deterministic across repeats"
+    );
+    assert_eq!((first.rows, first.value), (again.rows, again.value));
+    println!(
+        "checked: answers bit-identical across shard counts; 4-shard speedup {sp4:.2}x \
+         (>=3x); wall clock reproduced cycle-exactly across repeats."
+    );
+}

@@ -10,12 +10,14 @@
 
 use std::time::Instant;
 
-use wdtg_core::{BranchCell, JoinComparison, SelectivityComparison, TimeBreakdown};
+use wdtg_core::{
+    BranchCell, JoinComparison, ScalingComparison, SelectivityComparison, TimeBreakdown,
+};
 use wdtg_memdb::{
     Database, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, Schema, SelectionMode, SystemId,
 };
 use wdtg_sim::{CpuConfig, Event, InterruptCfg, Mode};
-use wdtg_workloads::{JoinSpec, Scale, SweepSpec};
+use wdtg_workloads::{JoinSpec, MicroQuery, Scale, SweepSpec};
 
 /// Rows in the selection benchmarks' single relation.
 pub const SCAN_ROWS: u64 = 100_000;
@@ -514,6 +516,117 @@ pub fn run_branch_report() -> BranchReport {
     )
     .expect("selectivity comparison runs");
     BranchReport { cmp }
+}
+
+// ---------------------------------------------------------------------
+// scale_compare: sharded multi-core scaling
+// ---------------------------------------------------------------------
+
+/// Dataset for the scaling sweep: the §3.3 DSS shape at dev scale — big
+/// enough that the sequential scan dominates each shard's per-query setup
+/// (so the speedup curve measures the scan, not fixed overheads), small
+/// enough that the 16-cell grid stays CI-friendly.
+pub fn scale_workload() -> Scale {
+    Scale {
+        r_records: 100_020,
+        s_records: 3_334,
+        record_bytes: 100,
+    }
+}
+
+/// The multi-core scaling comparison (a [`ScalingComparison`] grid plus the
+/// headline accessors the regression gate reads).
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// The measured grid (shards {1,2,4,8} × 2 exec modes × 2 layouts).
+    pub cmp: ScalingComparison,
+}
+
+impl ScaleReport {
+    /// Wall-clock speedup of `n` shards over 1 in one (mode, layout) slice.
+    pub fn speedup(&self, shards: usize, mode: ExecMode, layout: PageLayout) -> f64 {
+        self.cmp
+            .speedup(shards, mode, layout)
+            .expect("grid measured")
+    }
+
+    /// Row-mode NSM 4-shard wall-clock speedup on the DSS sequential scan
+    /// (the gated headline — the paper's configuration, scaled out).
+    pub fn speedup_4shard(&self) -> f64 {
+        self.speedup(4, ExecMode::Row, PageLayout::Nsm)
+    }
+
+    /// Whether every cell returned the same rows *and bit-identical* value
+    /// as the 1-shard cell of its (mode, layout) slice.
+    pub fn answers_identical(&self) -> bool {
+        self.cmp.cells.iter().all(|c| {
+            let one = self
+                .cmp
+                .get(1, c.mode, c.layout)
+                .expect("1-shard baseline measured");
+            c.rows == one.rows && c.value == one.value
+        })
+    }
+
+    /// The `BENCH_scale.json` document.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::new();
+        for (i, c) in self.cmp.cells.iter().enumerate() {
+            let f = c.truth.four_way();
+            cells.push_str(&format!(
+                "    {{ \"shards\": {}, \"mode\": \"{:?}\", \"layout\": \"{:?}\", \
+                 \"rows\": {}, \"wall_cycles\": {:.0}, \"total_cycles\": {:.0}, \
+                 \"speedup\": {:.3}, \"t_c_share\": {:.4}, \"t_m_share\": {:.4}, \
+                 \"t_b_share\": {:.4}, \"t_r_share\": {:.4} }}{}\n",
+                c.shards,
+                c.mode,
+                c.layout,
+                c.rows,
+                c.wall_cycles,
+                c.total_cycles,
+                self.cmp.speedup(c.shards, c.mode, c.layout).unwrap_or(1.0),
+                f.computation,
+                f.memory,
+                f.branch,
+                f.resource,
+                if i + 1 == self.cmp.cells.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        format!(
+            "{{\n  \"benchmark\": \"sharded_scaling\",\n  \"system\": \"{}\",\n  \
+             \"query\": \"{}\",\n  \"rows\": {},\n  \"record_bytes\": {},\n  \
+             \"cells\": [\n{cells}  ],\n  \
+             \"speedup_2shard\": {:.3},\n  \"speedup_4shard\": {:.3},\n  \
+             \"speedup_8shard\": {:.3},\n  \"speedup_4shard_batch\": {:.3},\n  \
+             \"answers_identical\": {}\n}}\n",
+            self.cmp.system.letter(),
+            self.cmp.query.label(),
+            self.cmp.scale.r_records,
+            self.cmp.scale.record_bytes,
+            self.speedup(2, ExecMode::Row, PageLayout::Nsm),
+            self.speedup_4shard(),
+            self.speedup(8, ExecMode::Row, PageLayout::Nsm),
+            self.speedup(4, ExecMode::Batch, PageLayout::Nsm),
+            self.answers_identical(),
+        )
+    }
+}
+
+/// Runs the scaling benchmark: the DSS sequential range selection on
+/// System C across shards {1,2,4,8} × exec mode × page layout.
+pub fn run_scale_report() -> ScaleReport {
+    let cmp = ScalingComparison::run(
+        SystemId::C,
+        scale_workload(),
+        MicroQuery::SequentialRangeSelection,
+        &CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+    )
+    .expect("scaling comparison runs");
+    ScaleReport { cmp }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,88 @@
+//! Regression tests for `bench_check`'s error paths: a missing baseline
+//! file or key must produce a clear, named-file error on stderr and a
+//! nonzero exit — *before* any bench re-runs — instead of the raw `panic!`
+//! chain it used to die with. (Both tests point the gate at a directory
+//! with broken baselines, so they exercise exactly the release-bin paths
+//! CI hits and finish in milliseconds.)
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BASELINE_FILES: [&str; 5] = [
+    "BENCH_exec.json",
+    "BENCH_layout.json",
+    "BENCH_join.json",
+    "BENCH_branch.json",
+    "BENCH_scale.json",
+];
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wdtg_bench_check_{name}_{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_gate(dir: &PathBuf) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_check"))
+        .env("BENCH_BASELINE_DIR", dir)
+        .output()
+        .expect("bench_check spawns")
+}
+
+#[test]
+fn missing_baselines_exit_nonzero_and_name_every_expected_file() {
+    let dir = scratch_dir("empty");
+    let out = run_gate(&dir);
+    assert!(
+        !out.status.success(),
+        "gate must fail when baselines are missing"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    for file in BASELINE_FILES {
+        assert!(
+            err.contains(file),
+            "stderr must name the missing baseline {file}; got:\n{err}"
+        );
+    }
+    assert!(
+        err.contains("BENCH_BASELINE_DIR"),
+        "stderr must explain how to point the gate elsewhere; got:\n{err}"
+    );
+    assert!(
+        err.contains("scale_compare"),
+        "stderr must name the bin that regenerates each baseline; got:\n{err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "the gate must report errors, not panic; got:\n{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_key_names_the_file_and_key() {
+    let dir = scratch_dir("stale");
+    // All files present but stale: none carries its gated key.
+    for file in BASELINE_FILES {
+        std::fs::write(dir.join(file), "{}\n").expect("write stale baseline");
+    }
+    let out = run_gate(&dir);
+    assert!(
+        !out.status.success(),
+        "gate must fail when a baseline lacks its gated key"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("BENCH_scale.json") && err.contains("speedup_4shard"),
+        "stderr must name the stale file and its missing key; got:\n{err}"
+    );
+    assert!(
+        err.contains("instr_collapse"),
+        "all missing keys are reported in one run; got:\n{err}"
+    );
+    assert!(!err.contains("panicked"), "no panic on stale baselines");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -37,10 +37,11 @@ pub mod validate;
 pub use breakdown::{BreakdownSource, FourWay, TimeBreakdown};
 pub use figures::{
     BranchCell, ExecModeComparison, FigureCtx, JoinCell, JoinComparison, L1iHypotheses,
-    LayoutComparison, MicrobenchGrid, RecordSizeSweep, SelectivityComparison, SelectivitySweep,
+    LayoutComparison, MicrobenchGrid, RecordSizeSweep, ScalingCell, ScalingComparison,
+    SelectivityComparison, SelectivitySweep,
 };
 pub use methodology::{
-    build_db, build_db_with, build_db_with_layout, measure_query, measure_query_with,
-    measured_latency, Methodology, QueryMeasurement, Rates,
+    build_db, build_db_with, build_db_with_layout, build_sharded_db_with_layout, measure_query,
+    measure_query_with, measured_latency, Methodology, QueryMeasurement, Rates,
 };
 pub use validate::{render_claims, Claim};

@@ -10,9 +10,9 @@
 use wdtg_emon::{measure_breakdown, ModeSel, Penalties, Target};
 use wdtg_memdb::{
     Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, SelectionMode,
-    SystemId,
+    ShardedDatabase, SystemId,
 };
-use wdtg_sim::{measure_memory_latency, Cpu, CpuConfig, Event, Mode, Snapshot};
+use wdtg_sim::{measure_memory_latency, merge_cores, Cpu, CpuConfig, Event, Mode, Snapshot};
 use wdtg_workloads::{micro, MicroQuery, Scale};
 
 use crate::breakdown::TimeBreakdown;
@@ -53,6 +53,15 @@ pub struct Methodology {
     /// source of the Fig 5.4 T_B term); [`SelectionMode::Predicated`]
     /// regenerates the same breakdowns under branch-free qualification.
     pub selection: SelectionMode,
+    /// How many hash-partitioned shards (simulated cores) execute the
+    /// query. `1` (the default) is the paper's single-processor setup;
+    /// `> 1` re-partitions the relations via [`Database::shard`] and the
+    /// reported breakdown sums the per-core counters/stalls — the *total
+    /// work* view. (The wall-clock/speedup view lives in
+    /// [`crate::figures::ScalingComparison`], which keeps per-core deltas.)
+    /// The emon reconstruction is single-processor tooling and is skipped
+    /// for sharded runs.
+    pub shards: usize,
 }
 
 impl Default for Methodology {
@@ -67,6 +76,7 @@ impl Default for Methodology {
             layout: PageLayout::Nsm,
             join_algo: None,
             selection: SelectionMode::Branching,
+            shards: 1,
         }
     }
 }
@@ -84,6 +94,7 @@ impl Methodology {
             layout: PageLayout::Nsm,
             join_algo: None,
             selection: SelectionMode::Branching,
+            shards: 1,
         }
     }
 
@@ -126,6 +137,15 @@ impl Methodology {
     /// The same methodology under branch-free (predicated) selection.
     pub fn predicated(self) -> Methodology {
         self.with_selection(SelectionMode::Predicated)
+    }
+
+    /// The same methodology over `shards` hash-partitioned cores (`1` = the
+    /// paper's single-processor setup).
+    pub fn with_shards(self, shards: usize) -> Methodology {
+        Methodology {
+            shards: shards.max(1),
+            ..self
+        }
     }
 }
 
@@ -272,6 +292,26 @@ pub fn build_db(
     build_db_with(EngineProfile::system(system), scale, query, cfg)
 }
 
+/// [`build_db_with_layout`] split across `shards` hash-partitioned cores,
+/// co-partitioned on the microbenchmark's keys (R on `a2`, S on `a1`; see
+/// [`micro::prepare_sharded_with_layout`]). Loading and re-partitioning are
+/// uninstrumented, like the paper's pre-measurement bulk load.
+pub fn build_sharded_db_with_layout(
+    profile: EngineProfile,
+    scale: Scale,
+    query: MicroQuery,
+    cfg: &CpuConfig,
+    layout: PageLayout,
+    shards: usize,
+) -> DbResult<ShardedDatabase> {
+    let expected_pages = (scale.r_records + scale.s_records) / 40 + 1024;
+    let mut db = Database::with_capacity(profile, cfg.clone(), expected_pages);
+    db.ctx.instrument = false;
+    let mut sharded = micro::prepare_sharded_with_layout(db, scale, query, layout, shards)?;
+    sharded.set_instrument(true);
+    Ok(sharded)
+}
+
 /// Measures one microbenchmark query on one system per the methodology.
 pub fn measure_query(
     system: SystemId,
@@ -301,6 +341,9 @@ pub fn measure_query_with(
     cfg: &CpuConfig,
     m: &Methodology,
 ) -> DbResult<QueryMeasurement> {
+    if m.shards > 1 {
+        return measure_query_sharded(profile, query, selectivity, scale, cfg, m);
+    }
     let system = profile.system;
     let mut db = build_db_with_layout(profile, scale, query, cfg, m.layout)?;
     db.set_exec_mode(m.exec_mode);
@@ -317,37 +360,16 @@ pub fn measure_query_with(
     }
 
     // Ground-truth repetitions.
-    let mut cycles_per_rep = Vec::with_capacity(m.repetitions as usize);
-    let before = db.cpu().snapshot();
-    let mut last = before.clone();
-    for _ in 0..m.repetitions.max(1) {
-        for _ in 0..m.unit_queries.max(1) {
-            db.run(&q)?;
-        }
-        let now = db.cpu().snapshot();
-        cycles_per_rep.push(now.cycles - last.cycles);
-        last = now;
-    }
+    let (before, last, cycles_per_rep) = measured_reps(
+        m,
+        &mut db,
+        |db| db.cpu().snapshot(),
+        |now, last| now.cycles - last.cycles,
+        |db| db.run(&q).map(|_| ()),
+    )?;
     let delta = last.delta(&before);
-    let truth = {
-        let mut t = TimeBreakdown::from_snapshot(&delta, Mode::User);
-        let n = (m.repetitions.max(1) * m.unit_queries.max(1)) as f64;
-        // Normalize to a single query execution.
-        t.tc /= n;
-        t.tl1d /= n;
-        t.tl1i /= n;
-        t.tl2d /= n;
-        t.tl2i /= n;
-        t.tdtlb = t.tdtlb.map(|v| v / n);
-        t.titlb /= n;
-        t.tb /= n;
-        t.tfu /= n;
-        t.tdep /= n;
-        t.tild /= n;
-        t.cycles /= n;
-        t.inst_retired = (t.inst_retired as f64 / n) as u64;
-        t
-    };
+    let n = (m.repetitions.max(1) * m.unit_queries.max(1)) as f64;
+    let truth = normalize_per_query(TimeBreakdown::from_snapshot(&delta, Mode::User), n);
     let rates = Rates::from_delta(&delta);
     let rel_stddev = rel_stddev(&cycles_per_rep);
 
@@ -362,28 +384,12 @@ pub fn measure_query_with(
         };
         let (est, _readings) =
             measure_breakdown(&mut target, ModeSel::User, &penalties).expect("specs valid");
-        let mut e = TimeBreakdown::from_estimate(&est);
-        let n = m.unit_queries.max(1) as f64;
-        e.tc /= n;
-        e.tl1d /= n;
-        e.tl1i /= n;
-        e.tl2d /= n;
-        e.tl2i /= n;
-        e.titlb /= n;
-        e.tb /= n;
-        e.tfu /= n;
-        e.tdep /= n;
-        e.tild /= n;
-        e.cycles /= n;
-        e.inst_retired = (e.inst_retired as f64 / n) as u64;
-        Some(e)
+        Some(normalize_per_query(
+            TimeBreakdown::from_estimate(&est),
+            m.unit_queries.max(1) as f64,
+        ))
     } else {
         None
-    };
-
-    let denominator = match query {
-        MicroQuery::SequentialRangeSelection | MicroQuery::SequentialJoin => scale.r_records,
-        MicroQuery::IndexedRangeSelection => rows.max(1),
     };
 
     Ok(QueryMeasurement {
@@ -393,7 +399,127 @@ pub fn measure_query_with(
         truth,
         estimate,
         rows,
-        denominator,
+        denominator: denominator_for(query, scale, rows),
+        rates,
+        rel_stddev,
+    })
+}
+
+/// The §4.3 measured-repetition protocol, shared verbatim by the
+/// single-core and sharded arms of [`measure_query_with`] so the two can
+/// never drift: `repetitions` × `unit_queries` runs, a per-repetition
+/// cycle delta for the stability bar, and the (before, after) snapshot
+/// pair. Generic over the snapshot state `S` because the sharded arm
+/// carries one [`Snapshot`] per core.
+fn measured_reps<T, S: Clone>(
+    m: &Methodology,
+    target: &mut T,
+    snapshot: impl Fn(&T) -> S,
+    rep_cycles: impl Fn(&S, &S) -> f64,
+    run_one: impl Fn(&mut T) -> DbResult<()>,
+) -> DbResult<(S, S, Vec<f64>)> {
+    let mut cycles_per_rep = Vec::with_capacity(m.repetitions as usize);
+    let before = snapshot(target);
+    let mut last = before.clone();
+    for _ in 0..m.repetitions.max(1) {
+        for _ in 0..m.unit_queries.max(1) {
+            run_one(target)?;
+        }
+        let now = snapshot(target);
+        cycles_per_rep.push(rep_cycles(&now, &last));
+        last = now;
+    }
+    Ok((before, last, cycles_per_rep))
+}
+
+/// The paper's per-record denominator (Fig 5.3): R-rows for the sequential
+/// queries, selected rows for the indexed selection. One definition for
+/// both measurement arms.
+fn denominator_for(query: MicroQuery, scale: Scale, rows: u64) -> u64 {
+    match query {
+        MicroQuery::SequentialRangeSelection | MicroQuery::SequentialJoin => scale.r_records,
+        MicroQuery::IndexedRangeSelection => rows.max(1),
+    }
+}
+
+/// Divides every component of a measured breakdown by `n` executions,
+/// normalizing a unit/repetition delta to a single query.
+fn normalize_per_query(mut t: TimeBreakdown, n: f64) -> TimeBreakdown {
+    t.tc /= n;
+    t.tl1d /= n;
+    t.tl1i /= n;
+    t.tl2d /= n;
+    t.tl2i /= n;
+    t.tdtlb = t.tdtlb.map(|v| v / n);
+    t.titlb /= n;
+    t.tb /= n;
+    t.tfu /= n;
+    t.tdep /= n;
+    t.tild /= n;
+    t.cycles /= n;
+    t.inst_retired = (t.inst_retired as f64 / n) as u64;
+    t
+}
+
+/// The sharded arm of [`measure_query_with`] (`m.shards > 1`): same
+/// warm-up/unit/repetition protocol over a [`ShardedDatabase`]. The
+/// reported breakdown sums the per-core counters and stall cycles — the
+/// *total work* across the fleet, what a machine-wide emon would see. The
+/// wall-clock (max-core) view and speedup curves live in
+/// [`crate::figures::ScalingComparison`]. The two-counter emon
+/// reconstruction is single-processor tooling and is skipped.
+fn measure_query_sharded(
+    profile: EngineProfile,
+    query: MicroQuery,
+    selectivity: f64,
+    scale: Scale,
+    cfg: &CpuConfig,
+    m: &Methodology,
+) -> DbResult<QueryMeasurement> {
+    let system = profile.system;
+    let mut db = build_sharded_db_with_layout(profile, scale, query, cfg, m.layout, m.shards)?;
+    db.set_exec_mode(m.exec_mode);
+    db.set_selection_mode(m.selection);
+    if let Some(algo) = m.join_algo {
+        db.set_join_algo(algo);
+    }
+    let q = micro::query(scale, query, selectivity);
+
+    // Warm-up runs (§4.3): every shard's caches/TLBs/BTB reach steady state.
+    let mut rows = 0;
+    for _ in 0..m.warmup_runs.max(1) {
+        rows = db.run(&q)?.rows;
+    }
+
+    // Same measured-repetition protocol as the single-core arm, with one
+    // snapshot per core and the machine-wide (summed) cycle delta feeding
+    // the stability bar.
+    let (before, last, cycles_per_rep) = measured_reps(
+        m,
+        &mut db,
+        |db| db.snapshots(),
+        |now, last| now.iter().zip(last).map(|(n, l)| n.cycles - l.cycles).sum(),
+        |db| db.run(&q).map(|_| ()),
+    )?;
+    let deltas: Vec<Snapshot> = last
+        .iter()
+        .zip(&before)
+        .map(|(now, b)| now.delta(b))
+        .collect();
+    let delta = merge_cores(&deltas).total;
+    let n = (m.repetitions.max(1) * m.unit_queries.max(1)) as f64;
+    let truth = normalize_per_query(TimeBreakdown::from_snapshot(&delta, Mode::User), n);
+    let rates = Rates::from_delta(&delta);
+    let rel_stddev = rel_stddev(&cycles_per_rep);
+
+    Ok(QueryMeasurement {
+        system,
+        query,
+        selectivity,
+        truth,
+        estimate: None,
+        rows,
+        denominator: denominator_for(query, scale, rows),
         rates,
         rel_stddev,
     })

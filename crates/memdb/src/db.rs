@@ -14,6 +14,7 @@ use crate::exec::indexscan::{descend_to_leaf, IndexRangeScan, LeafCursor};
 use crate::exec::join_hash::HashJoin;
 use crate::exec::join_nl::IndexNlJoin;
 use crate::exec::join_partitioned::PartitionedHashJoin;
+use crate::exec::partial::AggState;
 use crate::exec::seqscan::SeqScan;
 use crate::exec::{ExecEnv, ExecMode, Operator};
 use crate::heap::{HeapFile, PageLayout, Rid, HDR_NRECS};
@@ -21,6 +22,7 @@ use crate::index::btree::BTree;
 use crate::profiles::{EngineProfile, EvalMode, JoinAlgo};
 use crate::query::{AggKind, Query, QueryPredicate, QueryResult};
 use crate::schema::Schema;
+use crate::shard::{shard_of, ShardedDatabase};
 
 /// Instrumented access to simulated memory: every load/store both returns
 /// real bytes and drives the cache simulator, unless instrumentation is off
@@ -212,6 +214,9 @@ pub struct Table {
     pub schema: Schema,
     /// Heap storage.
     pub heap: HeapFile,
+    /// Column whose hash routes rows to shards under
+    /// [`Database::shard`] (default 0; see [`Database::set_shard_key`]).
+    pub shard_col: usize,
 }
 
 /// A secondary index registered in the catalog.
@@ -389,8 +394,20 @@ impl Database {
             name: name.to_string(),
             schema,
             heap,
+            shard_col: 0,
         });
         Ok(self.tables.len() - 1)
+    }
+
+    /// Declares the column whose hash routes this table's rows to shards
+    /// under [`Database::shard`]. Tables joined in sharded execution must be
+    /// co-partitioned: both sides sharded on their join key, so matching
+    /// rows land on the same shard and every shard's join is local.
+    pub fn set_shard_key(&mut self, table: &str, col: &str) -> DbResult<()> {
+        let ti = self.table_idx(table)?;
+        let ci = self.tables[ti].schema.col(col)?;
+        self.tables[ti].shard_col = ci;
+        Ok(())
     }
 
     /// Bulk-loads rows (uninstrumented, like the paper's pre-measurement
@@ -520,6 +537,25 @@ impl Database {
         predicate: Option<&QueryPredicate>,
         agg: &crate::query::AggSpec,
     ) -> DbResult<Vec<(i32, f64)>> {
+        let kind = agg.kind;
+        Ok(self
+            .run_grouped_partial(table, group_col, predicate, agg)?
+            .into_iter()
+            .map(|(k, st)| (k, st.value(kind)))
+            .collect())
+    }
+
+    /// [`Database::run_grouped`] stopping short of rendering values: each
+    /// group's exact accumulator, in ascending group order. The shard router
+    /// merges these per key across partitions, so a sharded grouped answer
+    /// is bit-identical to the single-shard one.
+    pub fn run_grouped_partial(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        predicate: Option<&QueryPredicate>,
+        agg: &crate::query::AggSpec,
+    ) -> DbResult<Vec<(i32, AggState)>> {
         let ti = self.table_idx(table)?;
         let schema = &self.tables[ti].schema;
         let gc = schema.col(group_col)?;
@@ -542,8 +578,8 @@ impl Database {
         };
         cols.sort_unstable();
         cols.dedup();
-        let g_pos = cols.iter().position(|&c| c == gc).expect("present");
-        let a_pos = cols.iter().position(|&c| c == ac).expect("present");
+        let g_pos = scan_pos(&cols, gc)?;
+        let a_pos = scan_pos(&cols, ac)?;
 
         let scan = SeqScan::new(
             self.tables[ti].heap.clone(),
@@ -555,7 +591,7 @@ impl Database {
         let child: Box<dyn Operator> = match pred_remapped {
             None => Box::new(scan),
             Some((ci, lo, hi)) => {
-                let pos = cols.iter().position(|&c| c == ci).expect("present");
+                let pos = scan_pos(&cols, ci)?;
                 Box::new(Filter::new(
                     Box::new(scan),
                     PredicateExec::Range { col: pos, lo, hi },
@@ -585,7 +621,7 @@ impl Database {
             mode: *exec_mode,
         };
         env.ctx.exec(&profile.blocks.query_setup);
-        gb.run_to_end(&mut env)
+        gb.run_to_end_partial(&mut env)
     }
 
     /// Explains how this engine would execute `q` (the plan shape and the
@@ -684,6 +720,42 @@ impl Database {
 
     /// Runs a query through the engine's planner and instrumented executor.
     pub fn run(&mut self, q: &Query) -> DbResult<QueryResult> {
+        match q {
+            Query::SelectAgg { agg, .. } | Query::JoinAgg { agg, .. } => {
+                let kind = agg.kind;
+                let mut agg_exec = self.plan_agg(q)?;
+                Ok(self.finish_agg(&mut agg_exec)?.result(kind))
+            }
+            Query::PointSelect {
+                table,
+                key_col,
+                key,
+                read_col,
+            } => self.point_select(table, key_col, *key, read_col),
+            Query::UpdateAdd {
+                table,
+                key_col,
+                key,
+                set_col,
+                delta,
+            } => self.update_add(table, key_col, *key, set_col, *delta),
+            Query::InsertRow { table, values } => self.insert_row(table, values.clone()),
+        }
+    }
+
+    /// Runs an aggregate query ([`Query::SelectAgg`] / [`Query::JoinAgg`])
+    /// but returns the exact partial accumulator instead of the rendered
+    /// value. Sharded execution runs this per shard and merges the partials
+    /// ([`AggState::merge`]), so the merged answer is bit-identical to a
+    /// single-shard [`Database::run`].
+    pub fn run_partial(&mut self, q: &Query) -> DbResult<AggState> {
+        let mut agg_exec = self.plan_agg(q)?;
+        self.finish_agg(&mut agg_exec)
+    }
+
+    /// The planner half of [`Database::run`] for aggregate queries, shared
+    /// with [`Database::run_partial`] so both paths plan identically.
+    fn plan_agg(&self, q: &Query) -> DbResult<AggExec> {
         let blocks = Rc::clone(&self.profile.blocks);
         match q {
             Query::SelectAgg {
@@ -719,7 +791,7 @@ impl Database {
                 };
                 cols.sort_unstable();
                 cols.dedup();
-                let agg_pos = cols.iter().position(|&c| c == agg_col).expect("present");
+                let agg_pos = scan_pos(&cols, agg_col)?;
 
                 // Index path: range predicate on an indexed column, if the
                 // engine's optimizer uses indexes for range selections.
@@ -738,9 +810,12 @@ impl Database {
                                 self.profile.materialize
                                     == crate::profiles::Materialize::FullRecord,
                             );
-                            let mut agg_exec =
-                                AggExec::new(Box::new(scan), agg.kind, agg_pos, Rc::clone(&blocks));
-                            return self.finish_agg(&mut agg_exec);
+                            return Ok(AggExec::new(
+                                Box::new(scan),
+                                agg.kind,
+                                agg_pos,
+                                Rc::clone(&blocks),
+                            ));
                         }
                     }
                 }
@@ -758,12 +833,12 @@ impl Database {
                     Some((kind, _)) => {
                         let pexec = match kind {
                             PredKind::Range(ci, lo, hi) => {
-                                let pos = cols.iter().position(|&c| c == ci).expect("present");
+                                let pos = scan_pos(&cols, ci)?;
                                 PredicateExec::Range { col: pos, lo, hi }
                             }
                             PredKind::Expr(e) => {
                                 // Remap expression columns to scan output.
-                                let remapped = remap_expr(&e, &cols);
+                                let remapped = remap_expr(&e, &cols)?;
                                 PredicateExec::Expr(remapped)
                             }
                         };
@@ -776,8 +851,7 @@ impl Database {
                         ))
                     }
                 };
-                let mut agg_exec = AggExec::new(child, agg.kind, agg_pos, Rc::clone(&blocks));
-                self.finish_agg(&mut agg_exec)
+                Ok(AggExec::new(child, agg.kind, agg_pos, Rc::clone(&blocks)))
             }
 
             Query::JoinAgg {
@@ -797,8 +871,8 @@ impl Database {
                 let mut lcols = vec![lkey, agg_col];
                 lcols.sort_unstable();
                 lcols.dedup();
-                let lkey_pos = lcols.iter().position(|&c| c == lkey).expect("present");
-                let agg_pos = lcols.iter().position(|&c| c == agg_col).expect("present");
+                let lkey_pos = scan_pos(&lcols, lkey)?;
+                let agg_pos = scan_pos(&lcols, agg_col)?;
 
                 let probe = SeqScan::new(
                     self.tables[li].heap.clone(),
@@ -854,28 +928,16 @@ impl Database {
                         ))
                     }
                 };
-                let mut agg_exec = AggExec::new(join, agg.kind, agg_pos, Rc::clone(&blocks));
-                self.finish_agg(&mut agg_exec)
+                Ok(AggExec::new(join, agg.kind, agg_pos, Rc::clone(&blocks)))
             }
 
-            Query::PointSelect {
-                table,
-                key_col,
-                key,
-                read_col,
-            } => self.point_select(table, key_col, *key, read_col),
-            Query::UpdateAdd {
-                table,
-                key_col,
-                key,
-                set_col,
-                delta,
-            } => self.update_add(table, key_col, *key, set_col, *delta),
-            Query::InsertRow { table, values } => self.insert_row(table, values.clone()),
+            _ => Err(DbError::PlanError(
+                "not an aggregate query (point operations have no partial form)".into(),
+            )),
         }
     }
 
-    fn finish_agg(&mut self, agg: &mut AggExec) -> DbResult<QueryResult> {
+    fn finish_agg(&mut self, agg: &mut AggExec) -> DbResult<AggState> {
         let Database {
             ctx,
             bufpool,
@@ -889,7 +951,7 @@ impl Database {
             mode: *exec_mode,
         };
         env.ctx.exec(&profile.blocks.query_setup);
-        agg.run(&mut env)
+        agg.run_partial(&mut env)
     }
 
     /// Instrumented point lookup through the index on `key_col`; returns the
@@ -1072,6 +1134,87 @@ impl Database {
             rows: 1,
         })
     }
+
+    /// All rows of table `ti`, read raw (uninstrumented) in heap order.
+    /// Used by [`Database::shard`] to re-partition loaded data.
+    fn table_rows(&self, ti: usize) -> DbResult<Vec<Vec<i32>>> {
+        let t = &self.tables[ti];
+        let arity = t.schema.arity();
+        let mut rows = Vec::new();
+        for page_no in 0..t.heap.n_pages() {
+            let page = t.heap.page_addr(page_no)?;
+            let nrecs = self.ctx.heap.read_i32(page + HDR_NRECS) as u32;
+            for slot in 0..nrecs {
+                let mut row = Vec::with_capacity(arity);
+                for c in 0..arity {
+                    row.push(self.ctx.heap.read_i32(t.heap.field_addr_at(page, slot, c)));
+                }
+                rows.push(row);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Splits this database into `n` hash-partitioned shards.
+    ///
+    /// Each shard is a complete [`Database`] — its own deterministic
+    /// [`Cpu`], arenas, buffer pool, catalog and indexes — holding the rows
+    /// whose shard-key hash routes to it (see [`Database::set_shard_key`];
+    /// the routing hash is the radix-join multiplicative hash, taken from
+    /// the *high* bits so it composes with the partitioned join's low-bit
+    /// scatter inside each shard). Engine profile, execution mode, page
+    /// layouts, selection mode and secondary indexes are all reproduced per
+    /// shard, so every existing operator runs unchanged on its partition.
+    ///
+    /// Re-partitioning is an uninstrumented bulk operation, like the
+    /// paper's pre-measurement loads (§4.3). `n = 1` yields a trivially
+    /// sharded database with identical behaviour to `self`.
+    pub fn shard(self, n: usize) -> DbResult<ShardedDatabase> {
+        let n = n.max(1);
+        let cfg = self.ctx.cpu.config().clone();
+        // Every shard's page table is sized for the WHOLE table set, not a
+        // uniform 1/n split: hash partitioning guarantees no balance (a
+        // skewed — or constant — shard key can route every row to one
+        // shard), and an undersized table panics "page table full" during
+        // the re-partition. Page-table slots are cheap simulated memory,
+        // and full-size tables also give every shard the same probe
+        // geometry as the 1-shard pool.
+        let total_pages: u64 = self.tables.iter().map(|t| t.heap.n_pages() as u64).sum();
+        let per_shard_pages = total_pages + 1024;
+        let mut shards: Vec<Database> = (0..n)
+            .map(|_| {
+                let mut db =
+                    Database::with_capacity(self.profile.clone(), cfg.clone(), per_shard_pages);
+                db.exec_mode = self.exec_mode;
+                db.page_layout = self.page_layout;
+                db.selection_mode = self.selection_mode;
+                db.ctx.instrument = false;
+                db
+            })
+            .collect();
+        for (ti, t) in self.tables.iter().enumerate() {
+            let mut routed: Vec<Vec<Vec<i32>>> = vec![Vec::new(); n];
+            for row in self.table_rows(ti)? {
+                routed[shard_of(row[t.shard_col], n)].push(row);
+            }
+            for (s, part) in shards.iter_mut().zip(routed) {
+                s.create_table_with_layout(&t.name, t.schema.clone(), t.heap.layout)?;
+                s.tables.last_mut().expect("just created").shard_col = t.shard_col;
+                s.load_rows(&t.name, part)?;
+            }
+        }
+        for ix in &self.indexes {
+            let tname = &self.tables[ix.table].name;
+            let cname = &self.tables[ix.table].schema.columns()[ix.col].name;
+            for s in &mut shards {
+                s.create_index(tname, cname)?;
+            }
+        }
+        for s in &mut shards {
+            s.ctx.instrument = self.ctx.instrument;
+        }
+        Ok(ShardedDatabase::from_shards(shards))
+    }
 }
 
 /// Fetches a record's page by rid through the buffer pool (instrumented);
@@ -1161,25 +1304,48 @@ enum PredKind {
     Expr(crate::expr::Expr),
 }
 
+/// Position of table column `c` in the scan's output column set.
+///
+/// The planner builds `cols` to contain every column a plan references, so
+/// a miss means a plan-construction bug (a column referenced after being
+/// projected away). It used to be an `.expect("present")` — which in a
+/// release build would take the whole process down on a malformed plan —
+/// and is now surfaced as a [`DbError::PlanError`] the caller can handle.
+fn scan_pos(cols: &[usize], c: usize) -> DbResult<usize> {
+    cols.iter().position(|&x| x == c).ok_or_else(|| {
+        DbError::PlanError(format!(
+            "column {c} is not in the scan's output column set {cols:?} \
+             (referenced after being projected away)"
+        ))
+    })
+}
+
 /// Rewrites an expression over table columns into one over the scan's output
-/// column positions.
-fn remap_expr(e: &crate::expr::Expr, cols: &[usize]) -> crate::expr::Expr {
+/// column positions. A column outside the scan set is a planner bug,
+/// reported as a [`DbError::PlanError`] rather than a panic.
+fn remap_expr(e: &crate::expr::Expr, cols: &[usize]) -> DbResult<crate::expr::Expr> {
     use crate::expr::Expr;
-    match e {
-        Expr::Col(c) => Expr::Col(cols.iter().position(|&x| x == *c).expect("col in scan set")),
+    Ok(match e {
+        Expr::Col(c) => Expr::Col(scan_pos(cols, *c)?),
         Expr::Const(v) => Expr::Const(*v),
         Expr::Cmp(op, a, b) => Expr::Cmp(
             *op,
-            Box::new(remap_expr(a, cols)),
-            Box::new(remap_expr(b, cols)),
+            Box::new(remap_expr(a, cols)?),
+            Box::new(remap_expr(b, cols)?),
         ),
-        Expr::And(a, b) => Expr::And(Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols))),
-        Expr::Or(a, b) => Expr::Or(Box::new(remap_expr(a, cols)), Box::new(remap_expr(b, cols))),
-        Expr::Not(a) => Expr::Not(Box::new(remap_expr(a, cols))),
+        Expr::And(a, b) => Expr::And(
+            Box::new(remap_expr(a, cols)?),
+            Box::new(remap_expr(b, cols)?),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(remap_expr(a, cols)?),
+            Box::new(remap_expr(b, cols)?),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(remap_expr(a, cols)?)),
         Expr::Arith(op, a, b) => Expr::Arith(
             *op,
-            Box::new(remap_expr(a, cols)),
-            Box::new(remap_expr(b, cols)),
+            Box::new(remap_expr(a, cols)?),
+            Box::new(remap_expr(b, cols)?),
         ),
-    }
+    })
 }

@@ -4,6 +4,11 @@
 //! single row and client/server communication does not pollute the
 //! measurements (§3.3). The accumulator lives in engine-private memory, part
 //! of the hot working set that §5.2 observes stays L1-resident.
+//!
+//! The accumulator itself is an exact, mergeable [`AggState`]: sharded
+//! execution drains one `AggExec` per shard via [`AggExec::run_partial`] and
+//! merges the partials, so the merged answer is bit-identical to a
+//! single-shard run (see [`crate::exec::partial`]).
 
 use std::rc::Rc;
 
@@ -11,6 +16,7 @@ use wdtg_sim::MemDep;
 
 use crate::error::DbResult;
 use crate::exec::batch::{Batch, ExecMode};
+use crate::exec::partial::AggState;
 use crate::exec::{ExecEnv, Operator};
 use crate::profiles::EngineBlocks;
 use crate::query::{AggKind, QueryResult};
@@ -42,6 +48,13 @@ impl AggExec {
     /// Runs the aggregation to completion on the environment's execution
     /// path (row-at-a-time or vectorized).
     pub fn run(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
+        Ok(self.run_partial(env)?.result(self.kind))
+    }
+
+    /// Runs the aggregation but stops short of rendering the final value,
+    /// returning the exact accumulator instead — the shard router merges
+    /// these across partitions before finishing.
+    pub fn run_partial(&mut self, env: &mut ExecEnv<'_>) -> DbResult<AggState> {
         match env.mode {
             ExecMode::Row => self.run_rows(env),
             ExecMode::Batch => self.run_batched(env),
@@ -49,24 +62,18 @@ impl AggExec {
     }
 
     /// Volcano drain: one `agg_step` path and one accumulator write per row.
-    fn run_rows(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
+    fn run_rows(&mut self, env: &mut ExecEnv<'_>) -> DbResult<AggState> {
         self.child.open(env)?;
         let mut row = Vec::with_capacity(self.child.arity());
-        let mut sum = 0i64;
-        let mut count = 0u64;
-        let mut min = i32::MAX;
-        let mut max = i32::MIN;
+        let mut state = AggState::new();
         while self.child.next(env, &mut row)? {
             let v = row[self.col];
             env.ctx.exec(&self.blocks.agg_step);
             // Accumulator update in private memory (hot, L1-resident).
             env.ctx.store_touch(self.blocks.agg_buf, 16, MemDep::Demand);
-            sum += v as i64;
-            count += 1;
-            min = min.min(v);
-            max = max.max(v);
+            state.update(v);
         }
-        self.finish(sum, count, min, max)
+        Ok(state)
     }
 
     /// Vectorized drain: the aggregate path runs once per batch, the tight
@@ -75,13 +82,10 @@ impl AggExec {
     /// the accumulate loop walks exactly those lanes), and the accumulator
     /// lives in registers (one representative spill per batch instead of
     /// one write per row).
-    fn run_batched(&mut self, env: &mut ExecEnv<'_>) -> DbResult<QueryResult> {
+    fn run_batched(&mut self, env: &mut ExecEnv<'_>) -> DbResult<AggState> {
         self.child.open(env)?;
         let mut batch = Batch::new(self.child.arity());
-        let mut sum = 0i64;
-        let mut count = 0u64;
-        let mut min = i32::MAX;
-        let mut max = i32::MIN;
+        let mut state = AggState::new();
         while self.child.next_batch(env, &mut batch)? {
             let live = batch.live_rows();
             let col = batch.col(self.col);
@@ -90,42 +94,9 @@ impl AggExec {
                 .exec_scaled(&self.blocks.batch.agg_step, live as u32);
             env.ctx.store_touch(self.blocks.agg_buf, 16, MemDep::Demand);
             for i in 0..live {
-                let v = col[batch.live_index(i)];
-                sum += v as i64;
-                min = min.min(v);
-                max = max.max(v);
+                state.update(col[batch.live_index(i)]);
             }
-            count += live as u64;
         }
-        self.finish(sum, count, min, max)
-    }
-
-    fn finish(&self, sum: i64, count: u64, min: i32, max: i32) -> DbResult<QueryResult> {
-        let value = match self.kind {
-            AggKind::Avg => {
-                if count == 0 {
-                    0.0
-                } else {
-                    sum as f64 / count as f64
-                }
-            }
-            AggKind::Sum => sum as f64,
-            AggKind::Count => count as f64,
-            AggKind::Min => {
-                if count == 0 {
-                    0.0
-                } else {
-                    min as f64
-                }
-            }
-            AggKind::Max => {
-                if count == 0 {
-                    0.0
-                } else {
-                    max as f64
-                }
-            }
-        };
-        Ok(QueryResult { value, rows: count })
+        Ok(state)
     }
 }

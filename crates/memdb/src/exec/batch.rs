@@ -110,12 +110,21 @@ impl Batch {
     /// indices of the logically live rows. The column data is untouched —
     /// this is the whole point of predicated selection: qualifying rows
     /// costs no data-dependent copy and no data-dependent branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel` is not strictly ascending or indexes past the
+    /// batch's rows. These are real checks, not `debug_assert!`s: every
+    /// downstream operator trusts [`Batch::live_index`] unconditionally, so
+    /// in a release build a malformed selection would silently return the
+    /// wrong rows or index out of bounds — a corrupt-answer path, which is
+    /// worse than a loud panic at the point of corruption.
     pub fn set_selection(&mut self, sel: &[u32]) {
-        debug_assert!(
+        assert!(
             sel.windows(2).all(|w| w[0] < w[1]),
             "selection must be ascending and duplicate-free"
         );
-        debug_assert!(
+        assert!(
             sel.last().is_none_or(|&r| (r as usize) < self.rows),
             "selection index out of range"
         );
@@ -277,6 +286,40 @@ mod tests {
         assert!(b.selection().is_none());
         assert_eq!(b.col(0), &[0, 2]);
         assert_eq!(b.live_rows(), 2);
+    }
+
+    // The set_selection invariants are enforced with real `assert!`s (not
+    // `debug_assert!`s), so these regression tests hold in release builds
+    // too — `cargo test --release` exercises exactly the same checks.
+    #[test]
+    #[should_panic(expected = "selection must be ascending")]
+    fn unsorted_selection_is_rejected_in_every_profile() {
+        let mut b = Batch::new(1);
+        for i in 0..4 {
+            b.push_row(&[i]);
+        }
+        b.set_selection(&[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selection must be ascending")]
+    fn duplicate_selection_indices_are_rejected() {
+        let mut b = Batch::new(1);
+        for i in 0..4 {
+            b.push_row(&[i]);
+        }
+        b.set_selection(&[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selection index out of range")]
+    fn out_of_range_selection_is_rejected_in_every_profile() {
+        let mut b = Batch::new(1);
+        for i in 0..4 {
+            b.push_row(&[i]);
+        }
+        // Would read past every column in live_index/value downstream.
+        b.set_selection(&[0, 4]);
     }
 
     #[test]

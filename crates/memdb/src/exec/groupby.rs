@@ -15,51 +15,10 @@ use wdtg_sim::MemDep;
 
 use crate::error::DbResult;
 use crate::exec::batch::{Batch, ExecMode};
+use crate::exec::partial::AggState;
 use crate::exec::{ExecEnv, Operator};
 use crate::profiles::EngineBlocks;
 use crate::query::AggKind;
-
-#[derive(Debug, Clone, Copy)]
-struct GroupState {
-    sum: i64,
-    count: u64,
-    min: i32,
-    max: i32,
-}
-
-impl GroupState {
-    fn new() -> GroupState {
-        GroupState {
-            sum: 0,
-            count: 0,
-            min: i32::MAX,
-            max: i32::MIN,
-        }
-    }
-
-    fn update(&mut self, v: i32) {
-        self.sum += v as i64;
-        self.count += 1;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    fn value(&self, kind: AggKind) -> f64 {
-        match kind {
-            AggKind::Avg => {
-                if self.count == 0 {
-                    0.0
-                } else {
-                    self.sum as f64 / self.count as f64
-                }
-            }
-            AggKind::Sum => self.sum as f64,
-            AggKind::Count => self.count as f64,
-            AggKind::Min => self.min as f64,
-            AggKind::Max => self.max as f64,
-        }
-    }
-}
 
 /// Grouped aggregation: drains the child at `open`, then emits one row per
 /// group — `[group_key, agg_value_as_i32]` — in ascending key order
@@ -70,7 +29,7 @@ pub struct GroupByExec {
     agg_col: usize,
     kind: AggKind,
     blocks: Rc<EngineBlocks>,
-    groups: Vec<(i32, GroupState)>,
+    groups: Vec<(i32, AggState)>,
     pos: usize,
 }
 
@@ -98,12 +57,22 @@ impl GroupByExec {
     /// Result rows as `(group_key, aggregate)` pairs (available after the
     /// operator has been drained; convenience for direct use).
     pub fn run_to_end(&mut self, env: &mut ExecEnv<'_>) -> DbResult<Vec<(i32, f64)>> {
-        self.open(env)?;
+        let kind = self.kind;
         Ok(self
-            .groups
-            .iter()
-            .map(|(k, st)| (*k, st.value(self.kind)))
+            .run_to_end_partial(env)?
+            .into_iter()
+            .map(|(k, st)| (k, st.value(kind)))
             .collect())
+    }
+
+    /// Like [`GroupByExec::run_to_end`] but returns each group's exact
+    /// accumulator instead of its rendered value, in ascending key order —
+    /// the shard router merges these per key across partitions before
+    /// finishing, which keeps sharded grouped answers bit-identical to a
+    /// single-shard run.
+    pub fn run_to_end_partial(&mut self, env: &mut ExecEnv<'_>) -> DbResult<Vec<(i32, AggState)>> {
+        self.open(env)?;
+        Ok(self.groups.clone())
     }
 }
 
@@ -122,7 +91,7 @@ impl GroupByExec {
 impl Operator for GroupByExec {
     fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
         self.child.open(env)?;
-        let mut table: HashMap<i32, GroupState> = HashMap::new();
+        let mut table: HashMap<i32, AggState> = HashMap::new();
         match env.mode {
             ExecMode::Row => {
                 let mut row = Vec::with_capacity(self.child.arity());
@@ -134,7 +103,7 @@ impl Operator for GroupByExec {
                     // groups stays L1-resident).
                     env.ctx.exec(&self.blocks.agg_step);
                     self.touch_group_slot(env, key);
-                    table.entry(key).or_insert_with(GroupState::new).update(v);
+                    table.entry(key).or_default().update(v);
                 }
             }
             ExecMode::Batch => {
@@ -153,7 +122,7 @@ impl Operator for GroupByExec {
                         let key = batch.value(self.group_col, r);
                         let v = batch.value(self.agg_col, r);
                         self.touch_group_slot(env, key);
-                        table.entry(key).or_insert_with(GroupState::new).update(v);
+                        table.entry(key).or_default().update(v);
                     }
                 }
             }

@@ -50,10 +50,12 @@ pub mod indexscan;
 pub mod join_hash;
 pub mod join_nl;
 pub mod join_partitioned;
+pub mod partial;
 pub mod seqscan;
 
 pub use batch::{Batch, ExecMode, BATCH_ROWS};
 pub use filter::SelectionMode;
+pub use partial::AggState;
 
 use wdtg_sim::MemDep;
 

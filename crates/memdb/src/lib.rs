@@ -27,14 +27,16 @@ pub mod index;
 pub mod profiles;
 pub mod query;
 pub mod schema;
+pub mod shard;
 pub mod testutil;
 
 pub use arena::SimArena;
 pub use db::{Database, DbCtx, IndexMeta, Table};
 pub use error::{DbError, DbResult};
-pub use exec::{Batch, ExecMode, SelectionMode, BATCH_ROWS};
+pub use exec::{AggState, Batch, ExecMode, SelectionMode, BATCH_ROWS};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use heap::{HeapFile, PageLayout, Rid, PAGE_HDR, PAGE_SIZE};
 pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize, SystemId};
 pub use query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
 pub use schema::{Column, Schema};
+pub use shard::ShardedDatabase;

@@ -1,0 +1,342 @@
+//! Sharded multi-core execution.
+//!
+//! The paper measures a single processor; its closing question is where
+//! time would go as engines scale out. This module adds the first scaling
+//! axis: hash-partition every table across `N` shards, give each shard its
+//! own buffer pool and its own deterministic [`wdtg_sim::Cpu`], run each
+//! query on every shard, and merge.
+//!
+//! # Shard router
+//!
+//! ```text
+//!              rows of table T (shard key column k)
+//!                              │
+//!              h = key × 0x9e3779b97f4a7c15  (radix-join hash)
+//!              shard = high 32 bits of h  mod  N
+//!        ┌─────────────┬───────┴──────┬─────────────┐
+//!        ▼             ▼              ▼             ▼
+//!   ┌─────────┐   ┌─────────┐   ┌─────────┐   ┌─────────┐
+//!   │ shard 0 │   │ shard 1 │   │   ...   │   │ shard N │   one Database
+//!   │ Cpu+bufp│   │ Cpu+bufp│   │         │   │ Cpu+bufp│   per shard
+//!   └────┬────┘   └────┬────┘   └────┬────┘   └────┬────┘
+//!        │ partial      │ partial     │             │
+//!        └──────┬───────┴─────────────┴─────────────┘
+//!               ▼
+//!     AggState::merge (integer-exact) → final value, computed once
+//! ```
+//!
+//! The router takes the *high* bits of the same multiplicative hash the
+//! radix-partitioned join scatters with — so inside each shard
+//! [`crate::exec::join_partitioned`]'s low-bit scatter still sees full
+//! entropy, and the two layers of radix routing compose instead of
+//! aliasing.
+//!
+//! # Merge rules
+//!
+//! * **Aggregates** (`SelectAgg`, `JoinAgg`): each shard produces an exact
+//!   [`AggState`] partial ([`Database::run_partial`]); partials merge with
+//!   integer arithmetic and the final float is rendered once — an N-shard
+//!   answer is bit-identical to the 1-shard answer.
+//! * **Grouped aggregates**: per-key [`AggState`] partials merged in a
+//!   [`BTreeMap`], emitted in ascending key order like the single-shard
+//!   operator.
+//! * **Joins**: each shard joins locally, which is only correct when both
+//!   sides are *co-partitioned* on their join keys; the router checks the
+//!   declared shard keys ([`Database::set_shard_key`]) and refuses the plan
+//!   otherwise.
+//! * **Point reads** broadcast; a read whose key matches rows on more
+//!   than one shard (possible only when the lookup column is not the
+//!   shard key) is refused — its "first match" value would be
+//!   shard-order-defined. **Updates** broadcast and apply exactly (the
+//!   returned last-value scalar is shard-order-defined under cross-shard
+//!   duplicates); **inserts** route by the shard key.
+//! * **Time**: shards execute sequentially in simulation — no OS threads,
+//!   no scheduling nondeterminism — and the merged wall clock of a
+//!   "parallel" phase is the *max* of per-core cycle deltas
+//!   ([`wdtg_sim::merge_cores`]), while counters and stall ledgers *sum*.
+//!   `tests/determinism.rs` stays honest: identical builds produce
+//!   cycle-exact, bit-identical merged snapshots.
+
+use std::collections::BTreeMap;
+
+use wdtg_sim::{merge_cores, CoreMerge, Snapshot};
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::exec::partial::AggState;
+use crate::exec::{ExecMode, SelectionMode};
+use crate::profiles::JoinAlgo;
+use crate::query::{Query, QueryPredicate, QueryResult};
+
+/// Shard index of `key` among `n` shards: high 32 bits of the radix-join
+/// multiplicative hash, mod `n`. Pure and deterministic.
+pub(crate) fn shard_of(key: i32, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let h = (key as u32 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    ((h >> 32) % n as u64) as usize
+}
+
+/// A database hash-partitioned across `N` single-core shards (see the
+/// module docs for the router and merge rules). Built with
+/// [`Database::shard`].
+#[derive(Debug)]
+pub struct ShardedDatabase {
+    shards: Vec<Database>,
+}
+
+impl ShardedDatabase {
+    pub(crate) fn from_shards(shards: Vec<Database>) -> ShardedDatabase {
+        assert!(!shards.is_empty(), "a sharded database needs >= 1 shard");
+        ShardedDatabase { shards }
+    }
+
+    /// Number of shards (simulated cores).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in routing order (read access for counters/snapshots).
+    pub fn shards(&self) -> &[Database] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards (stat resets, knob twiddling). Data
+    /// placement must not be changed behind the router's back.
+    pub fn shards_mut(&mut self) -> &mut [Database] {
+        &mut self.shards
+    }
+
+    /// Selects row-at-a-time or vectorized execution on every shard.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        for s in &mut self.shards {
+            s.set_exec_mode(mode);
+        }
+    }
+
+    /// Selects branching or predicated qualification on every shard.
+    pub fn set_selection_mode(&mut self, mode: SelectionMode) {
+        for s in &mut self.shards {
+            s.set_selection_mode(mode);
+        }
+    }
+
+    /// Overrides the join algorithm on every shard.
+    pub fn set_join_algo(&mut self, algo: JoinAlgo) {
+        for s in &mut self.shards {
+            s.set_join_algo(algo);
+        }
+    }
+
+    /// Turns instrumentation on/off on every shard (bulk phases).
+    pub fn set_instrument(&mut self, on: bool) {
+        for s in &mut self.shards {
+            s.ctx.instrument = on;
+        }
+    }
+
+    /// One [`Snapshot`] per shard, in shard order — the `before` side of a
+    /// merged measurement (see [`ShardedDatabase::merged_delta`]).
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.shards.iter().map(|s| s.cpu().snapshot()).collect()
+    }
+
+    /// Per-core deltas since `before` merged into totals + wall clock:
+    /// counters and stall cycles sum across shards, wall cycles are the
+    /// slowest shard's delta ([`wdtg_sim::merge_cores`]).
+    pub fn merged_delta(&self, before: &[Snapshot]) -> CoreMerge {
+        let deltas: Vec<Snapshot> = self
+            .shards
+            .iter()
+            .zip(before)
+            .map(|(s, b)| s.cpu().snapshot().delta(b))
+            .collect();
+        merge_cores(&deltas)
+    }
+
+    /// Simulated wall clock so far: the max of per-shard cycle counters
+    /// (the slowest core finishes last).
+    pub fn wall_cycles(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.cpu().cycles())
+            .fold(0.0, f64::max)
+    }
+
+    /// A sharded join is computed shard-locally, which is only correct when
+    /// matching rows co-locate: both tables sharded on their join keys.
+    fn check_join_co_partitioning(&self, q: &Query) -> DbResult<()> {
+        let Query::JoinAgg {
+            left,
+            right,
+            left_col,
+            right_col,
+            ..
+        } = q
+        else {
+            return Ok(());
+        };
+        if self.shards.len() == 1 {
+            return Ok(());
+        }
+        let lt = self.shards[0].table(left)?;
+        let rt = self.shards[0].table(right)?;
+        let lk = lt.schema.col(left_col)?;
+        let rk = rt.schema.col(right_col)?;
+        if lt.shard_col != lk || rt.shard_col != rk {
+            return Err(DbError::PlanError(format!(
+                "sharded join needs co-partitioned inputs: {left} is sharded on column \
+                 {} and {right} on {}, but the join keys are {left}.{left_col} (column {lk}) \
+                 and {right}.{right_col} (column {rk}); declare matching shard keys with \
+                 Database::set_shard_key before Database::shard",
+                lt.shard_col, rt.shard_col,
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs an aggregate query on every shard and merges the exact partials.
+    fn run_merged_agg(&mut self, q: &Query, kind: crate::query::AggKind) -> DbResult<QueryResult> {
+        let mut state = AggState::new();
+        for s in &mut self.shards {
+            state.merge(&s.run_partial(q)?);
+        }
+        Ok(state.result(kind))
+    }
+
+    /// Runs a query across all shards and merges the answer (see the module
+    /// docs for the per-query merge rules). Shards execute sequentially in
+    /// shard order; determinism is inherited from the per-shard simulators.
+    pub fn run(&mut self, q: &Query) -> DbResult<QueryResult> {
+        match q {
+            Query::SelectAgg { agg, .. } => self.run_merged_agg(q, agg.kind),
+            Query::JoinAgg { agg, .. } => {
+                self.check_join_co_partitioning(q)?;
+                self.run_merged_agg(q, agg.kind)
+            }
+            Query::PointSelect { .. } => {
+                // Broadcast read. Duplicates of one key value co-locate when
+                // the lookup column *is* the shard key (same hash → same
+                // shard, and within one shard local index order mirrors the
+                // global load order), so "first match" stays well defined.
+                // When the lookup column is not the shard key, duplicates
+                // may split across shards and the first match would become
+                // shard-order- instead of index-order-defined — refuse that
+                // read (the co-partitioning precedent: no silently different
+                // answer) rather than guess.
+                let mut out = QueryResult {
+                    value: 0.0,
+                    rows: 0,
+                };
+                let mut shards_with_matches = 0u32;
+                for s in &mut self.shards {
+                    let r = s.run(q)?;
+                    if r.rows > 0 {
+                        shards_with_matches += 1;
+                        if out.rows == 0 {
+                            out.value = r.value;
+                        }
+                        out.rows += r.rows;
+                    }
+                }
+                if shards_with_matches > 1 {
+                    return Err(DbError::PlanError(format!(
+                        "point select matched rows on {shards_with_matches} shards: the \
+                         key is duplicated across shards, so a single returned value is \
+                         not well defined; shard the table on the lookup column \
+                         (Database::set_shard_key) or use an aggregate query"
+                    )));
+                }
+                Ok(out)
+            }
+            Query::UpdateAdd { .. } => {
+                // Broadcast update: every matching row receives the same
+                // delta on its own shard, so the *effect* is exact for any
+                // key distribution (addition commutes). The returned scalar
+                // is the last updated value; under cross-shard duplicate
+                // keys it is the last in shard order rather than index
+                // order — `rows` and the stored data are exact either way.
+                let mut out = QueryResult {
+                    value: 0.0,
+                    rows: 0,
+                };
+                for s in &mut self.shards {
+                    let r = s.run(q)?;
+                    if r.rows > 0 {
+                        out.value = r.value;
+                    }
+                    out.rows += r.rows;
+                }
+                Ok(out)
+            }
+            Query::InsertRow { table, values } => {
+                let t = self.shards[0].table(table)?;
+                let col = t.shard_col;
+                if col >= values.len() {
+                    return Err(DbError::ArityMismatch {
+                        expected: t.schema.arity(),
+                        got: values.len(),
+                    });
+                }
+                let target = shard_of(values[col], self.shards.len());
+                self.shards[target].run(q)
+            }
+        }
+    }
+
+    /// Runs a grouped aggregation on every shard and merges the per-group
+    /// partials (ascending group order, like [`Database::run_grouped`]).
+    pub fn run_grouped(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        predicate: Option<&QueryPredicate>,
+        agg: &crate::query::AggSpec,
+    ) -> DbResult<Vec<(i32, f64)>> {
+        let kind = agg.kind;
+        let mut merged: BTreeMap<i32, AggState> = BTreeMap::new();
+        for s in &mut self.shards {
+            for (k, st) in s.run_grouped_partial(table, group_col, predicate, agg)? {
+                merged.entry(k).or_default().merge(&st);
+            }
+        }
+        Ok(merged
+            .into_iter()
+            .map(|(k, st)| (k, st.value(kind)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_router_is_deterministic_and_total() {
+        for n in [1usize, 2, 4, 8, 5] {
+            for key in [-1_000_000, -1, 0, 1, 42, i32::MAX, i32::MIN] {
+                let s = shard_of(key, n);
+                assert!(s < n, "shard {s} out of range for n={n}");
+                assert_eq!(s, shard_of(key, n), "routing must be pure");
+            }
+        }
+        assert_eq!(shard_of(12345, 1), 0);
+    }
+
+    #[test]
+    fn shard_router_spreads_a_dense_key_domain() {
+        // The micro workload's a2 domain is dense (1..=|S|); the router must
+        // not collapse it onto a few shards.
+        let n = 8;
+        let mut counts = vec![0u32; n];
+        for key in 1..=4000 {
+            counts[shard_of(key, n)] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(
+            min * 2 > max,
+            "badly skewed shard routing: min {min}, max {max}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Negative-path regression tests: malformed queries must come back as
+//! `Err(DbError)`, never as a process-killing panic. The planner used to
+//! resolve scan column positions with `.expect("present")` — fine until a
+//! plan references a column the scan projected away, at which point a
+//! release build dies instead of reporting the query as unplannable.
+
+use wdtg_memdb::testutil::{build_db_layout, rows_for};
+use wdtg_memdb::{AggSpec, DbError, Expr, PageLayout, Query, QueryPredicate, SystemId};
+
+fn db() -> wdtg_memdb::Database {
+    let rows = rows_for(500, 7);
+    build_db_layout(SystemId::C, PageLayout::Nsm, &[("R", &rows)], true)
+}
+
+#[test]
+fn unknown_aggregate_column_is_an_error() {
+    let mut db = db();
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: None,
+        agg: AggSpec::avg("no_such_col"),
+    };
+    assert_eq!(
+        db.run(&q),
+        Err(DbError::ColumnNotFound("no_such_col".into()))
+    );
+}
+
+#[test]
+fn unknown_predicate_column_is_an_error() {
+    let mut db = db();
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: Some(QueryPredicate::Range {
+            col: "ghost".into(),
+            lo: 0,
+            hi: 100,
+        }),
+        agg: AggSpec::avg("a3"),
+    };
+    assert_eq!(db.run(&q), Err(DbError::ColumnNotFound("ghost".into())));
+}
+
+#[test]
+fn out_of_range_expression_column_is_an_error_not_a_panic() {
+    let mut db = db();
+    // Column 99 does not exist in the 5-column schema; the planner must
+    // reject the expression instead of indexing past the scan set.
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: Some(QueryPredicate::Expr(Expr::col(99).gt(Expr::lit(0)))),
+        agg: AggSpec::avg("a3"),
+    };
+    match db.run(&q) {
+        Err(DbError::PlanError(_)) => {}
+        other => panic!("expected PlanError, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_join_columns_are_errors() {
+    let rows = rows_for(200, 3);
+    let srows = rows_for(50, 5);
+    let mut db = build_db_layout(
+        SystemId::C,
+        PageLayout::Nsm,
+        &[("R", &rows), ("S", &srows)],
+        false,
+    );
+    let q = Query::JoinAgg {
+        left: "R".into(),
+        right: "S".into(),
+        left_col: "nope".into(),
+        right_col: "a1".into(),
+        agg: AggSpec::avg("a3"),
+    };
+    assert_eq!(db.run(&q), Err(DbError::ColumnNotFound("nope".into())));
+    let q = Query::JoinAgg {
+        left: "R".into(),
+        right: "S".into(),
+        left_col: "a2".into(),
+        right_col: "nope".into(),
+        agg: AggSpec::avg("a3"),
+    };
+    assert_eq!(db.run(&q), Err(DbError::ColumnNotFound("nope".into())));
+}
+
+#[test]
+fn unknown_group_and_agg_columns_in_run_grouped_are_errors() {
+    let mut db = db();
+    assert_eq!(
+        db.run_grouped("R", "ghost", None, &AggSpec::avg("a3")),
+        Err(DbError::ColumnNotFound("ghost".into()))
+    );
+    assert_eq!(
+        db.run_grouped("R", "a4", None, &AggSpec::avg("ghost")),
+        Err(DbError::ColumnNotFound("ghost".into()))
+    );
+}
+
+#[test]
+fn run_partial_rejects_point_operations() {
+    let mut db = db();
+    let q = Query::PointSelect {
+        table: "R".into(),
+        key_col: "a1".into(),
+        key: 1,
+        read_col: "a3".into(),
+    };
+    match db.run_partial(&q) {
+        Err(DbError::PlanError(_)) => {}
+        other => panic!("expected PlanError, got {other:?}"),
+    }
+}

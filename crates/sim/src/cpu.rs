@@ -59,7 +59,7 @@ pub enum MemDep {
 }
 
 /// A point-in-time copy of all observable CPU state, for delta measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// Counter file at snapshot time.
     pub counters: CounterFile,
@@ -77,6 +77,56 @@ impl Snapshot {
             ledger: self.ledger.delta(&earlier.ledger),
             cycles: self.cycles - earlier.cycles,
         }
+    }
+
+    /// Adds `other`'s counters, ledger and cycles into `self` (one core's
+    /// measurement delta folded into a multi-core total).
+    pub fn absorb(&mut self, other: &Snapshot) {
+        self.counters.absorb(&other.counters);
+        self.ledger.absorb(&other.ledger);
+        self.cycles += other.cycles;
+    }
+}
+
+/// The merged view of per-core measurement deltas from a sharded execution.
+///
+/// Shards run sequentially in simulation, each on its own [`Cpu`], so a
+/// "parallel" phase is really N independent per-core deltas. Two summaries
+/// matter and they are *different numbers*:
+///
+/// * [`CoreMerge::total`] — counters, stall ledger and cycles summed across
+///   cores: the machine-wide *work* (what a fleet-wide emon would count);
+/// * [`CoreMerge::wall_cycles`] — the maximum per-core cycle count: the
+///   simulated wall clock of the phase, since the slowest core finishes
+///   last. Speedup curves divide 1-core wall by N-core wall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreMerge {
+    /// Counters/ledger/cycles summed across cores (total work).
+    pub total: Snapshot,
+    /// Max per-core cycles (the merged wall clock).
+    pub wall_cycles: f64,
+    /// How many per-core deltas were merged.
+    pub cores: usize,
+}
+
+/// Merges per-core measurement deltas (see [`CoreMerge`]). Deterministic:
+/// summation order is the slice order, so identical inputs produce
+/// bit-identical merges.
+pub fn merge_cores(deltas: &[Snapshot]) -> CoreMerge {
+    let mut total = Snapshot {
+        counters: CounterFile::new(),
+        ledger: StallLedger::new(),
+        cycles: 0.0,
+    };
+    let mut wall = 0.0f64;
+    for d in deltas {
+        total.absorb(d);
+        wall = wall.max(d.cycles);
+    }
+    CoreMerge {
+        total,
+        wall_cycles: wall,
+        cores: deltas.len(),
     }
 }
 
@@ -996,6 +1046,38 @@ mod tests {
         assert!((d.ledger.total(Component::Tc) - SELECT_TC_PER_LANE * 1000.0).abs() < 1e-9);
         assert!((d.ledger.total(Component::Tdep) - SELECT_TDEP_PER_LANE * 1000.0).abs() < 1e-9);
         assert!((d.ledger.grand_total() - d.cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_cores_sums_work_and_takes_max_wall() {
+        // Two cores doing different amounts of the same kind of work: the
+        // merged total must equal the sum, the wall clock the slower core.
+        let mut fast = quiet_cpu();
+        let mut slow = quiet_cpu();
+        let b = block(900);
+        for _ in 0..10 {
+            fast.exec_block(&b);
+            fast.load(segment::HEAP + 64, 4, MemDep::Demand);
+        }
+        for _ in 0..30 {
+            slow.exec_block(&b);
+            slow.load(segment::HEAP + 4096, 4, MemDep::Demand);
+        }
+        let deltas = [fast.snapshot(), slow.snapshot()];
+        let m = merge_cores(&deltas);
+        assert_eq!(m.cores, 2);
+        assert!((m.total.cycles - (fast.cycles() + slow.cycles())).abs() < 1e-9);
+        assert_eq!(m.wall_cycles, slow.cycles().max(fast.cycles()));
+        assert_eq!(
+            m.total.counters.total(Event::InstRetired),
+            fast.counters().total(Event::InstRetired) + slow.counters().total(Event::InstRetired)
+        );
+        assert!(
+            (m.total.ledger.grand_total() - m.total.cycles).abs() < 1e-6,
+            "merged ledger must still account for every merged cycle"
+        );
+        // Merging is deterministic: same inputs, bit-identical result.
+        assert_eq!(m, merge_cores(&deltas));
     }
 
     #[test]

@@ -345,7 +345,7 @@ pub enum Mode {
 }
 
 /// The full counter file: one 64-bit counter per event per mode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterFile {
     counts: [[u64; Event::COUNT]; 2],
 }
@@ -385,6 +385,16 @@ impl CounterFile {
     /// Zeroes every counter (emon's counter reset).
     pub fn reset(&mut self) {
         self.counts = [[0; Event::COUNT]; 2];
+    }
+
+    /// Adds every counter of `other` into `self` (multi-core merge: per-core
+    /// counts sum to the machine-wide total).
+    pub fn absorb(&mut self, other: &CounterFile) {
+        for m in 0..2 {
+            for e in 0..Event::COUNT {
+                self.counts[m][e] += other.counts[m][e];
+            }
+        }
     }
 
     /// Counter-file delta `self - earlier`, counter by counter.

@@ -42,8 +42,8 @@ pub use branch::{BranchOutcome, BranchUnit};
 pub use cache::{Cache, CacheAccess};
 pub use config::{BtbGeom, CacheGeom, CpuConfig, InterruptCfg, PipelineCfg, TlbGeom};
 pub use cpu::{
-    Cpu, MemDep, Snapshot, LOOP_TRAINED_BIAS, SELECT_TC_PER_LANE, SELECT_TDEP_PER_LANE,
-    SELECT_UOPS_PER_LANE, SELECT_X86_PER_LANE,
+    merge_cores, CoreMerge, Cpu, MemDep, Snapshot, LOOP_TRAINED_BIAS, SELECT_TC_PER_LANE,
+    SELECT_TDEP_PER_LANE, SELECT_UOPS_PER_LANE, SELECT_X86_PER_LANE,
 };
 pub use events::{CounterFile, Event, Mode};
 pub use latency::{measure_memory_latency, LatencyMeasurement};

@@ -121,7 +121,7 @@ impl Component {
 ///
 /// Cycles are kept as `f64` because bulk-modelled branches and fractional
 /// penalties accumulate sub-cycle amounts; totals are exact sums of charges.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StallLedger {
     charged: [[f64; Component::ALL.len()]; 2],
 }
@@ -182,6 +182,16 @@ impl StallLedger {
     /// Zeroes all charges.
     pub fn reset(&mut self) {
         self.charged = [[0.0; Component::ALL.len()]; 2];
+    }
+
+    /// Adds every charge of `other` into `self` (multi-core merge: per-core
+    /// stall cycles sum to the machine-wide total).
+    pub fn absorb(&mut self, other: &StallLedger) {
+        for m in 0..2 {
+            for c in 0..Component::ALL.len() {
+                self.charged[m][c] += other.charged[m][c];
+            }
+        }
     }
 
     /// Ledger delta `self - earlier`.

@@ -27,8 +27,8 @@ pub mod tpcd;
 
 pub use join::JoinSpec;
 pub use micro::{
-    load_microbench, load_microbench_with_layout, prepare, prepare_with_layout, query, MicroQuery,
-    SweepSpec, DEFAULT_SEED,
+    declare_shard_keys, load_microbench, load_microbench_with_layout, prepare,
+    prepare_sharded_with_layout, prepare_with_layout, query, MicroQuery, SweepSpec, DEFAULT_SEED,
 };
 pub use scale::Scale;
 pub use tpcc::{TpccDriver, TpccScale, TxnKind};

@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wdtg_memdb::{Database, DbResult, PageLayout, Query, Schema};
+use wdtg_memdb::{Database, DbResult, PageLayout, Query, Schema, ShardedDatabase};
 
 use crate::scale::Scale;
 
@@ -180,6 +180,36 @@ pub fn prepare_with_layout(
     res
 }
 
+/// Declares the microbenchmark's shard keys: R on `a2` — the column every
+/// §3.3 query selects or joins on — and S on its `a1` primary key. Because
+/// the join is `R.a2 = S.a1`, sharding both sides on their join column with
+/// the same hash co-partitions them: matching rows land on the same shard
+/// and each shard's join is local ([`wdtg_memdb::Database::shard`]).
+pub fn declare_shard_keys(db: &mut Database) -> DbResult<()> {
+    db.set_shard_key("R", "a2")?;
+    if db.table("S").is_ok() {
+        db.set_shard_key("S", "a1")?;
+    }
+    Ok(())
+}
+
+/// [`prepare_with_layout`] split across `shards` hash-partitioned cores:
+/// loads the microbenchmark into `db`, declares the co-partitioning keys
+/// ([`declare_shard_keys`]) and re-partitions via
+/// [`wdtg_memdb::Database::shard`]. `shards = 1` produces a trivially
+/// sharded database with single-core behaviour.
+pub fn prepare_sharded_with_layout(
+    mut db: Database,
+    scale: Scale,
+    q: MicroQuery,
+    layout: PageLayout,
+    shards: usize,
+) -> DbResult<ShardedDatabase> {
+    prepare_with_layout(&mut db, scale, q, layout)?;
+    declare_shard_keys(&mut db)?;
+    db.shard(shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +268,28 @@ mod tests {
                 (a.value - b.value).abs() < 1e-9,
                 "{q:?}: values differ across layouts"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_prepare_answers_match_single_core() {
+        let scale = Scale::tiny();
+        for q in MicroQuery::ALL {
+            let mut whole = tiny_db();
+            prepare(&mut whole, scale, q).unwrap();
+            let query = query(scale, q, 0.1);
+            let expect = whole.run(&query).unwrap();
+            for shards in [1usize, 4] {
+                let mut sharded =
+                    prepare_sharded_with_layout(tiny_db(), scale, q, PageLayout::Nsm, shards)
+                        .unwrap();
+                let got = sharded.run(&query).unwrap();
+                assert_eq!(expect.rows, got.rows, "{q:?} x{shards}: rows diverged");
+                assert_eq!(
+                    expect.value, got.value,
+                    "{q:?} x{shards}: value must be bit-identical"
+                );
+            }
         }
     }
 

@@ -1,0 +1,83 @@
+//! The scaling chapter in one sitting: hash-partition the paper's relation
+//! across 1, 2 and 4 simulated cores, run the same DSS sequential range
+//! selection, and let the merged counters arbitrate.
+//!
+//! The paper measures a single processor and closes by asking where time
+//! goes as engines scale. Here each shard owns its own buffer pool and its
+//! own deterministic `wdtg_sim::Cpu`; shards execute sequentially (no OS
+//! threads, so `tests/determinism.rs` stays honest) and the merged wall
+//! clock of a query is the *max* of per-core cycle deltas while the
+//! breakdown *sums* them. The partial-aggregate merge is integer-exact, so
+//! every shard count returns the 1-core answer bit-identically.
+//!
+//! The example asserts that contract — identical answers, near-linear
+//! wall-clock speedup, sum ≥ max — so running it checks the claim, not
+//! just prints it.
+//!
+//! Run with: `cargo run --release --example sharding`
+
+use wdtg_core::methodology::build_sharded_db_with_layout;
+use wdtg_memdb::{EngineProfile, PageLayout, SystemId};
+use wdtg_sim::{CpuConfig, InterruptCfg};
+use wdtg_workloads::{micro, MicroQuery, Scale};
+
+fn main() {
+    let scale = Scale {
+        r_records: 48_000,
+        s_records: 1_600,
+        record_bytes: 100,
+    };
+    let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+    let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
+
+    println!(
+        "Sharded DSS sequential range selection: {} rows x {} B, System C (row mode)\n",
+        scale.r_records, scale.record_bytes
+    );
+    println!("shards |  wall Mcycles | speedup | total work Mcycles | rows");
+
+    let mut baseline: Option<(f64, u64, f64)> = None; // (wall, rows, value)
+    for shards in [1usize, 2, 4] {
+        let mut db = build_sharded_db_with_layout(
+            EngineProfile::system(SystemId::C),
+            scale,
+            MicroQuery::SequentialRangeSelection,
+            &cfg,
+            PageLayout::Nsm,
+            shards,
+        )
+        .expect("sharded build");
+        db.run(&q).expect("warm-up run");
+        let before = db.snapshots();
+        let res = db.run(&q).expect("measured run");
+        let merged = db.merged_delta(&before);
+
+        let (wall1, rows1, value1) =
+            *baseline.get_or_insert((merged.wall_cycles, res.rows, res.value));
+        assert_eq!(res.rows, rows1, "sharding must not change the row count");
+        assert_eq!(res.value, value1, "merged AVG must be bit-identical");
+        assert!(
+            merged.total.cycles >= merged.wall_cycles,
+            "summed work can never undercut the slowest core"
+        );
+        println!(
+            "{shards:>6} | {:>13.2} | {:>6.2}x | {:>18.2} | {}",
+            merged.wall_cycles / 1e6,
+            wall1 / merged.wall_cycles,
+            merged.total.cycles / 1e6,
+            res.rows,
+        );
+        if shards == 4 {
+            let speedup = wall1 / merged.wall_cycles;
+            assert!(
+                speedup >= 3.0,
+                "4 shards must cut the scan's wall clock >= 3x, got {speedup:.2}x"
+            );
+            println!(
+                "\nchecked: answers bit-identical at every shard count; 4 shards \
+                 cut the wall clock {speedup:.2}x\n(the scan parallelizes across \
+                 partitions; each core's query setup is the serial tail)."
+            );
+        }
+    }
+}

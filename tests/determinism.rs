@@ -52,6 +52,60 @@ fn all_three_queries_run_on_all_systems_deterministically() {
 }
 
 #[test]
+fn sharded_measurements_are_cycle_exact() {
+    // The sharded executor must clear the same determinism bar as the
+    // single core: identical builds, identical merged measurements. Shards
+    // run sequentially (no OS threads), so the only way this fails is a
+    // nondeterministic router or merge.
+    for shards in [2u32, 4] {
+        let run = || {
+            measure_query(
+                SystemId::C,
+                MicroQuery::SequentialRangeSelection,
+                0.1,
+                Scale::tiny(),
+                &CpuConfig::pentium_ii_xeon(),
+                &Methodology::default().with_shards(shards as usize),
+            )
+            .expect("sharded measurement runs")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.truth.cycles, b.truth.cycles, "{shards} shards");
+        assert_eq!(a.truth.inst_retired, b.truth.inst_retired);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.truth.tl2d, b.truth.tl2d);
+        assert_eq!(a.truth.tb, b.truth.tb);
+    }
+}
+
+#[test]
+fn sharded_answers_match_the_single_core_measurement() {
+    let m = |shards: usize| {
+        measure_query(
+            SystemId::C,
+            MicroQuery::SequentialRangeSelection,
+            0.1,
+            Scale::tiny(),
+            &CpuConfig::pentium_ii_xeon(),
+            &Methodology::default().with_shards(shards),
+        )
+        .expect("measurement runs")
+    };
+    let one = m(1);
+    let four = m(4);
+    assert_eq!(one.rows, four.rows, "sharding must not change the answer");
+    // Total work across 4 cores stays close to the single core's (each
+    // extra core pays only its own per-query setup).
+    assert!(
+        four.truth.cycles < one.truth.cycles * 1.25,
+        "sharded total work ballooned: 1-shard {:.0} vs 4-shard {:.0}",
+        one.truth.cycles,
+        four.truth.cycles
+    );
+}
+
+#[test]
 fn warm_runs_are_faster_than_cold_runs() {
     // The §4.3 methodology warms caches before measuring; the first (cold)
     // execution must cost more cycles than a warmed one.
