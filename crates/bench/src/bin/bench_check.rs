@@ -1,9 +1,10 @@
-//! CI bench-regression gate: re-runs the five headline bench measurements
+//! CI bench-regression gate: re-runs the six headline bench measurements
 //! (`exec_mode`, `layout_compare`, `join_compare`, `branch_compare`,
-//! `scale_compare` — via the shared [`wdtg_bench::runners`] code, so the
-//! gate cannot drift from the bins) and fails if any headline metric
-//! regresses more than 15% versus the committed `BENCH_*.json` baselines at
-//! the repository root (directory overridable via `BENCH_BASELINE_DIR`).
+//! `scale_compare`, `chaos_sweep` — via the shared [`wdtg_bench::runners`]
+//! code, so the gate cannot drift from the bins) and fails if any headline
+//! metric regresses more than 15% versus the committed `BENCH_*.json`
+//! baselines at the repository root (directory overridable via
+//! `BENCH_BASELINE_DIR`).
 //!
 //! Gated metrics — all simulated, so the gate is deterministic and immune
 //! to CI-runner wall-clock noise:
@@ -17,7 +18,11 @@
 //! * `tb_peak_reduction_batch` (BENCH_branch.json) — predication's cut of
 //!   the peak branch-misprediction stall share;
 //! * `speedup_4shard` (BENCH_scale.json) — the 4-shard wall-clock speedup
-//!   of the sharded scan.
+//!   of the sharded scan;
+//! * `recovery_rate` (BENCH_chaos.json) — the fraction of fault-hit runs
+//!   the engine absorbed via retry or downgrade. Two *absolute* robustness
+//!   limits ride along: `wrong_answers` must be 0 and
+//!   `guardrail_overhead_pct` must stay under 2% in the fresh run.
 //!
 //! A missing baseline file or key is a configuration error, not a bench
 //! regression: the gate reports exactly which file/key it expected (and
@@ -26,21 +31,25 @@
 //! actionable message under a backtrace.
 
 use wdtg_bench::runners::{
-    json_number, run_branch_report, run_exec_report, run_join_report, run_layout_report,
-    run_scale_report,
+    json_number, run_branch_report, run_chaos_report, run_exec_report, run_join_report,
+    run_layout_report, run_scale_report,
 };
 
 /// Fractional regression tolerated before the gate fails.
 const TOLERANCE: f64 = 0.15;
 
+/// Hard ceiling on the simulated-cycle cost of armed guardrails.
+const MAX_GUARDRAIL_OVERHEAD_PCT: f64 = 2.0;
+
 /// The baseline documents the gate needs, each with the bin that
 /// regenerates it.
-const BASELINES: [(&str, &str); 5] = [
+const BASELINES: [(&str, &str); 6] = [
     ("BENCH_exec.json", "exec_mode"),
     ("BENCH_layout.json", "layout_compare"),
     ("BENCH_join.json", "join_compare"),
     ("BENCH_branch.json", "branch_compare"),
     ("BENCH_scale.json", "scale_compare"),
+    ("BENCH_chaos.json", "chaos_sweep"),
 ];
 
 struct Gate {
@@ -96,7 +105,7 @@ fn main() {
     if !problems.is_empty() {
         bail(&dir, &problems);
     }
-    let [exec_doc, layout_doc, join_doc, branch_doc, scale_doc]: [String; 5] =
+    let [exec_doc, layout_doc, join_doc, branch_doc, scale_doc, chaos_doc]: [String; 6] =
         docs.try_into().expect("one doc per baseline");
 
     // Each baseline is bound by name right next to its (file, key), so a
@@ -128,6 +137,7 @@ fn main() {
         "tb_peak_reduction_batch",
     );
     let base_scale_speedup = metric(&scale_doc, "BENCH_scale.json", None, "speedup_4shard");
+    let base_recovery_rate = metric(&chaos_doc, "BENCH_chaos.json", None, "recovery_rate");
     if !problems.is_empty() {
         bail(&dir, &problems);
     }
@@ -138,6 +148,7 @@ fn main() {
     let join = run_join_report();
     let branch = run_branch_report();
     let scale = run_scale_report();
+    let chaos = run_chaos_report();
 
     let gates = [
         Gate {
@@ -170,6 +181,11 @@ fn main() {
             baseline: base_scale_speedup,
             current: scale.speedup_4shard(),
         },
+        Gate {
+            name: "chaos: recovery_rate",
+            baseline: base_recovery_rate,
+            current: chaos.recovery_rate(),
+        },
     ];
 
     let mut failed = false;
@@ -188,11 +204,37 @@ fn main() {
             100.0 * (g.current / g.baseline.max(1e-9) - 1.0),
         );
     }
+    // Absolute robustness limits on the fresh chaos run — these are safety
+    // contracts, not tunable baselines, so no tolerance applies.
+    let wrong = chaos.wrong_answers();
+    let overhead = chaos.guardrail_overhead_pct();
+    println!(
+        "{:38} wrong_answers {wrong} (must be 0), guardrail overhead {overhead:.4}% \
+         (limit {MAX_GUARDRAIL_OVERHEAD_PCT:.1}%), downgrade ok {}",
+        "chaos: absolute limits", chaos.downgrade_answer_ok,
+    );
+    if wrong != 0 {
+        eprintln!("bench_check: chaos produced {wrong} silently wrong answer(s)");
+        failed = true;
+    }
+    if overhead >= MAX_GUARDRAIL_OVERHEAD_PCT {
+        eprintln!(
+            "bench_check: armed guardrails cost {overhead:.3}% simulated cycles \
+             (limit {MAX_GUARDRAIL_OVERHEAD_PCT:.1}%)"
+        );
+        failed = true;
+    }
+    if !chaos.downgrade_answer_ok {
+        eprintln!("bench_check: budget-pressured join failed to degrade with the same answer");
+        failed = true;
+    }
+
     if failed {
         eprintln!(
-            "bench_check: headline metric(s) regressed >{:.0}% vs committed baselines; \
-             if the regression is intended, regenerate BENCH_*.json with the bench bins \
-             and commit the new baselines",
+            "bench_check: headline metric(s) regressed >{:.0}% vs committed baselines \
+             (or an absolute robustness limit was broken); if the regression is \
+             intended, regenerate BENCH_*.json with the bench bins and commit the \
+             new baselines",
             TOLERANCE * 100.0
         );
         std::process::exit(1);

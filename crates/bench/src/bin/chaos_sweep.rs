@@ -1,0 +1,62 @@
+//! Chaos sweep: drives the engine through a deterministic fault-injection
+//! grid (three workloads × four per-site fault rates × 24 seeded plans per
+//! cell), measures the simulated-cycle overhead of armed guardrails on the
+//! fault-free headline scan, and exercises the budget-pressure downgrade of
+//! the partitioned join. Written to `BENCH_chaos.json` (path overridable
+//! via `BENCH_CHAOS_OUT`).
+//!
+//! The safety contract asserted here is the same one the `chaos` property
+//! tests enforce: every run either returns the bit-identical fault-free
+//! answer or a typed error — never a silently wrong row. The measurement
+//! lives in [`wdtg_bench::runners`], shared with the `bench_check` gate.
+
+use wdtg_bench::runners::{run_chaos_report, CHAOS_ROWS, CHAOS_RUNS_PER_CELL};
+
+fn main() {
+    let report = run_chaos_report();
+    println!(
+        "== chaos_sweep == {} rows, {} seeded plans per cell",
+        CHAOS_ROWS, CHAOS_RUNS_PER_CELL
+    );
+    for c in &report.cells {
+        println!(
+            "{:16} rate {:>7}: {:2} ok / {:2} errored ({:2} recovered, {} wrong), \
+             {:4} faults, {:3} retries, {:2} downgrades",
+            c.workload,
+            format!("{}", c.rate),
+            c.ok,
+            c.errored,
+            c.recovered,
+            c.wrong,
+            c.faults,
+            c.retries,
+            c.downgrades,
+        );
+    }
+    let wrong = report.wrong_answers();
+    let recovery = report.recovery_rate();
+    let overhead = report.guardrail_overhead_pct();
+    println!(
+        "wrong answers {wrong}, recovery rate {recovery:.3}, guardrail overhead {overhead:.4}% \
+         ({:.0} -> {:.0} cycles), downgrade answer ok: {}",
+        report.baseline_cycles, report.guarded_cycles, report.downgrade_answer_ok
+    );
+
+    let out = std::env::var("BENCH_CHAOS_OUT").unwrap_or_else(|_| "BENCH_chaos.json".into());
+    std::fs::write(&out, report.to_json()).expect("write BENCH_chaos.json");
+    println!("wrote {out}");
+
+    assert_eq!(wrong, 0, "chaos produced a silently wrong answer");
+    assert!(
+        report.downgrade_answer_ok,
+        "budget-pressured partitioned join must degrade and keep the answer"
+    );
+    assert!(
+        overhead < 2.0,
+        "armed guardrails must cost <2% simulated cycles (got {overhead:.3}%)"
+    );
+    assert!(
+        recovery > 0.0,
+        "the retry/downgrade paths must recover at least some faulted runs"
+    );
+}

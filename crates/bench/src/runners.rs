@@ -14,7 +14,8 @@ use wdtg_core::{
     BranchCell, JoinComparison, ScalingComparison, SelectivityComparison, TimeBreakdown,
 };
 use wdtg_memdb::{
-    Database, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, Schema, SelectionMode, SystemId,
+    Database, DbError, EngineProfile, ExecMode, FaultPlan, JoinAlgo, PageLayout, Query,
+    QueryResult, ResourceBudget, Schema, SelectionMode, ShardedDatabase, SystemId,
 };
 use wdtg_sim::{CpuConfig, Event, InterruptCfg, Mode};
 use wdtg_workloads::{JoinSpec, MicroQuery, Scale, SweepSpec};
@@ -627,6 +628,357 @@ pub fn run_scale_report() -> ScaleReport {
     )
     .expect("scaling comparison runs");
     ScaleReport { cmp }
+}
+
+// ---------------------------------------------------------------------
+// chaos_sweep: deterministic fault grid + guardrail overhead
+// ---------------------------------------------------------------------
+
+/// Rows in the chaos workloads' scanned/probed relation — smaller than the
+/// headline scan so the whole fault grid (workloads × rates × seeds) stays
+/// cheap enough for CI.
+pub const CHAOS_ROWS: u64 = 20_000;
+/// Build-side rows of the chaos join workload.
+pub const CHAOS_BUILD_ROWS: u64 = 1_500;
+/// Per-site fault probabilities swept per workload.
+pub const CHAOS_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
+/// Runs (distinct fault-plan seeds) per grid cell.
+pub const CHAOS_RUNS_PER_CELL: u32 = 24;
+
+/// Builds the chaos scan relation: `CHAOS_ROWS` 20-byte records with the
+/// same column roles as the headline scan relation.
+fn build_chaos_db(extra: Option<(&str, u64)>) -> Database {
+    let mut db = Database::new(
+        EngineProfile::system(SystemId::C),
+        CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+    );
+    db.ctx.instrument = false;
+    db.create_table("R", Schema::paper_relation(20)).unwrap();
+    db.load_rows(
+        "R",
+        (0..CHAOS_ROWS).map(|i| {
+            let x = i.wrapping_mul(0x9e37_79b9);
+            vec![i as i32, (x % 2_000) as i32 + 1, (x % 10_000) as i32, 0, 0]
+        }),
+    )
+    .unwrap();
+    if let Some((name, rows)) = extra {
+        db.create_table(name, Schema::paper_relation(20)).unwrap();
+        // Build-side keys 1..=rows in a1, overlapping R.a2's 1..=2000 domain.
+        db.load_rows(
+            name,
+            (0..rows).map(|i| {
+                let x = i.wrapping_mul(0x85eb_ca6b);
+                vec![i as i32 + 1, 0, (x % 10_000) as i32, 0, 0]
+            }),
+        )
+        .unwrap();
+    }
+    db.ctx.instrument = true;
+    db
+}
+
+/// One (workload × fault-rate) cell of the chaos grid.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCell {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Per-site fault probability of the uniform plan.
+    pub rate: f64,
+    /// Runs (distinct fault-plan seeds) in the cell.
+    pub runs: u32,
+    /// Runs that completed with the bit-identical fault-free answer.
+    pub ok: u32,
+    /// Completed runs that absorbed at least one injected fault or retry.
+    pub recovered: u32,
+    /// Runs that surfaced a typed error.
+    pub errored: u32,
+    /// Completed runs whose answer differed from fault-free (must be 0).
+    pub wrong: u32,
+    /// Faults injected across the cell.
+    pub faults: u64,
+    /// Shard-router retries across the cell.
+    pub retries: u64,
+    /// Partitioned-join downgrades across the cell.
+    pub downgrades: u64,
+}
+
+impl ChaosCell {
+    fn new(workload: &'static str, rate: f64) -> ChaosCell {
+        ChaosCell {
+            workload,
+            rate,
+            runs: 0,
+            ok: 0,
+            recovered: 0,
+            errored: 0,
+            wrong: 0,
+            faults: 0,
+            retries: 0,
+            downgrades: 0,
+        }
+    }
+
+    fn absorb_run(
+        &mut self,
+        r: &Result<QueryResult, DbError>,
+        expected: &QueryResult,
+        faults: u64,
+        retries: u64,
+        downgrades: u64,
+    ) {
+        self.runs += 1;
+        self.faults += faults;
+        self.retries += retries;
+        self.downgrades += downgrades;
+        match r {
+            Ok(got) => {
+                if got.rows == expected.rows && got.value.to_bits() == expected.value.to_bits() {
+                    self.ok += 1;
+                    if faults > 0 || retries > 0 {
+                        self.recovered += 1;
+                    }
+                } else {
+                    self.wrong += 1;
+                }
+            }
+            Err(_) => self.errored += 1,
+        }
+    }
+}
+
+/// Deterministic per-rep plan seed: cell salt spread by the golden ratio.
+fn chaos_seed(salt: u64, rep: u32) -> u64 {
+    salt.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rep as u64 + 1))
+}
+
+/// Sweeps one fault rate on an unsharded database (no retry layer, so any
+/// injected fault surfaces as a typed error — unless the engine can degrade,
+/// as the partitioned join does on arena faults).
+fn run_db_cell(
+    db: &mut Database,
+    workload: &'static str,
+    rate: f64,
+    salt: u64,
+    q: &Query,
+    expected: &QueryResult,
+) -> ChaosCell {
+    let mut cell = ChaosCell::new(workload, rate);
+    for rep in 0..CHAOS_RUNS_PER_CELL {
+        db.set_fault_plan(FaultPlan::uniform(chaos_seed(salt, rep), rate));
+        let r = db.run(q);
+        let stats = db.robustness_stats();
+        cell.absorb_run(&r, expected, stats.total_faults(), 0, stats.join_downgrades);
+    }
+    db.set_fault_plan(FaultPlan::disabled());
+    cell
+}
+
+/// Sweeps one fault rate on a sharded database, where the router's bounded
+/// retries absorb transient faults.
+fn run_sharded_cell(
+    db: &mut ShardedDatabase,
+    workload: &'static str,
+    rate: f64,
+    salt: u64,
+    q: &Query,
+    expected: &QueryResult,
+) -> ChaosCell {
+    let mut cell = ChaosCell::new(workload, rate);
+    for rep in 0..CHAOS_RUNS_PER_CELL {
+        db.set_fault_plan(FaultPlan::uniform(chaos_seed(salt, rep), rate));
+        db.reset_router_stats();
+        let r = db.run(q);
+        let stats = db.robustness_stats();
+        let router = db.router_stats();
+        cell.absorb_run(
+            &r,
+            expected,
+            stats.total_faults(),
+            router.retries,
+            stats.join_downgrades,
+        );
+    }
+    db.set_fault_plan(FaultPlan::disabled());
+    cell
+}
+
+/// Simulated cycles of the headline scan with guardrails fully off vs armed
+/// (zero-rate fault plan + finite-but-generous budget): the cost of the
+/// cooperative checkpoints themselves.
+fn measure_guardrail_overhead() -> (f64, f64) {
+    let measure = |guarded: bool| -> f64 {
+        let mut db = build_scan_db(SystemId::C, PageLayout::Nsm);
+        if guarded {
+            db.set_fault_plan(FaultPlan::uniform(7, 0.0));
+            db.set_budget(
+                ResourceBudget::unlimited()
+                    .with_max_cycles(u64::MAX)
+                    .with_max_arena_bytes(u64::MAX),
+            );
+        }
+        let q = scan_query();
+        db.run(&q).unwrap(); // warm
+        let before = db.cpu().snapshot();
+        db.run(&q).unwrap();
+        db.cpu().snapshot().delta(&before).cycles
+    };
+    (measure(false), measure(true))
+}
+
+/// The chaos sweep: fault grid over three workloads, the guardrail-overhead
+/// measurement, and the budget-pressure join-downgrade scenario.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The measured grid (3 workloads × `CHAOS_RATES`).
+    pub cells: Vec<ChaosCell>,
+    /// Simulated cycles of the headline scan, guardrails off.
+    pub baseline_cycles: f64,
+    /// Simulated cycles of the same scan with guardrails armed (zero rates).
+    pub guarded_cycles: f64,
+    /// Whether the budget-pressured partitioned join degraded to the naive
+    /// join and still produced the bit-identical answer.
+    pub downgrade_answer_ok: bool,
+}
+
+impl ChaosReport {
+    /// Completed runs whose answer differed from fault-free — the safety
+    /// headline; must be zero.
+    pub fn wrong_answers(&self) -> u64 {
+        self.cells.iter().map(|c| c.wrong as u64).sum()
+    }
+
+    /// Of the runs that saw at least one injected fault, the fraction the
+    /// engine absorbed (retry or downgrade) and still answered correctly.
+    pub fn recovery_rate(&self) -> f64 {
+        let recovered: u64 = self.cells.iter().map(|c| c.recovered as u64).sum();
+        let errored: u64 = self.cells.iter().map(|c| c.errored as u64).sum();
+        if recovered + errored == 0 {
+            1.0
+        } else {
+            recovered as f64 / (recovered + errored) as f64
+        }
+    }
+
+    /// Percent simulated-cycle overhead of armed guardrails on the
+    /// fault-free headline scan (gated < 2%).
+    pub fn guardrail_overhead_pct(&self) -> f64 {
+        100.0 * (self.guarded_cycles - self.baseline_cycles) / self.baseline_cycles.max(1e-9)
+    }
+
+    /// The `BENCH_chaos.json` document.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            cells.push_str(&format!(
+                "    {{ \"workload\": \"{}\", \"rate\": {}, \"runs\": {}, \"ok\": {}, \
+                 \"recovered\": {}, \"errored\": {}, \"wrong\": {}, \"faults\": {}, \
+                 \"retries\": {}, \"downgrades\": {} }}{}\n",
+                c.workload,
+                c.rate,
+                c.runs,
+                c.ok,
+                c.recovered,
+                c.errored,
+                c.wrong,
+                c.faults,
+                c.retries,
+                c.downgrades,
+                if i + 1 == self.cells.len() { "" } else { "," },
+            ));
+        }
+        format!(
+            "{{\n  \"benchmark\": \"chaos_sweep\",\n  \"scan_rows\": {},\n  \
+             \"build_rows\": {},\n  \"runs_per_cell\": {},\n  \
+             \"cells\": [\n{cells}  ],\n  \
+             \"wrong_answers\": {},\n  \"recovery_rate\": {:.4},\n  \
+             \"baseline_cycles\": {:.0},\n  \"guarded_cycles\": {:.0},\n  \
+             \"guardrail_overhead_pct\": {:.4},\n  \"downgrade_answer_ok\": {}\n}}\n",
+            CHAOS_ROWS,
+            CHAOS_BUILD_ROWS,
+            CHAOS_RUNS_PER_CELL,
+            self.wrong_answers(),
+            self.recovery_rate(),
+            self.baseline_cycles,
+            self.guarded_cycles,
+            self.guardrail_overhead_pct(),
+            if self.downgrade_answer_ok { 1 } else { 0 },
+        )
+    }
+}
+
+/// Runs the chaos sweep: for each workload (raw scan, 4-shard scan,
+/// partitioned join) and each fault rate, `CHAOS_RUNS_PER_CELL` runs under
+/// distinct seeded plans, every answer checked bit-for-bit against the
+/// fault-free run. Fresh databases per cell keep the sweep deterministic.
+pub fn run_chaos_report() -> ChaosReport {
+    let q_scan = Query::range_select_avg("R", 900, 1101);
+    let q_join = Query::join_avg("R", "S");
+    let mut cells = Vec::new();
+
+    let scan_expected = build_chaos_db(None).run(&q_scan).unwrap();
+    for (ri, &rate) in CHAOS_RATES.iter().enumerate() {
+        let mut db = build_chaos_db(None);
+        cells.push(run_db_cell(
+            &mut db,
+            "scan_raw",
+            rate,
+            0x5CA4_0000 + ri as u64,
+            &q_scan,
+            &scan_expected,
+        ));
+    }
+
+    let sharded_expected = build_chaos_db(None).shard(4).unwrap().run(&q_scan).unwrap();
+    for (ri, &rate) in CHAOS_RATES.iter().enumerate() {
+        let mut db = build_chaos_db(None).shard(4).unwrap();
+        cells.push(run_sharded_cell(
+            &mut db,
+            "scan_4shard",
+            rate,
+            0x54A4_0000 + ri as u64,
+            &q_scan,
+            &sharded_expected,
+        ));
+    }
+
+    let build_join_db = || {
+        let mut db = build_chaos_db(Some(("S", CHAOS_BUILD_ROWS)));
+        db.set_join_algo(JoinAlgo::PartitionedHash);
+        db
+    };
+    let join_expected = build_join_db().run(&q_join).unwrap();
+    for (ri, &rate) in CHAOS_RATES.iter().enumerate() {
+        let mut db = build_join_db();
+        cells.push(run_db_cell(
+            &mut db,
+            "join_partitioned",
+            rate,
+            0x104A_0000 + ri as u64,
+            &q_join,
+            &join_expected,
+        ));
+    }
+
+    // Budget-pressure degradation: a tight arena budget must downgrade the
+    // partitioned join to the naive join, not fail it — same answer, and the
+    // downgrade recorded.
+    let mut db = build_join_db();
+    db.set_budget(ResourceBudget::unlimited().with_max_arena_bytes(32 * 1024));
+    let degraded = db.run(&q_join);
+    let downgrade_answer_ok = matches!(
+        &degraded,
+        Ok(got) if got.rows == join_expected.rows
+            && got.value.to_bits() == join_expected.value.to_bits()
+    ) && db.robustness_stats().join_downgrades == 1;
+
+    let (baseline_cycles, guarded_cycles) = measure_guardrail_overhead();
+    ChaosReport {
+        cells,
+        baseline_cycles,
+        guarded_cycles,
+        downgrade_answer_ok,
+    }
 }
 
 // ---------------------------------------------------------------------

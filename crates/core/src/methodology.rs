@@ -9,8 +9,8 @@
 
 use wdtg_emon::{measure_breakdown, ModeSel, Penalties, Target};
 use wdtg_memdb::{
-    Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, Query, SelectionMode,
-    ShardedDatabase, SystemId,
+    Database, DbResult, EngineProfile, ExecMode, FaultPlan, JoinAlgo, PageLayout, Query,
+    SelectionMode, ShardedDatabase, SystemId,
 };
 use wdtg_sim::{measure_memory_latency, merge_cores, Cpu, CpuConfig, Event, Mode, Snapshot};
 use wdtg_workloads::{micro, MicroQuery, Scale};
@@ -62,6 +62,11 @@ pub struct Methodology {
     /// The emon reconstruction is single-processor tooling and is skipped
     /// for sharded runs.
     pub shards: usize,
+    /// Deterministic fault-injection plan applied to the measured database
+    /// ([`FaultPlan::disabled`] by default — the measurement configurations
+    /// above are fault-free; chaos experiments arm this and drive the same
+    /// methodology under injected faults).
+    pub fault: FaultPlan,
 }
 
 impl Default for Methodology {
@@ -77,6 +82,7 @@ impl Default for Methodology {
             join_algo: None,
             selection: SelectionMode::Branching,
             shards: 1,
+            fault: FaultPlan::disabled(),
         }
     }
 }
@@ -95,6 +101,7 @@ impl Methodology {
             join_algo: None,
             selection: SelectionMode::Branching,
             shards: 1,
+            fault: FaultPlan::disabled(),
         }
     }
 
@@ -146,6 +153,11 @@ impl Methodology {
             shards: shards.max(1),
             ..self
         }
+    }
+
+    /// The same methodology under a deterministic fault-injection plan.
+    pub fn with_fault_plan(self, fault: FaultPlan) -> Methodology {
+        Methodology { fault, ..self }
     }
 }
 
@@ -351,6 +363,7 @@ pub fn measure_query_with(
     if let Some(algo) = m.join_algo {
         db.set_join_algo(algo);
     }
+    db.set_fault_plan(m.fault);
     let q = micro::query(scale, query, selectivity);
 
     // Warm-up runs (§4.3): caches, TLBs, BTB reach steady state.
@@ -483,6 +496,7 @@ fn measure_query_sharded(
     if let Some(algo) = m.join_algo {
         db.set_join_algo(algo);
     }
+    db.set_fault_plan(m.fault);
     let q = micro::query(scale, query, selectivity);
 
     // Warm-up runs (§4.3): every shard's caches/TLBs/BTB reach steady state.

@@ -40,21 +40,30 @@ impl SimArena {
     }
 
     /// Allocates `len` zeroed bytes aligned to `align`; returns the simulated
-    /// address.
+    /// address. Panics when the arena is exhausted — use [`SimArena::try_alloc`]
+    /// where exhaustion must surface as an observable failure instead.
     pub fn alloc(&mut self, len: u64, align: u64) -> u64 {
+        match self.try_alloc(len, align) {
+            Some(addr) => addr,
+            None => panic!("arena at {:#x} exhausted", self.region.base),
+        }
+    }
+
+    /// Fallible allocation: `None` when `len` bytes at `align` do not fit in
+    /// the remaining capacity, leaving the arena untouched so callers can
+    /// degrade (switch join strategy, fail one query) rather than abort.
+    pub fn try_alloc(&mut self, len: u64, align: u64) -> Option<u64> {
         debug_assert!(align.is_power_of_two());
         let start = (self.next + align - 1) & !(align - 1);
-        let end = start + len;
-        assert!(
-            end <= self.region.len,
-            "arena at {:#x} exhausted",
-            self.region.base
-        );
+        let end = start.checked_add(len)?;
+        if end > self.region.len {
+            return None;
+        }
         if end as usize > self.bytes.len() {
             self.bytes.resize(end as usize, 0);
         }
         self.next = end;
-        self.region.base + start
+        Some(self.region.base + start)
     }
 
     #[inline]
@@ -146,5 +155,18 @@ mod tests {
     fn overflow_panics() {
         let mut a = SimArena::new(0x1000_0000, 256);
         a.alloc(512, 8);
+    }
+
+    #[test]
+    fn try_alloc_fails_cleanly_and_leaves_arena_usable() {
+        let mut a = SimArena::new(0x1000_0000, 256);
+        assert_eq!(a.try_alloc(512, 8), None);
+        assert_eq!(a.used(), 0);
+        let p = a.try_alloc(128, 64).expect("fits");
+        assert_eq!(p % 64, 0);
+        a.write_i32(p, 9);
+        assert_eq!(a.read_i32(p), 9);
+        // Alignment padding counts against capacity.
+        assert_eq!(a.try_alloc(256, 64), None);
     }
 }

@@ -17,7 +17,8 @@ use crate::exec::join_partitioned::PartitionedHashJoin;
 use crate::exec::partial::AggState;
 use crate::exec::seqscan::SeqScan;
 use crate::exec::{ExecEnv, ExecMode, Operator};
-use crate::heap::{HeapFile, PageLayout, Rid, HDR_NRECS};
+use crate::fault::{CancelToken, FaultInjector, FaultPlan, FaultSite, ResourceBudget};
+use crate::heap::{HeapFile, PageLayout, Rid, HDR_NRECS, HDR_PAGEID};
 use crate::index::btree::BTree;
 use crate::profiles::{EngineProfile, EvalMode, JoinAlgo};
 use crate::query::{AggKind, Query, QueryPredicate, QueryResult};
@@ -39,6 +40,16 @@ pub struct DbCtx {
     pub misc: SimArena,
     /// Whether accesses are simulated (off during data loading).
     pub instrument: bool,
+    /// Deterministic fault injection state (plan, draw counters, stats).
+    pub fault: FaultInjector,
+    /// Per-query resource guardrails (default: unlimited).
+    pub(crate) budget: ResourceBudget,
+    /// Cooperative cancellation flag shared with [`CancelToken`] clones.
+    pub(crate) cancel: CancelToken,
+    /// Simulated cycle count at the start of the current query (budget base).
+    pub(crate) query_start_cycles: f64,
+    /// Total arena bytes in use at the start of the current query.
+    pub(crate) query_start_arena: u64,
     /// Reusable buffer for page-table probe addresses, so the executor hot
     /// path performs no per-lookup allocation.
     pub(crate) probe_scratch: Vec<u64>,
@@ -53,8 +64,89 @@ impl DbCtx {
             index: SimArena::new(segment::INDEX, 0x2000_0000),
             misc: SimArena::new(segment::MISC, 0x1000_0000),
             instrument: true,
+            fault: FaultInjector::new(FaultPlan::disabled()),
+            budget: ResourceBudget::unlimited(),
+            cancel: CancelToken::new(),
+            query_start_cycles: 0.0,
+            query_start_arena: 0,
             probe_scratch: Vec::with_capacity(8),
         }
+    }
+
+    /// Total bytes currently allocated across the three arenas.
+    pub fn arena_used(&self) -> u64 {
+        self.heap.used() + self.index.used() + self.misc.used()
+    }
+
+    /// Marks the start of a query: the budget baselines (cycles, arena
+    /// bytes) reset here, so limits are per-query rather than per-session.
+    pub(crate) fn begin_query(&mut self) {
+        self.query_start_cycles = self.cpu.cycles();
+        self.query_start_arena = self.arena_used();
+    }
+
+    /// Enforces the active [`ResourceBudget`] against consumption since
+    /// [`DbCtx::begin_query`]. Called from cooperative checkpoints; the
+    /// checkpoint charges the `budget_check` code block separately (only
+    /// when a limit is armed, so an unlimited budget costs nothing).
+    pub(crate) fn enforce_budget(&mut self) -> DbResult<()> {
+        if let Some(limit) = self.budget.max_cycles {
+            let used = (self.cpu.cycles() - self.query_start_cycles).max(0.0) as u64;
+            if used > limit {
+                self.fault.note_budget_stop();
+                return Err(DbError::BudgetExceeded {
+                    resource: "cycles",
+                    used,
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.max_arena_bytes {
+            let used = self.arena_used().saturating_sub(self.query_start_arena);
+            if used > limit {
+                self.fault.note_budget_stop();
+                return Err(DbError::BudgetExceeded {
+                    resource: "arena_bytes",
+                    used,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible index-arena allocation with the fault-injection and budget
+    /// seams applied: an injected [`FaultSite::ArenaAlloc`] hit or a breach
+    /// of the arena-bytes budget surfaces *before* the bump, and genuine
+    /// exhaustion comes back as [`DbError::ArenaExhausted`] instead of a
+    /// panic. The partitioned join allocates its partition chunks through
+    /// this, which is what lets it degrade instead of die.
+    pub(crate) fn try_alloc_index(&mut self, len: u64, align: u64) -> DbResult<u64> {
+        if self.fault.should_fault(FaultSite::ArenaAlloc) {
+            return Err(DbError::ArenaExhausted {
+                requested: len,
+                used: self.index.used(),
+                capacity: self.index.region().len,
+            });
+        }
+        if let Some(limit) = self.budget.max_arena_bytes {
+            let used = self.arena_used().saturating_sub(self.query_start_arena);
+            if used + len > limit {
+                self.fault.note_budget_stop();
+                return Err(DbError::BudgetExceeded {
+                    resource: "arena_bytes",
+                    used: used + len,
+                    limit,
+                });
+            }
+        }
+        self.index
+            .try_alloc(len, align)
+            .ok_or(DbError::ArenaExhausted {
+                requested: len,
+                used: self.index.used(),
+                capacity: self.index.region().len,
+            })
     }
 
     fn arena(&self, addr: u64) -> &SimArena {
@@ -344,6 +436,71 @@ impl Database {
         self
     }
 
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.ctx.fault.plan()
+    }
+
+    /// Installs a deterministic fault plan for subsequent queries (fresh
+    /// draw counters, fresh stats). [`FaultPlan::disabled`] turns injection
+    /// off.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.ctx.fault = FaultInjector::new(plan);
+    }
+
+    /// Builder-style [`Database::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// The per-query resource budget.
+    pub fn budget(&self) -> ResourceBudget {
+        self.ctx.budget
+    }
+
+    /// Installs per-query resource guardrails, enforced cooperatively at
+    /// batch/partition boundaries of subsequent queries.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.ctx.budget = budget;
+    }
+
+    /// Builder-style [`Database::set_budget`].
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.ctx.budget = budget;
+        self
+    }
+
+    /// A handle that cancels queries on this database: after
+    /// [`CancelToken::cancel`], in-flight and future queries return
+    /// [`DbError::Cancelled`] at their next checkpoint until the token is
+    /// cleared.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.ctx.cancel.clone()
+    }
+
+    /// Fault-injection and recovery counters collected since the plan was
+    /// installed (or last [`Database::reset_robustness_stats`]).
+    pub fn robustness_stats(&self) -> crate::fault::RobustnessStats {
+        self.ctx.fault.stats()
+    }
+
+    /// Clears the robustness counters without disturbing the fault
+    /// sequence.
+    pub fn reset_robustness_stats(&mut self) {
+        self.ctx.fault.reset_stats();
+    }
+
+    /// Charges the shard router's deterministic retry backoff on this
+    /// database's simulated core: an exponential number of `budget_check`
+    /// spins (64 · 2^attempt, capped), so backoff is visible simulated
+    /// time, not hidden host sleeping, and identical runs stay cycle-exact.
+    pub(crate) fn charge_backoff(&mut self, attempt: u32) {
+        let blocks = Rc::clone(&self.profile.blocks);
+        self.ctx
+            .exec_scaled(&blocks.budget_check, 64u32 << attempt.min(8));
+    }
+
     /// The simulated processor (counters, ledger, cycles).
     pub fn cpu(&self) -> &Cpu {
         &self.ctx.cpu
@@ -433,7 +590,7 @@ impl Database {
             }
             let table = &mut self.tables[ti];
             let pages_before = table.heap.n_pages();
-            let rid = table.heap.insert_raw(&mut self.ctx.heap, &buf);
+            let rid = table.heap.insert_raw(&mut self.ctx.heap, &buf)?;
             if table.heap.n_pages() != pages_before {
                 let page_no = table.heap.n_pages() - 1;
                 let addr = table.heap.page_addr(page_no)?;
@@ -550,6 +707,20 @@ impl Database {
     /// merges these per key across partitions, so a sharded grouped answer
     /// is bit-identical to the single-shard one.
     pub fn run_grouped_partial(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        predicate: Option<&QueryPredicate>,
+        agg: &crate::query::AggSpec,
+    ) -> DbResult<Vec<(i32, AggState)>> {
+        self.ctx.begin_query();
+        if self.ctx.cancel.is_cancelled() {
+            return Err(DbError::Cancelled);
+        }
+        catch_internal(|| self.run_grouped_inner(table, group_col, predicate, agg))
+    }
+
+    fn run_grouped_inner(
         &mut self,
         table: &str,
         group_col: &str,
@@ -719,7 +890,22 @@ impl Database {
     }
 
     /// Runs a query through the engine's planner and instrumented executor.
+    ///
+    /// This is also the engine's survival boundary: the per-query budget
+    /// baselines reset here, a pending [`CancelToken::cancel`] is honored
+    /// before any work, and any residual executor panic (an invariant
+    /// violation rather than a typed error) is caught and converted to
+    /// [`DbError::Internal`], so one bad query can never take down the
+    /// engine.
     pub fn run(&mut self, q: &Query) -> DbResult<QueryResult> {
+        self.ctx.begin_query();
+        if self.ctx.cancel.is_cancelled() {
+            return Err(DbError::Cancelled);
+        }
+        catch_internal(|| self.run_inner(q))
+    }
+
+    fn run_inner(&mut self, q: &Query) -> DbResult<QueryResult> {
         match q {
             Query::SelectAgg { agg, .. } | Query::JoinAgg { agg, .. } => {
                 let kind = agg.kind;
@@ -749,8 +935,14 @@ impl Database {
     /// ([`AggState::merge`]), so the merged answer is bit-identical to a
     /// single-shard [`Database::run`].
     pub fn run_partial(&mut self, q: &Query) -> DbResult<AggState> {
-        let mut agg_exec = self.plan_agg(q)?;
-        self.finish_agg(&mut agg_exec)
+        self.ctx.begin_query();
+        if self.ctx.cancel.is_cancelled() {
+            return Err(DbError::Cancelled);
+        }
+        catch_internal(|| {
+            let mut agg_exec = self.plan_agg(q)?;
+            self.finish_agg(&mut agg_exec)
+        })
     }
 
     /// The planner half of [`Database::run`] for aggregate queries, shared
@@ -882,50 +1074,57 @@ impl Database {
                     self.profile.prefetch_lines_ahead,
                 );
 
-                let join: Box<dyn Operator> = match self.profile.join_algo {
-                    JoinAlgo::IndexNestedLoop if self.index_on(ri, rkey).is_some() => {
-                        let ix = self.index_on(ri, rkey).expect("checked");
-                        Box::new(IndexNlJoin::new(
-                            Box::new(probe),
-                            lkey_pos,
-                            ix.btree.clone(),
-                            self.tables[ri].heap.clone(),
-                            vec![rkey],
-                            Rc::clone(&blocks),
-                        ))
-                    }
-                    JoinAlgo::PartitionedHash => {
-                        let build = SeqScan::new(
-                            self.tables[ri].heap.clone(),
-                            vec![rkey],
-                            Rc::clone(&blocks),
-                            self.profile.materialize,
-                            self.profile.prefetch_lines_ahead,
-                        );
-                        Box::new(PartitionedHashJoin::new(
-                            Box::new(build),
-                            0,
-                            Box::new(probe),
-                            lkey_pos,
-                            Rc::clone(&blocks),
-                            self.ctx.cpu.config().l2.size_bytes,
-                        ))
-                    }
-                    _ => {
-                        let build = SeqScan::new(
-                            self.tables[ri].heap.clone(),
-                            vec![rkey],
-                            Rc::clone(&blocks),
-                            self.profile.materialize,
-                            self.profile.prefetch_lines_ahead,
-                        );
-                        Box::new(HashJoin::new(
-                            Box::new(build),
-                            0,
-                            Box::new(probe),
-                            lkey_pos,
-                            Rc::clone(&blocks),
-                        ))
+                // Index-nested-loop wants the inner index; resolve it once
+                // so the fallback path needs no re-lookup (and no unwrap).
+                let inl_index = if self.profile.join_algo == JoinAlgo::IndexNestedLoop {
+                    self.index_on(ri, rkey)
+                } else {
+                    None
+                };
+                let join: Box<dyn Operator> = if let Some(ix) = inl_index {
+                    Box::new(IndexNlJoin::new(
+                        Box::new(probe),
+                        lkey_pos,
+                        ix.btree.clone(),
+                        self.tables[ri].heap.clone(),
+                        vec![rkey],
+                        Rc::clone(&blocks),
+                    ))
+                } else {
+                    match self.profile.join_algo {
+                        JoinAlgo::PartitionedHash => {
+                            let build = SeqScan::new(
+                                self.tables[ri].heap.clone(),
+                                vec![rkey],
+                                Rc::clone(&blocks),
+                                self.profile.materialize,
+                                self.profile.prefetch_lines_ahead,
+                            );
+                            Box::new(PartitionedHashJoin::new(
+                                Box::new(build),
+                                0,
+                                Box::new(probe),
+                                lkey_pos,
+                                Rc::clone(&blocks),
+                                self.ctx.cpu.config().l2.size_bytes,
+                            ))
+                        }
+                        _ => {
+                            let build = SeqScan::new(
+                                self.tables[ri].heap.clone(),
+                                vec![rkey],
+                                Rc::clone(&blocks),
+                                self.profile.materialize,
+                                self.profile.prefetch_lines_ahead,
+                            );
+                            Box::new(HashJoin::new(
+                                Box::new(build),
+                                0,
+                                Box::new(probe),
+                                lkey_pos,
+                                Rc::clone(&blocks),
+                            ))
+                        }
                     }
                 };
                 Ok(AggExec::new(join, agg.kind, agg_pos, Rc::clone(&blocks)))
@@ -1076,7 +1275,7 @@ impl Database {
         // Heap append.
         let table_ref = &mut self.tables[ti];
         let pages_before = table_ref.heap.n_pages();
-        let rid = table_ref.heap.insert_raw(&mut self.ctx.heap, &buf);
+        let rid = table_ref.heap.insert_raw(&mut self.ctx.heap, &buf)?;
         if table_ref.heap.n_pages() != pages_before {
             let page_no = table_ref.heap.n_pages() - 1;
             let addr = table_ref.heap.page_addr(page_no)?;
@@ -1126,7 +1325,9 @@ impl Database {
                 .btree
                 .descend(&self.ctx.index, key)
                 .last()
-                .expect("leaf");
+                .ok_or_else(|| {
+                    DbError::Internal("B+tree descend reached no leaf during insert".into())
+                })?;
             self.ctx.store_touch(leaf + 24, 12 * 32, MemDep::Demand);
         }
         Ok(QueryResult {
@@ -1198,8 +1399,9 @@ impl Database {
                 routed[shard_of(row[t.shard_col], n)].push(row);
             }
             for (s, part) in shards.iter_mut().zip(routed) {
-                s.create_table_with_layout(&t.name, t.schema.clone(), t.heap.layout)?;
-                s.tables.last_mut().expect("just created").shard_col = t.shard_col;
+                let created =
+                    s.create_table_with_layout(&t.name, t.schema.clone(), t.heap.layout)?;
+                s.tables[created].shard_col = t.shard_col;
                 s.load_rows(&t.name, part)?;
             }
         }
@@ -1210,10 +1412,37 @@ impl Database {
                 s.create_index(tname, cname)?;
             }
         }
-        for s in &mut shards {
+        for (i, s) in shards.iter_mut().enumerate() {
             s.ctx.instrument = self.ctx.instrument;
+            // Robustness knobs carry over: every shard runs under the same
+            // budget, and under a per-shard salted derivation of the fault
+            // plan (deterministic, but shards do not fault in lockstep).
+            s.set_fault_plan(self.ctx.fault.plan().for_shard(i));
+            s.set_budget(self.ctx.budget);
         }
         Ok(ShardedDatabase::from_shards(shards))
+    }
+}
+
+/// Runs `f`, converting any panic into [`DbError::Internal`] so executor
+/// invariant violations surface as query errors instead of aborting the
+/// process. `AssertUnwindSafe` is sound here: the database is only observed
+/// again after the next query's [`DbCtx::begin_query`] resets per-query
+/// state, and the arenas/counters tolerate a half-finished query (bump
+/// allocation never leaves dangling references).
+fn catch_internal<T>(f: impl FnOnce() -> DbResult<T>) -> DbResult<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "executor panicked".to_string()
+            };
+            Err(DbError::Internal(msg))
+        }
     }
 }
 
@@ -1242,8 +1471,14 @@ pub(crate) fn fetch_record_data(env: &mut ExecEnv<'_>, heap: &HeapFile, rid: Rid
     let page_id = heap.page_id(rid.page);
     let frame = env.lookup_page(page_id, MemDep::Chase)?;
     // Page header read (latch/validity check) — the page is random, so this
-    // is usually another cold line.
+    // is usually another cold line. The stored page id rides on the same
+    // header line, so verifying it costs no extra simulated traffic; a
+    // mismatch means the frame does not hold the page the page table said
+    // it does, reported as corruption rather than silently reading garbage.
     env.ctx.touch(frame + HDR_NRECS, 8, MemDep::Chase);
+    if env.ctx.heap.read_u64(frame + HDR_PAGEID) != page_id {
+        return Err(DbError::PageCorrupt { page_id });
+    }
     debug_assert_eq!(frame, heap.page_addr(rid.page)?);
     Ok(frame)
 }
@@ -1348,4 +1583,33 @@ fn remap_expr(e: &crate::expr::Expr, cols: &[usize]) -> DbResult<crate::expr::Ex
             Box::new(remap_expr(b, cols)?),
         ),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_internal_converts_panics_to_typed_errors() {
+        // Silence the default hook's stderr backtrace for the deliberate
+        // panic; restore it so other tests report normally.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let str_panic: DbResult<()> = catch_internal(|| panic!("invariant broken"));
+        let string_panic: DbResult<()> = catch_internal(|| panic!("rid {} out of bounds", 42));
+        let ok: DbResult<u32> = catch_internal(|| Ok(7));
+        let passthrough: DbResult<()> = catch_internal(|| Err(DbError::Cancelled));
+        std::panic::set_hook(prev);
+
+        assert_eq!(
+            str_panic,
+            Err(DbError::Internal("invariant broken".to_string()))
+        );
+        assert_eq!(
+            string_panic,
+            Err(DbError::Internal("rid 42 out of bounds".to_string()))
+        );
+        assert_eq!(ok, Ok(7));
+        assert_eq!(passthrough, Err(DbError::Cancelled));
+    }
 }

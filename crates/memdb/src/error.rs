@@ -24,6 +24,14 @@ pub enum DbError {
     },
     /// A record id referenced a slot that does not exist.
     BadRid,
+    /// A raw record's byte length does not match the heap file's fixed
+    /// record size.
+    RecordSizeMismatch {
+        /// Bytes the heap file's records occupy.
+        expected: u32,
+        /// Bytes supplied.
+        got: usize,
+    },
     /// A heap page was not registered in the buffer pool's page table —
     /// storage and page table disagree (a bug or corruption surfaced as a
     /// query error rather than a crash).
@@ -33,6 +41,88 @@ pub enum DbError {
     },
     /// The query referenced tables/columns in an unsupported combination.
     PlanError(String),
+    /// A buffer-pool page fetch failed (injected or real I/O failure).
+    /// Transient: shard retries may succeed.
+    IoFault {
+        /// Global page id whose fetch failed.
+        page_id: u64,
+    },
+    /// A fetched page failed checksum verification. Transient for the shard
+    /// retry loop (a re-fetch gets a fresh frame).
+    PageCorrupt {
+        /// Global page id that failed verification.
+        page_id: u64,
+    },
+    /// An arena could not satisfy an allocation — the fallible counterpart
+    /// of the arena's panicking bump path, and the memory-pressure signal
+    /// that triggers the partitioned join's downgrade.
+    ArenaExhausted {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// Bytes already allocated in the arena.
+        used: u64,
+        /// Total arena capacity in bytes.
+        capacity: u64,
+    },
+    /// A per-query [`crate::ResourceBudget`] limit was breached at a
+    /// cooperative checkpoint.
+    BudgetExceeded {
+        /// Which limit: `"arena_bytes"` or `"cycles"`.
+        resource: &'static str,
+        /// Consumption observed at the checkpoint.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The query was cancelled through its [`crate::CancelToken`].
+    Cancelled,
+    /// A shard's sub-query execution failed transiently (injected via
+    /// [`crate::FaultSite::ShardExec`]); the router retries these.
+    ShardFault {
+        /// Index of the failing shard.
+        shard: usize,
+    },
+    /// A shard kept failing after the router's bounded retries; the merged
+    /// query errors with the last underlying cause.
+    ShardFailed {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error the final attempt returned.
+        cause: Box<DbError>,
+    },
+    /// An executor invariant was violated (including a caught panic) —
+    /// always a bug, surfaced as an error so one query cannot take down the
+    /// engine.
+    Internal(String),
+}
+
+impl DbError {
+    /// Whether a retry of the same operation can plausibly succeed: the
+    /// shard router only retries transient failures (injected fault draws
+    /// advance, so a retry really can come back clean).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DbError::IoFault { .. } | DbError::PageCorrupt { .. } | DbError::ShardFault { .. }
+        )
+    }
+
+    /// Whether this error signals memory pressure — the condition under
+    /// which the partitioned hash join degrades to the naive hash join
+    /// rather than failing the query. Cycle-budget breaches are *not*
+    /// memory pressure: a query out of time must stop, not switch plans.
+    pub fn is_memory_pressure(&self) -> bool {
+        matches!(
+            self,
+            DbError::ArenaExhausted { .. }
+                | DbError::BudgetExceeded {
+                    resource: "arena_bytes",
+                    ..
+                }
+        )
+    }
 }
 
 impl fmt::Display for DbError {
@@ -50,6 +140,12 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::BadRid => write!(f, "invalid record id"),
+            DbError::RecordSizeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "record size mismatch: heap stores {expected}-byte records, got {got} bytes"
+                )
+            }
             DbError::PageNotRegistered { page_id } => {
                 write!(
                     f,
@@ -57,6 +153,44 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::PlanError(m) => write!(f, "cannot plan query: {m}"),
+            DbError::IoFault { page_id } => {
+                write!(f, "buffer-pool fetch of page {page_id} failed")
+            }
+            DbError::PageCorrupt { page_id } => {
+                write!(f, "page {page_id} failed checksum verification")
+            }
+            DbError::ArenaExhausted {
+                requested,
+                used,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "arena exhausted: {requested} bytes requested, {used}/{capacity} in use"
+                )
+            }
+            DbError::BudgetExceeded {
+                resource,
+                used,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "query budget exceeded: {resource} {used} > limit {limit}"
+                )
+            }
+            DbError::Cancelled => write!(f, "query cancelled"),
+            DbError::ShardFault { shard } => {
+                write!(f, "shard {shard} sub-query failed transiently")
+            }
+            DbError::ShardFailed {
+                shard,
+                attempts,
+                cause,
+            } => {
+                write!(f, "shard {shard} failed after {attempts} attempts: {cause}")
+            }
+            DbError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
     }
 }

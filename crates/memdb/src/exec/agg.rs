@@ -66,12 +66,19 @@ impl AggExec {
         self.child.open(env)?;
         let mut row = Vec::with_capacity(self.child.arity());
         let mut state = AggState::new();
+        let mut rows = 0u64;
         while self.child.next(env, &mut row)? {
             let v = row[self.col];
             env.ctx.exec(&self.blocks.agg_step);
             // Accumulator update in private memory (hot, L1-resident).
             env.ctx.store_touch(self.blocks.agg_buf, 16, MemDep::Demand);
             state.update(v);
+            // Guardrail checkpoint at batch-equivalent granularity: row
+            // mode has no batch boundary, so check every 1024 rows.
+            rows += 1;
+            if rows & 0x3FF == 0 {
+                env.budget_checkpoint(&self.blocks.budget_check)?;
+            }
         }
         Ok(state)
     }
@@ -96,6 +103,8 @@ impl AggExec {
             for i in 0..live {
                 state.update(col[batch.live_index(i)]);
             }
+            // Guardrail checkpoint once per batch boundary.
+            env.budget_checkpoint(&self.blocks.budget_check)?;
         }
         Ok(state)
     }

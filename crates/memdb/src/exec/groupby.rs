@@ -95,6 +95,7 @@ impl Operator for GroupByExec {
         match env.mode {
             ExecMode::Row => {
                 let mut row = Vec::with_capacity(self.child.arity());
+                let mut rows = 0u64;
                 while self.child.next(env, &mut row)? {
                     let key = row[self.group_col];
                     let v = row[self.agg_col];
@@ -104,6 +105,12 @@ impl Operator for GroupByExec {
                     env.ctx.exec(&self.blocks.agg_step);
                     self.touch_group_slot(env, key);
                     table.entry(key).or_default().update(v);
+                    // Guardrail checkpoint every 1024 rows (row mode's
+                    // batch-boundary equivalent).
+                    rows += 1;
+                    if rows & 0x3FF == 0 {
+                        env.budget_checkpoint(&self.blocks.budget_check)?;
+                    }
                 }
             }
             ExecMode::Batch => {
@@ -124,6 +131,8 @@ impl Operator for GroupByExec {
                         self.touch_group_slot(env, key);
                         table.entry(key).or_default().update(v);
                     }
+                    // Guardrail checkpoint once per batch boundary.
+                    env.budget_checkpoint(&self.blocks.budget_check)?;
                 }
             }
         }

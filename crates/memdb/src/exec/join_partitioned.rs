@@ -80,35 +80,52 @@ impl Partition {
         self.col_chunks[col][(row / CHUNK_ROWS) as usize] + (row % CHUNK_ROWS) as u64 * 4
     }
 
-    /// Grows every column by one chunk if `rows` sits on a chunk boundary.
-    fn ensure_capacity(&mut self, ctx: &mut DbCtx, row: u32) {
-        if row.is_multiple_of(CHUNK_ROWS) && (row / CHUNK_ROWS) as usize == self.col_chunks[0].len()
-        {
-            for chunks in &mut self.col_chunks {
-                chunks.push(ctx.index.alloc(CHUNK_ROWS as u64 * 4, 64));
+    /// Grows every column's chunk list to hold `rows + extra` rows, through
+    /// the fallible allocation seam ([`DbCtx::try_alloc_index`], which
+    /// applies the injected-fault and arena-budget checks). On failure no
+    /// column is grown, so a partition stays structurally consistent while
+    /// the join abandons the partitioned plan and degrades.
+    fn reserve(&mut self, ctx: &mut DbCtx, extra: u32) -> DbResult<()> {
+        let need_chunks = (self.rows + extra).div_ceil(CHUNK_ROWS) as usize;
+        while self.col_chunks[0].len() < need_chunks {
+            let mut fresh = Vec::with_capacity(self.col_chunks.len());
+            for _ in 0..self.col_chunks.len() {
+                fresh.push(ctx.try_alloc_index(CHUNK_ROWS as u64 * 4, 64)?);
+            }
+            for (chunks, addr) in self.col_chunks.iter_mut().zip(fresh) {
+                chunks.push(addr);
             }
         }
+        Ok(())
     }
 
     /// Appends one row with instrumented stores (row-mode scatter).
-    fn append_row(&mut self, ctx: &mut DbCtx, row: &[i32]) {
+    fn append_row(&mut self, ctx: &mut DbCtx, row: &[i32]) -> DbResult<()> {
         debug_assert_eq!(row.len(), self.col_chunks.len());
-        self.ensure_capacity(ctx, self.rows);
+        self.reserve(ctx, 1)?;
         for (c, &v) in row.iter().enumerate() {
             ctx.store_i32(self.addr(self.rows, c), v, MemDep::Demand);
         }
         self.rows += 1;
+        Ok(())
     }
 
     /// Appends a group of rows gathered from `batch` (batch-mode scatter):
     /// values are written raw, then each column's new span is charged as
     /// contiguous store runs — the same lines row-mode appends would dirty,
-    /// with the per-value bookkeeping amortized.
-    fn append_batch_rows(&mut self, ctx: &mut DbCtx, batch: &Batch, rows: &[usize]) {
+    /// with the per-value bookkeeping amortized. Callers reserve capacity
+    /// for the whole batch first, so a memory-pressure failure never leaves
+    /// a batch half-absorbed.
+    fn append_batch_rows(
+        &mut self,
+        ctx: &mut DbCtx,
+        batch: &Batch,
+        rows: &[usize],
+    ) -> DbResult<()> {
+        self.reserve(ctx, rows.len() as u32)?;
         let start = self.rows;
         for (k, &r) in rows.iter().enumerate() {
             let row_no = start + k as u32;
-            self.ensure_capacity(ctx, row_no);
             for c in 0..self.col_chunks.len() {
                 ctx.index.write_i32(self.addr(row_no, c), batch.value(c, r));
             }
@@ -117,6 +134,7 @@ impl Partition {
         for c in 0..self.col_chunks.len() {
             self.charge_spans(ctx, c, start, self.rows, true);
         }
+        Ok(())
     }
 
     /// Charges the contiguous chunk-bounded spans of column `c` covering
@@ -162,6 +180,19 @@ pub struct PartitionedHashJoin {
     probe_batch_pos: usize,
     out_scratch: Vec<i32>,
     scatter_groups: Vec<Vec<usize>>,
+    // graceful-degradation state: when partition arenas hit memory
+    // pressure the join downgrades to one naive hash table (see
+    // `downgrade_open`) instead of failing the query.
+    /// True once the join has downgraded to the naive single-table plan.
+    fallback: bool,
+    /// Probe rows consumed from the child but not recorded in any
+    /// partition at downgrade time (at most one in-flight batch); the
+    /// fallback re-probes these before streaming the rest of the child.
+    fb_pending: Vec<Vec<i32>>,
+    fb_pending_pos: usize,
+    /// True once the fallback has replayed every scattered probe partition
+    /// and now streams the probe child directly.
+    fb_stream: bool,
 }
 
 impl PartitionedHashJoin {
@@ -195,6 +226,10 @@ impl PartitionedHashJoin {
             probe_batch_pos: 0,
             out_scratch: Vec::new(),
             scatter_groups: Vec::new(),
+            fallback: false,
+            fb_pending: Vec::new(),
+            fb_pending_pos: 0,
+            fb_stream: false,
         }
     }
 
@@ -251,6 +286,11 @@ impl PartitionedHashJoin {
     /// batched scatter path: one `part_scatter` dispatch per batch, the
     /// tight `partition_step` loop per row, and per-partition contiguous
     /// store runs for the buffer appends.
+    ///
+    /// Capacity for every partition's share is reserved before any row is
+    /// recorded, so a memory-pressure failure leaves the entire batch
+    /// unabsorbed — the downgrade path can then re-probe it wholesale
+    /// without double-counting rows already recorded in partitions.
     fn scatter_batch(
         env: &mut ExecEnv<'_>,
         blocks: &EngineBlocks,
@@ -258,7 +298,7 @@ impl PartitionedHashJoin {
         batch: &Batch,
         key_col: usize,
         groups: &mut Vec<Vec<usize>>,
-    ) {
+    ) -> DbResult<()> {
         env.ctx.exec(&blocks.part_scatter);
         env.ctx
             .exec_scaled(&blocks.batch.partition_step, batch.live_rows() as u32);
@@ -273,9 +313,15 @@ impl PartitionedHashJoin {
         }
         for (p, group) in groups.iter().enumerate() {
             if !group.is_empty() {
-                parts[p].append_batch_rows(env.ctx, batch, group);
+                parts[p].reserve(env.ctx, group.len() as u32)?;
             }
         }
+        for (p, group) in groups.iter().enumerate() {
+            if !group.is_empty() {
+                parts[p].append_batch_rows(env.ctx, batch, group)?;
+            }
+        }
+        Ok(())
     }
 
     /// Builds the cache-resident hash table over partition `p`'s build rows,
@@ -325,11 +371,12 @@ impl PartitionedHashJoin {
     /// Advances to the next partition with probe rows left to replay;
     /// returns false when all partitions are exhausted. Entering a fresh
     /// partition builds its table; partitions with no probe rows are
-    /// skipped without building (nothing would be probed).
-    fn enter_next_partition(&mut self, env: &mut ExecEnv<'_>) -> bool {
+    /// skipped without building (nothing would be probed). Partition entry
+    /// is the join's natural cooperative guardrail checkpoint.
+    fn enter_next_partition(&mut self, env: &mut ExecEnv<'_>) -> DbResult<bool> {
         if self.table.is_some() {
             if self.probe_pos < self.probe_parts[self.cur_part].rows {
-                return true;
+                return Ok(true);
             }
             self.table = None;
             self.cur_part += 1;
@@ -339,13 +386,14 @@ impl PartitionedHashJoin {
                 self.cur_part += 1;
                 continue;
             }
+            env.budget_checkpoint(&self.blocks.budget_check)?;
             self.build_partition_table(env, self.cur_part);
             self.probe_pos = 0;
             self.probe_batch.reset(self.probe.arity());
             self.probe_batch_pos = 0;
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 
     /// Reads the next probe row of the current partition (row mode):
@@ -390,10 +438,201 @@ impl PartitionedHashJoin {
         self.probe_batch_pos = 0;
         self.probe_pos += n;
     }
+
+    /// Scatters the staged build rows into their partitions (mode-appropriate
+    /// charging). `staged` stays owned by the caller: it is the downgrade
+    /// path's build input if a partition arena hits memory pressure.
+    fn scatter_build_side(
+        &mut self,
+        env: &mut ExecEnv<'_>,
+        staged: &[Vec<i32>],
+        n_parts: usize,
+    ) -> DbResult<()> {
+        match env.mode {
+            ExecMode::Row => {
+                for row in staged {
+                    env.ctx.exec(&self.blocks.part_scatter);
+                    let p = Self::part_of(row[self.build_key], n_parts);
+                    self.build_parts[p].append_row(env.ctx, row)?;
+                }
+            }
+            ExecMode::Batch => {
+                let mut groups = std::mem::take(&mut self.scatter_groups);
+                let mut batch = Batch::new(self.build.arity());
+                let mut result = Ok(());
+                for chunk in staged.chunks(BATCH_ROWS) {
+                    batch.reset(self.build.arity());
+                    for row in chunk {
+                        batch.push_row(row);
+                    }
+                    if let Err(e) = Self::scatter_batch(
+                        env,
+                        &self.blocks,
+                        &mut self.build_parts,
+                        &batch,
+                        self.build_key,
+                        &mut groups,
+                    ) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                self.scatter_groups = groups;
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams the probe child into its partitions. On memory pressure, any
+    /// probe rows already consumed from the child but not recorded in a
+    /// partition are stashed in `fb_pending` so the downgrade path loses
+    /// nothing: row mode stashes the single in-flight row, batch mode the
+    /// whole failed batch (which `scatter_batch`'s reserve-first ordering
+    /// guarantees is entirely unabsorbed).
+    fn scatter_probe_side(&mut self, env: &mut ExecEnv<'_>, n_parts: usize) -> DbResult<()> {
+        match env.mode {
+            ExecMode::Row => {
+                let mut row = Vec::with_capacity(self.probe.arity());
+                while self.probe.next(env, &mut row)? {
+                    env.ctx.exec(&self.blocks.part_scatter);
+                    let p = Self::part_of(row[self.probe_key], n_parts);
+                    if let Err(e) = self.probe_parts[p].append_row(env.ctx, &row) {
+                        if e.is_memory_pressure() {
+                            self.fb_pending.push(row.clone());
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            ExecMode::Batch => {
+                let mut groups = std::mem::take(&mut self.scatter_groups);
+                let mut batch = Batch::new(self.probe.arity());
+                let result = loop {
+                    match self.probe.next_batch(env, &mut batch) {
+                        Ok(true) => {}
+                        Ok(false) => break Ok(()),
+                        Err(e) => break Err(e),
+                    }
+                    if let Err(e) = Self::scatter_batch(
+                        env,
+                        &self.blocks,
+                        &mut self.probe_parts,
+                        &batch,
+                        self.probe_key,
+                        &mut groups,
+                    ) {
+                        if e.is_memory_pressure() {
+                            let mut row = Vec::with_capacity(self.probe.arity());
+                            for i in 0..batch.live_rows() {
+                                batch.read_row(batch.live_index(i), &mut row);
+                                self.fb_pending.push(row.clone());
+                            }
+                        }
+                        break Err(e);
+                    }
+                };
+                self.scatter_groups = groups;
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Graceful degradation: a partition arena hit memory pressure (an
+    /// arena-budget breach, an injected allocation fault, or genuine
+    /// exhaustion), so the partitioned plan is abandoned and one naive hash
+    /// table — the [`HashJoin`] strategy, with its cache behaviour honestly
+    /// charged per insert — is built over the staged build rows. Probe rows
+    /// already recorded in partitions are replayed out of their buffers;
+    /// the in-flight remainder (`fb_pending`) and the rest of the probe
+    /// stream are probed directly. The downgrade is recorded in
+    /// [`crate::RobustnessStats::join_downgrades`].
+    fn downgrade_open(&mut self, env: &mut ExecEnv<'_>, staged: Vec<Vec<i32>>) -> DbResult<()> {
+        env.ctx.fault.note_downgrade();
+        let mut table = JoinHashTable::new(&mut env.ctx.index, staged.len().max(1) as u64);
+        for (i, row) in staged.iter().enumerate() {
+            env.ctx.exec(&self.blocks.hash_build);
+            HashJoin::insert_staged(env, &mut table, row[self.build_key], i as u64);
+        }
+        // The degraded plan is the engine's memory floor: the partition
+        // chunks it abandoned plus this one compact table. Restart the
+        // query's arena accounting here so an armed arena budget governs
+        // the fallback's *further* growth at later checkpoints instead of
+        // instantly re-failing the query the downgrade just saved.
+        env.ctx.query_start_arena = env.ctx.arena_used();
+        self.part_build_rows = staged;
+        self.table = Some(table);
+        self.build_parts = Vec::new();
+        self.fallback = true;
+        self.fb_pending_pos = 0;
+        self.fb_stream = false;
+        self.cur_part = 0;
+        self.probe_pos = 0;
+        self.chain = 0;
+        self.probe_batch.reset(self.probe.arity());
+        self.probe_batch_pos = 0;
+        Ok(())
+    }
+
+    /// Fallback probe-row acquisition: pending rows first, then replay of
+    /// the already-scattered probe partitions (instrumented sequential
+    /// loads), then the rest of the probe child stream. Charges the naive
+    /// probe path per row and primes the chain cursor.
+    fn next_fallback_probe_row(&mut self, env: &mut ExecEnv<'_>) -> DbResult<bool> {
+        let got = loop {
+            if self.fb_pending_pos < self.fb_pending.len() {
+                let row = &self.fb_pending[self.fb_pending_pos];
+                self.probe_row.clear();
+                self.probe_row.extend_from_slice(row);
+                self.fb_pending_pos += 1;
+                break true;
+            }
+            if !self.fb_stream {
+                if self.cur_part < self.probe_parts.len() {
+                    if self.probe_pos < self.probe_parts[self.cur_part].rows {
+                        let part = &self.probe_parts[self.cur_part];
+                        self.probe_row.clear();
+                        for c in 0..self.probe.arity() {
+                            self.probe_row.push(
+                                env.ctx
+                                    .load_i32(part.addr(self.probe_pos, c), MemDep::Demand),
+                            );
+                        }
+                        self.probe_pos += 1;
+                        break true;
+                    }
+                    self.cur_part += 1;
+                    self.probe_pos = 0;
+                    continue;
+                }
+                self.fb_stream = true;
+                continue;
+            }
+            if !self.probe.next(env, &mut self.probe_row)? {
+                break false;
+            }
+            break true;
+        };
+        if !got {
+            return Ok(false);
+        }
+        env.ctx.exec(&self.blocks.hash_probe);
+        let key = self.probe_row[self.probe_key];
+        let table = self.table.as_ref().expect("fallback table built");
+        env.ctx.touch(table.bucket_addr(key), 8, MemDep::Chase);
+        self.chain = table.chain_head(&env.ctx.index, key);
+        Ok(true)
+    }
 }
 
 impl Operator for PartitionedHashJoin {
     fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
+        self.fallback = false;
+        self.fb_pending.clear();
+        self.fb_pending_pos = 0;
+        self.fb_stream = false;
+
         // Drain the build side first: its cardinality sizes the fan-out
         // (real engines know |S| from the catalog or a sample; the staging
         // copy is host bookkeeping, the scatter below charges the work).
@@ -407,63 +646,24 @@ impl Operator for PartitionedHashJoin {
             .map(|_| Partition::new(self.probe.arity()))
             .collect();
 
-        // Scatter the build side.
-        match env.mode {
-            ExecMode::Row => {
-                for row in &staged {
-                    env.ctx.exec(&self.blocks.part_scatter);
-                    let p = Self::part_of(row[self.build_key], n_parts);
-                    self.build_parts[p].append_row(env.ctx, row);
-                }
+        // Scatter the build side. `staged` is kept alive through the probe
+        // scatter: it is the downgrade path's build input if the partition
+        // arenas hit memory pressure (anything else propagates unchanged).
+        if let Err(e) = self.scatter_build_side(env, &staged, n_parts) {
+            if e.is_memory_pressure() {
+                self.probe.open(env)?;
+                return self.downgrade_open(env, staged);
             }
-            ExecMode::Batch => {
-                let mut groups = std::mem::take(&mut self.scatter_groups);
-                let mut batch = Batch::new(self.build.arity());
-                for chunk in staged.chunks(BATCH_ROWS) {
-                    batch.reset(self.build.arity());
-                    for row in chunk {
-                        batch.push_row(row);
-                    }
-                    Self::scatter_batch(
-                        env,
-                        &self.blocks,
-                        &mut self.build_parts,
-                        &batch,
-                        self.build_key,
-                        &mut groups,
-                    );
-                }
-                self.scatter_groups = groups;
-            }
+            return Err(e);
         }
-        drop(staged);
 
         // Stream the probe side straight into its partitions.
         self.probe.open(env)?;
-        match env.mode {
-            ExecMode::Row => {
-                let mut row = Vec::with_capacity(self.probe.arity());
-                while self.probe.next(env, &mut row)? {
-                    env.ctx.exec(&self.blocks.part_scatter);
-                    let p = Self::part_of(row[self.probe_key], n_parts);
-                    self.probe_parts[p].append_row(env.ctx, &row);
-                }
+        if let Err(e) = self.scatter_probe_side(env, n_parts) {
+            if e.is_memory_pressure() {
+                return self.downgrade_open(env, staged);
             }
-            ExecMode::Batch => {
-                let mut groups = std::mem::take(&mut self.scatter_groups);
-                let mut batch = Batch::new(self.probe.arity());
-                while self.probe.next_batch(env, &mut batch)? {
-                    Self::scatter_batch(
-                        env,
-                        &self.blocks,
-                        &mut self.probe_parts,
-                        &batch,
-                        self.probe_key,
-                        &mut groups,
-                    );
-                }
-                self.scatter_groups = groups;
-            }
+            return Err(e);
         }
 
         self.cur_part = 0;
@@ -495,14 +695,34 @@ impl Operator for PartitionedHashJoin {
                     return Ok(true);
                 }
             }
-            if !self.enter_next_partition(env) {
-                return Ok(false);
+            if self.fallback {
+                if !self.next_fallback_probe_row(env)? {
+                    return Ok(false);
+                }
+            } else {
+                if !self.enter_next_partition(env)? {
+                    return Ok(false);
+                }
+                self.load_next_probe_row(env);
             }
-            self.load_next_probe_row(env);
         }
     }
 
     fn next_batch(&mut self, env: &mut ExecEnv<'_>, out: &mut Batch) -> DbResult<bool> {
+        if self.fallback {
+            // Degraded path: row-at-a-time probing shaped into batches —
+            // the downgrade trades vectorized probing for survival, and
+            // that cost is honestly charged through the row path.
+            out.reset(self.arity());
+            let mut row = Vec::with_capacity(self.arity());
+            while !out.is_full() {
+                if !self.next(env, &mut row)? {
+                    break;
+                }
+                out.push_row(&row);
+            }
+            return Ok(!out.is_empty());
+        }
         out.reset(self.arity());
         let mut matches_in_batch: u32 = 0;
         loop {
@@ -541,7 +761,7 @@ impl Operator for PartitionedHashJoin {
                 continue;
             }
             // Refill from the current partition, or move to the next one.
-            if !self.enter_next_partition(env) {
+            if !self.enter_next_partition(env)? {
                 break;
             }
             self.refill_probe_batch(env);

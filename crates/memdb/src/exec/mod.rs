@@ -57,11 +57,12 @@ pub use batch::{Batch, ExecMode, BATCH_ROWS};
 pub use filter::SelectionMode;
 pub use partial::AggState;
 
-use wdtg_sim::MemDep;
+use wdtg_sim::{CodeBlock, MemDep};
 
 use crate::buffer::BufferPool;
 use crate::db::DbCtx;
 use crate::error::{DbError, DbResult};
+use crate::fault::FaultSite;
 
 /// Execution environment handed to every operator call: the instrumented
 /// context plus the buffer pool (for page-table lookups) and the execution
@@ -80,7 +81,18 @@ impl ExecEnv<'_> {
     /// the context's reusable scratch buffer (no per-lookup allocation),
     /// charges one touch per probed entry with `dep`, and surfaces a
     /// missing registration as a query error instead of a crash.
+    ///
+    /// This is the single choke point every page access goes through
+    /// (sequential scans, index fetches, point operations), so it is also
+    /// where the [`FaultSite::BufpoolFetch`] and [`FaultSite::PageChecksum`]
+    /// injection seams live: a fetch-fault hit fails before the frame is
+    /// touched (the I/O never happened), a checksum hit fails after (the
+    /// frame was read but did not verify). Both are transient for the shard
+    /// retry loop.
     pub(crate) fn lookup_page(&mut self, page_id: u64, dep: MemDep) -> DbResult<u64> {
+        if self.ctx.fault.should_fault(FaultSite::BufpoolFetch) {
+            return Err(DbError::IoFault { page_id });
+        }
         let mut probed = std::mem::take(&mut self.ctx.probe_scratch);
         probed.clear();
         let lookup = self
@@ -94,7 +106,27 @@ impl ExecEnv<'_> {
             self.ctx.touch(entry, 16, dep);
         }
         self.ctx.probe_scratch = probed;
+        if self.ctx.fault.should_fault(FaultSite::PageChecksum) {
+            return Err(DbError::PageCorrupt { page_id });
+        }
         Ok(frame)
+    }
+
+    /// Cooperative guardrail checkpoint, called at batch/partition
+    /// boundaries. Always honors a pending [`crate::CancelToken`]; when a
+    /// [`crate::ResourceBudget`] limit is armed it additionally charges the
+    /// engine's `budget_check` straight-line block (so guardrail overhead is
+    /// deterministic simulated work, not hidden host time) and enforces the
+    /// limits. With no limits armed this charges nothing.
+    pub(crate) fn budget_checkpoint(&mut self, check_block: &CodeBlock) -> DbResult<()> {
+        if self.ctx.cancel.is_cancelled() {
+            return Err(DbError::Cancelled);
+        }
+        if !self.ctx.budget.is_limited() {
+            return Ok(());
+        }
+        self.ctx.exec(check_block);
+        self.ctx.enforce_budget()
     }
 }
 

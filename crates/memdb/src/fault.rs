@@ -1,0 +1,462 @@
+//! Deterministic fault injection and per-query resource guardrails.
+//!
+//! A production engine survives page corruption, allocation failure and
+//! flaky shards; a simulator that panics on any of them cannot be used to
+//! study that survival. This module gives the engine a *seeded, bit
+//! reproducible* fault model: a [`FaultPlan`] carries per-site fault rates
+//! and a seed, and the [`FaultInjector`] turns each potential fault site
+//! crossing into a pure function of `(seed, site, draw counter)` — so two
+//! runs of the same plan over the same data inject byte-identical fault
+//! sequences, and a chaos test that fails is trivially replayable.
+//!
+//! # Injection seams
+//!
+//! Faults fire at four well-defined seams ([`FaultSite`]):
+//!
+//! * **Buffer-pool fetch** — the executor's single page-access choke point
+//!   (`ExecEnv::lookup_page`) fails with [`crate::DbError::IoFault`], the
+//!   moral equivalent of a read error on the frame.
+//! * **Page checksum** — the same seam reports
+//!   [`crate::DbError::PageCorrupt`], modelling a latched page whose
+//!   checksum does not verify.
+//! * **Arena allocation** — the partitioned join's chunk allocator
+//!   (`DbCtx::try_alloc_index`) reports
+//!   [`crate::DbError::ArenaExhausted`], the trigger for its graceful
+//!   downgrade to the naive hash join.
+//! * **Shard execution** — the shard router draws once per shard sub-query
+//!   and treats a hit as a transient executor failure
+//!   ([`crate::DbError::ShardFault`]), which its bounded retry loop absorbs.
+//!
+//! Draw counters advance only for sites with a non-zero rate, so a disabled
+//! plan costs nothing and a single-site plan's sequence does not shift when
+//! other sites are enabled later.
+//!
+//! # Guardrails
+//!
+//! Orthogonally to injection, a [`ResourceBudget`] bounds what one query may
+//! consume (arena bytes, simulated cycles); the executor checks it
+//! cooperatively at batch/partition boundaries and surfaces
+//! [`crate::DbError::BudgetExceeded`] instead of running away. A
+//! [`CancelToken`] cancels a query at the same checkpoints.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The seams at which the engine can inject a deterministic fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Buffer-pool page fetch (the executor's single page-access choke
+    /// point, `ExecEnv::lookup_page`).
+    BufpoolFetch,
+    /// Page checksum verification after a successful fetch.
+    PageChecksum,
+    /// Partition-chunk arena allocation in the radix join.
+    ArenaAlloc,
+    /// Per-shard sub-query execution in the shard router.
+    ShardExec,
+}
+
+impl FaultSite {
+    /// All sites, in declaration order.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::BufpoolFetch,
+        FaultSite::PageChecksum,
+        FaultSite::ArenaAlloc,
+        FaultSite::ShardExec,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            FaultSite::BufpoolFetch => 0,
+            FaultSite::PageChecksum => 1,
+            FaultSite::ArenaAlloc => 2,
+            FaultSite::ShardExec => 3,
+        }
+    }
+
+    /// Per-site hash salt, so two sites with the same rate and seed draw
+    /// independent sequences.
+    #[inline]
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::BufpoolFetch => 0x4255_4650_4f4f_4c00,
+            FaultSite::PageChecksum => 0x4348_4543_4b53_554d,
+            FaultSite::ArenaAlloc => 0x4152_454e_414c_4c4f,
+            FaultSite::ShardExec => 0x5348_4152_4445_5845,
+        }
+    }
+}
+
+/// A seeded, bit-reproducible fault schedule: one injection rate per
+/// [`FaultSite`]. The default plan is fully disabled.
+///
+/// Whether draw `n` at a site faults is a pure function of
+/// `(seed, site, n)`, so a plan replays identically across runs, and
+/// [`FaultPlan::for_shard`] derives per-shard plans whose sequences are
+/// deterministic but mutually independent.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the per-draw hash.
+    pub seed: u64,
+    /// Fault probability per buffer-pool page fetch.
+    pub bufpool_fetch: f64,
+    /// Fault probability per page checksum verification.
+    pub page_checksum: f64,
+    /// Fault probability per partition-chunk arena allocation.
+    pub arena_alloc: f64,
+    /// Fault probability per shard sub-query execution.
+    pub shard_exec: f64,
+}
+
+impl FaultPlan {
+    /// The disabled plan: no site ever faults, no draw counters advance.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting at every site with the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            bufpool_fetch: rate,
+            page_checksum: rate,
+            arena_alloc: rate,
+            shard_exec: rate,
+        }
+    }
+
+    /// Builder: sets the rate of one site.
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> FaultPlan {
+        match site {
+            FaultSite::BufpoolFetch => self.bufpool_fetch = rate,
+            FaultSite::PageChecksum => self.page_checksum = rate,
+            FaultSite::ArenaAlloc => self.arena_alloc = rate,
+            FaultSite::ShardExec => self.shard_exec = rate,
+        }
+        self
+    }
+
+    /// Builder: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// The rate of one site.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::BufpoolFetch => self.bufpool_fetch,
+            FaultSite::PageChecksum => self.page_checksum,
+            FaultSite::ArenaAlloc => self.arena_alloc,
+            FaultSite::ShardExec => self.shard_exec,
+        }
+    }
+
+    /// Whether any site has a non-zero rate.
+    pub fn armed(&self) -> bool {
+        self.bufpool_fetch > 0.0
+            || self.page_checksum > 0.0
+            || self.arena_alloc > 0.0
+            || self.shard_exec > 0.0
+    }
+
+    /// The plan shard `shard` runs under: same rates, a seed derived from
+    /// this plan's seed and the shard index — deterministic, but shards do
+    /// not fault in lockstep.
+    pub fn for_shard(&self, shard: usize) -> FaultPlan {
+        FaultPlan {
+            seed: splitmix64(self.seed ^ (0x5348_4152_4400_0000 + shard as u64)),
+            ..*self
+        }
+    }
+}
+
+/// Counters the engine keeps while a plan is active: injected faults per
+/// site, plus the recovery actions the executor took. Exposed through
+/// [`crate::Database::robustness_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessStats {
+    /// Injected buffer-pool fetch failures.
+    pub bufpool_fetch_faults: u64,
+    /// Injected page-checksum mismatches.
+    pub page_checksum_faults: u64,
+    /// Injected partition-chunk allocation failures.
+    pub arena_alloc_faults: u64,
+    /// Injected shard execution failures.
+    pub shard_exec_faults: u64,
+    /// Partitioned-join downgrades to the naive hash join.
+    pub join_downgrades: u64,
+    /// Queries stopped by a [`ResourceBudget`] breach.
+    pub budget_stops: u64,
+}
+
+impl RobustnessStats {
+    /// Total injected faults across all sites.
+    pub fn total_faults(&self) -> u64 {
+        self.bufpool_fetch_faults
+            + self.page_checksum_faults
+            + self.arena_alloc_faults
+            + self.shard_exec_faults
+    }
+
+    /// Adds `other`'s counters into `self` (shard aggregation).
+    pub fn absorb(&mut self, other: &RobustnessStats) {
+        self.bufpool_fetch_faults += other.bufpool_fetch_faults;
+        self.page_checksum_faults += other.page_checksum_faults;
+        self.arena_alloc_faults += other.arena_alloc_faults;
+        self.shard_exec_faults += other.shard_exec_faults;
+        self.join_downgrades += other.join_downgrades;
+        self.budget_stops += other.budget_stops;
+    }
+}
+
+/// The mutable half of the fault model: a [`FaultPlan`] plus per-site draw
+/// counters and [`RobustnessStats`]. Lives on [`crate::db::DbCtx`]; one per
+/// database (per shard, under sharded execution).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    draws: [u64; 4],
+    stats: RobustnessStats,
+}
+
+impl FaultInjector {
+    /// An injector for `plan` with fresh counters.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            draws: [0; 4],
+            stats: RobustnessStats::default(),
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Whether any site can fault (fast gate for hot paths).
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.plan.armed()
+    }
+
+    /// Draws the next decision for `site`: true means inject. Sites with a
+    /// zero rate never draw (their counter does not advance), so a disabled
+    /// plan is free and per-site sequences are independent.
+    #[inline]
+    pub fn should_fault(&mut self, site: FaultSite) -> bool {
+        let rate = self.plan.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        let i = site.index();
+        let n = self.draws[i];
+        self.draws[i] += 1;
+        let h = splitmix64(self.plan.seed ^ site.salt() ^ n);
+        // 53 high bits -> uniform f64 in [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let hit = u < rate;
+        if hit {
+            match site {
+                FaultSite::BufpoolFetch => self.stats.bufpool_fetch_faults += 1,
+                FaultSite::PageChecksum => self.stats.page_checksum_faults += 1,
+                FaultSite::ArenaAlloc => self.stats.arena_alloc_faults += 1,
+                FaultSite::ShardExec => self.stats.shard_exec_faults += 1,
+            }
+        }
+        hit
+    }
+
+    /// Records a partitioned-join downgrade.
+    pub fn note_downgrade(&mut self) {
+        self.stats.join_downgrades += 1;
+    }
+
+    /// Records a budget-enforced query stop.
+    pub fn note_budget_stop(&mut self) {
+        self.stats.budget_stops += 1;
+    }
+
+    /// The counters collected so far.
+    pub fn stats(&self) -> RobustnessStats {
+        self.stats
+    }
+
+    /// Clears the counters (draw positions are kept: the fault sequence is
+    /// a property of the plan, not of when stats were last read).
+    pub fn reset_stats(&mut self) {
+        self.stats = RobustnessStats::default();
+    }
+}
+
+/// Per-query resource guardrails, checked cooperatively at batch and
+/// partition boundaries. `None` means unlimited; the default budget is
+/// fully unlimited and adds zero simulated overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    /// Arena bytes one query may allocate across all arenas.
+    pub max_arena_bytes: Option<u64>,
+    /// Simulated cycles one query may consume.
+    pub max_cycles: Option<u64>,
+}
+
+impl ResourceBudget {
+    /// The unlimited budget (no checks charged, no limits enforced).
+    pub fn unlimited() -> ResourceBudget {
+        ResourceBudget::default()
+    }
+
+    /// Builder: bounds per-query arena allocation.
+    pub fn with_max_arena_bytes(mut self, bytes: u64) -> ResourceBudget {
+        self.max_arena_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder: bounds per-query simulated cycles.
+    pub fn with_max_cycles(mut self, cycles: u64) -> ResourceBudget {
+        self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Whether any limit is set (and checkpoints must therefore charge the
+    /// guardrail-check code block).
+    #[inline]
+    pub fn is_limited(&self) -> bool {
+        self.max_arena_bytes.is_some() || self.max_cycles.is_some()
+    }
+}
+
+/// A shared cancellation flag for cooperative query cancellation.
+///
+/// Clones share one flag; [`CancelToken::cancel`] makes every in-flight and
+/// future query on the owning [`crate::Database`] return
+/// [`crate::DbError::Cancelled`] at its next checkpoint, until
+/// [`CancelToken::clear`] re-arms the database.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Rc<Cell<bool>>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.0.set(true);
+    }
+
+    /// Clears a previous cancellation so the database is usable again.
+    pub fn clear(&self) {
+        self.0.set(false);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.get()
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style mixer; statistically
+/// strong enough for fault scheduling and trivially reproducible.
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_faults_and_never_draws() {
+        let mut inj = FaultInjector::new(FaultPlan::disabled());
+        for _ in 0..1000 {
+            for site in FaultSite::ALL {
+                assert!(!inj.should_fault(site));
+            }
+        }
+        assert_eq!(inj.stats().total_faults(), 0);
+        assert_eq!(inj.draws, [0; 4]);
+    }
+
+    #[test]
+    fn fault_sequences_are_bit_reproducible() {
+        let plan = FaultPlan::uniform(0xDEAD_BEEF, 0.05);
+        let seq = |mut inj: FaultInjector| -> Vec<bool> {
+            (0..500)
+                .map(|_| inj.should_fault(FaultSite::BufpoolFetch))
+                .collect()
+        };
+        assert_eq!(seq(FaultInjector::new(plan)), seq(FaultInjector::new(plan)));
+    }
+
+    #[test]
+    fn sites_draw_independently() {
+        // Enabling a second site must not shift the first site's sequence.
+        let only = FaultPlan::disabled()
+            .with_seed(7)
+            .with_rate(FaultSite::BufpoolFetch, 0.1);
+        let both = only.with_rate(FaultSite::ArenaAlloc, 0.5);
+        let mut a = FaultInjector::new(only);
+        let mut b = FaultInjector::new(both);
+        for _ in 0..300 {
+            let fa = a.should_fault(FaultSite::BufpoolFetch);
+            b.should_fault(FaultSite::ArenaAlloc);
+            let fb = b.should_fault(FaultSite::BufpoolFetch);
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::disabled()
+                .with_seed(42)
+                .with_rate(FaultSite::PageChecksum, 0.1),
+        );
+        let hits = (0..20_000)
+            .filter(|_| inj.should_fault(FaultSite::PageChecksum))
+            .count();
+        assert!(
+            (1_500..2_500).contains(&hits),
+            "expected ~2000 faults at rate 0.1, got {hits}"
+        );
+    }
+
+    #[test]
+    fn shard_plans_differ_but_are_deterministic() {
+        let plan = FaultPlan::uniform(99, 0.01);
+        assert_ne!(plan.for_shard(0).seed, plan.for_shard(1).seed);
+        assert_eq!(plan.for_shard(3), plan.for_shard(3));
+        assert_eq!(plan.for_shard(2).bufpool_fetch, plan.bufpool_fetch);
+    }
+
+    #[test]
+    fn cancel_token_round_trip() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        t.clear();
+        assert!(!u.is_cancelled());
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let b = ResourceBudget::unlimited()
+            .with_max_arena_bytes(1 << 20)
+            .with_max_cycles(1_000_000);
+        assert!(b.is_limited());
+        assert_eq!(b.max_arena_bytes, Some(1 << 20));
+        assert_eq!(b.max_cycles, Some(1_000_000));
+        assert!(!ResourceBudget::unlimited().is_limited());
+    }
+}

@@ -241,13 +241,25 @@ impl HeapFile {
     }
 
     /// Appends a record (raw bytes, uninstrumented — used for bulk loading,
-    /// which the paper performs before measurement). Returns its rid.
-    pub fn insert_raw(&mut self, arena: &mut SimArena, rec: &[u8]) -> Rid {
-        assert_eq!(rec.len(), self.record_size as usize);
+    /// which the paper performs before measurement). Returns its rid, or a
+    /// typed error for a wrong-sized record / an exhausted heap arena.
+    pub fn insert_raw(&mut self, arena: &mut SimArena, rec: &[u8]) -> DbResult<Rid> {
+        if rec.len() != self.record_size as usize {
+            return Err(DbError::RecordSizeMismatch {
+                expected: self.record_size,
+                got: rec.len(),
+            });
+        }
         let slot_in_page = (self.n_records % self.page_cap as u64) as u32;
         if slot_in_page == 0 {
             // Start a new page.
-            let addr = arena.alloc(PAGE_SIZE, PAGE_SIZE);
+            let addr = arena
+                .try_alloc(PAGE_SIZE, PAGE_SIZE)
+                .ok_or(DbError::ArenaExhausted {
+                    requested: PAGE_SIZE,
+                    used: arena.used(),
+                    capacity: arena.region().len,
+                })?;
             let page_no = self.pages.len() as u32;
             arena.write_i32(addr + HDR_NRECS, 0);
             arena.write_i32(addr + HDR_RECSIZE, self.record_size as i32);
@@ -274,7 +286,7 @@ impl HeapFile {
         }
         arena.write_i32(page + HDR_NRECS, slot_in_page as i32 + 1);
         self.n_records += 1;
-        rid
+        Ok(rid)
     }
 
     /// Records stored in page `page_no` (raw header read).
@@ -311,7 +323,7 @@ mod tests {
         let mut h = HeapFile::new(100, 0);
         let mut rids = Vec::new();
         for i in 0..200 {
-            rids.push(h.insert_raw(&mut a, &record(100, i)));
+            rids.push(h.insert_raw(&mut a, &record(100, i)).unwrap());
         }
         assert_eq!(h.n_records, 200);
         assert_eq!(h.n_pages(), 3, "81+81+38");
@@ -336,7 +348,7 @@ mod tests {
     fn bad_rid_is_detected() {
         let mut a = arena();
         let mut h = HeapFile::new(100, 0);
-        h.insert_raw(&mut a, &record(100, 1));
+        h.insert_raw(&mut a, &record(100, 1)).unwrap();
         assert!(h.record_addr(Rid { page: 9, slot: 0 }).is_err());
         assert!(h.record_addr(Rid { page: 0, slot: 99 }).is_err());
     }
@@ -362,7 +374,7 @@ mod tests {
             for c in 0..5 {
                 rec.extend_from_slice(&(i * 10 + c).to_le_bytes());
             }
-            rids.push(h.insert_raw(&mut a, &rec));
+            rids.push(h.insert_raw(&mut a, &rec).unwrap());
         }
         for (i, rid) in rids.iter().enumerate() {
             for c in 0..5usize {
@@ -416,11 +428,33 @@ mod tests {
         let mut a = arena();
         let mut h = HeapFile::new(200, 0);
         for i in 0..100 {
-            h.insert_raw(&mut a, &record(200, i));
+            h.insert_raw(&mut a, &record(200, i)).unwrap();
         }
         for w in h.pages.windows(2) {
             assert_eq!(w[0] % PAGE_SIZE, 0);
             assert!(w[1] >= w[0] + PAGE_SIZE);
         }
+    }
+
+    #[test]
+    fn wrong_record_size_and_full_arena_are_typed_errors() {
+        let mut a = arena();
+        let mut h = HeapFile::new(100, 0);
+        assert_eq!(
+            h.insert_raw(&mut a, &record(60, 1)),
+            Err(DbError::RecordSizeMismatch {
+                expected: 100,
+                got: 60
+            })
+        );
+        // A heap arena too small for even one page fails cleanly, and the
+        // heap file records nothing.
+        let mut tiny = SimArena::new(segment::HEAP, PAGE_SIZE / 2);
+        match h.insert_raw(&mut tiny, &record(100, 1)) {
+            Err(DbError::ArenaExhausted { requested, .. }) => assert_eq!(requested, PAGE_SIZE),
+            other => panic!("expected ArenaExhausted, got {other:?}"),
+        }
+        assert_eq!(h.n_records, 0);
+        assert_eq!(h.n_pages(), 0);
     }
 }

@@ -22,6 +22,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fault;
 pub mod heap;
 pub mod index;
 pub mod profiles;
@@ -35,8 +36,9 @@ pub use db::{Database, DbCtx, IndexMeta, Table};
 pub use error::{DbError, DbResult};
 pub use exec::{AggState, Batch, ExecMode, SelectionMode, BATCH_ROWS};
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use fault::{CancelToken, FaultPlan, FaultSite, ResourceBudget, RobustnessStats};
 pub use heap::{HeapFile, PageLayout, Rid, PAGE_HDR, PAGE_SIZE};
 pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize, SystemId};
 pub use query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
 pub use schema::{Column, Schema};
-pub use shard::ShardedDatabase;
+pub use shard::{RouterStats, ShardedDatabase};

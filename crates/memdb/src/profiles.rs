@@ -189,6 +189,13 @@ pub struct EngineBlocks {
     pub update_step: CodeBlock,
     pub insert_step: CodeBlock,
     pub txn_begin_commit: CodeBlock,
+    /// Guardrail checkpoint path: compare the query's cycle/arena counters
+    /// against the armed [`crate::ResourceBudget`] limits. Straight-line
+    /// and tiny — charged only at batch/partition boundaries, and only when
+    /// a limit is set, so the <2% disabled-overhead gate holds by
+    /// construction. Also the unit of the shard router's deterministic
+    /// backoff spin ([`crate::ShardedDatabase`] retries).
+    pub budget_check: CodeBlock,
     /// Vectorized-path blocks (see [`BatchBlocks`]).
     pub batch: BatchBlocks,
     /// The selection predicate's qualify branch (simulated individually;
@@ -794,6 +801,12 @@ impl EngineProfile {
                 private + 24_576,
             ),
         };
+        // Guardrail checkpoint: read two counters, compare against two
+        // limits — a tiny straight-line path, the same in every engine,
+        // charged only when a ResourceBudget limit is armed (so the fault
+        // model costs nothing when off, and its overhead is deterministic
+        // simulated work when on).
+        let budget_check = place_straight(&mut alloc, "budget_check", 40, &p, private + 25_088);
 
         let qualify_site = BranchSite {
             addr: pred_eval.base + 64,
@@ -825,6 +838,7 @@ impl EngineProfile {
             update_step,
             insert_step,
             txn_begin_commit,
+            budget_check,
             batch,
             qualify_site,
             match_site,

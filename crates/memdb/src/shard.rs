@@ -65,8 +65,92 @@ use crate::db::Database;
 use crate::error::{DbError, DbResult};
 use crate::exec::partial::AggState;
 use crate::exec::{ExecMode, SelectionMode};
+use crate::fault::{FaultPlan, FaultSite, ResourceBudget, RobustnessStats};
 use crate::profiles::JoinAlgo;
 use crate::query::{Query, QueryPredicate, QueryResult};
+
+/// How many times the router attempts one shard's sub-query before giving
+/// up (first try + two retries).
+const MAX_SHARD_ATTEMPTS: u32 = 3;
+
+/// Router-level robustness counters: what the shard retry loop did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Individual retry attempts issued after a transient shard failure.
+    pub retries: u64,
+    /// Shard sub-queries that ultimately succeeded after >= 1 retry.
+    pub recovered: u64,
+    /// Shard sub-queries that exhausted their attempts and failed the
+    /// merged query ([`DbError::ShardFailed`]).
+    pub failed: u64,
+}
+
+/// Runs one read-only shard sub-query with bounded deterministic retry:
+/// an injected [`FaultSite::ShardExec`] hit (drawn before each attempt)
+/// or a transient error from the shard is retried up to
+/// [`MAX_SHARD_ATTEMPTS`] times, charging an exponential backoff spin on
+/// the shard's own simulated core between attempts. Non-transient errors
+/// propagate unchanged; exhaustion surfaces as [`DbError::ShardFailed`]
+/// wrapping the last cause.
+fn run_with_retry<T>(
+    shard: &mut Database,
+    shard_no: usize,
+    stats: &mut RouterStats,
+    mut op: impl FnMut(&mut Database) -> DbResult<T>,
+) -> DbResult<T> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = if shard.ctx.fault.should_fault(FaultSite::ShardExec) {
+            Err(DbError::ShardFault { shard: shard_no })
+        } else {
+            op(shard)
+        };
+        match result {
+            Ok(v) => {
+                if attempt > 1 {
+                    stats.recovered += 1;
+                }
+                return Ok(v);
+            }
+            Err(e) if e.is_transient() => {
+                if attempt < MAX_SHARD_ATTEMPTS {
+                    stats.retries += 1;
+                    shard.charge_backoff(attempt);
+                } else {
+                    stats.failed += 1;
+                    return Err(DbError::ShardFailed {
+                        shard: shard_no,
+                        attempts: attempt,
+                        cause: Box::new(e),
+                    });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs one *mutating* shard sub-query under fault injection. Mutations
+/// are never retried: a failed attempt may have partially applied, and a
+/// blind re-run could double-apply its effect — the router surfaces
+/// [`DbError::ShardFailed`] after a single attempt instead.
+fn run_mutation<T>(
+    shard: &mut Database,
+    shard_no: usize,
+    stats: &mut RouterStats,
+    op: impl FnOnce(&mut Database) -> DbResult<T>,
+) -> DbResult<T> {
+    if shard.ctx.fault.should_fault(FaultSite::ShardExec) {
+        stats.failed += 1;
+        return Err(DbError::ShardFailed {
+            shard: shard_no,
+            attempts: 1,
+            cause: Box::new(DbError::ShardFault { shard: shard_no }),
+        });
+    }
+    op(shard)
+}
 
 /// Shard index of `key` among `n` shards: high 32 bits of the radix-join
 /// multiplicative hash, mod `n`. Pure and deterministic.
@@ -84,12 +168,16 @@ pub(crate) fn shard_of(key: i32, n: usize) -> usize {
 #[derive(Debug)]
 pub struct ShardedDatabase {
     shards: Vec<Database>,
+    stats: RouterStats,
 }
 
 impl ShardedDatabase {
     pub(crate) fn from_shards(shards: Vec<Database>) -> ShardedDatabase {
         assert!(!shards.is_empty(), "a sharded database needs >= 1 shard");
-        ShardedDatabase { shards }
+        ShardedDatabase {
+            shards,
+            stats: RouterStats::default(),
+        }
     }
 
     /// Number of shards (simulated cores).
@@ -134,6 +222,50 @@ impl ShardedDatabase {
         for s in &mut self.shards {
             s.ctx.instrument = on;
         }
+    }
+
+    /// Applies `plan` across the shards, salting the seed per shard
+    /// ([`FaultPlan::for_shard`]) so shards draw independent — but still
+    /// bit-reproducible — fault sequences rather than faulting in lockstep.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            s.set_fault_plan(plan.for_shard(i));
+        }
+    }
+
+    /// Applies a per-query [`ResourceBudget`] to every shard (each shard
+    /// enforces it against its own arenas and simulated core).
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        for s in &mut self.shards {
+            s.set_budget(budget);
+        }
+    }
+
+    /// Fault/guardrail counters aggregated across all shards.
+    pub fn robustness_stats(&self) -> RobustnessStats {
+        let mut total = RobustnessStats::default();
+        for s in &self.shards {
+            total.absorb(&s.robustness_stats());
+        }
+        total
+    }
+
+    /// Clears every shard's fault/guardrail counters (fault-draw positions
+    /// are kept, so injection sequences stay reproducible).
+    pub fn reset_robustness_stats(&mut self) {
+        for s in &mut self.shards {
+            s.reset_robustness_stats();
+        }
+    }
+
+    /// Router-level retry/recovery counters (see [`RouterStats`]).
+    pub fn router_stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Clears the router-level retry/recovery counters.
+    pub fn reset_router_stats(&mut self) {
+        self.stats = RouterStats::default();
     }
 
     /// One [`Snapshot`] per shard, in shard order — the `before` side of a
@@ -197,10 +329,12 @@ impl ShardedDatabase {
     }
 
     /// Runs an aggregate query on every shard and merges the exact partials.
+    /// Each shard's sub-query runs under the router's bounded retry loop.
     fn run_merged_agg(&mut self, q: &Query, kind: crate::query::AggKind) -> DbResult<QueryResult> {
         let mut state = AggState::new();
-        for s in &mut self.shards {
-            state.merge(&s.run_partial(q)?);
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            let partial = run_with_retry(s, i, &mut self.stats, |db| db.run_partial(q))?;
+            state.merge(&partial);
         }
         Ok(state.result(kind))
     }
@@ -230,8 +364,8 @@ impl ShardedDatabase {
                     rows: 0,
                 };
                 let mut shards_with_matches = 0u32;
-                for s in &mut self.shards {
-                    let r = s.run(q)?;
+                for (i, s) in self.shards.iter_mut().enumerate() {
+                    let r = run_with_retry(s, i, &mut self.stats, |db| db.run(q))?;
                     if r.rows > 0 {
                         shards_with_matches += 1;
                         if out.rows == 0 {
@@ -261,8 +395,8 @@ impl ShardedDatabase {
                     value: 0.0,
                     rows: 0,
                 };
-                for s in &mut self.shards {
-                    let r = s.run(q)?;
+                for (i, s) in self.shards.iter_mut().enumerate() {
+                    let r = run_mutation(s, i, &mut self.stats, |db| db.run(q))?;
                     if r.rows > 0 {
                         out.value = r.value;
                     }
@@ -280,7 +414,9 @@ impl ShardedDatabase {
                     });
                 }
                 let target = shard_of(values[col], self.shards.len());
-                self.shards[target].run(q)
+                run_mutation(&mut self.shards[target], target, &mut self.stats, |db| {
+                    db.run(q)
+                })
             }
         }
     }
@@ -296,8 +432,11 @@ impl ShardedDatabase {
     ) -> DbResult<Vec<(i32, f64)>> {
         let kind = agg.kind;
         let mut merged: BTreeMap<i32, AggState> = BTreeMap::new();
-        for s in &mut self.shards {
-            for (k, st) in s.run_grouped_partial(table, group_col, predicate, agg)? {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            let partials = run_with_retry(s, i, &mut self.stats, |db| {
+                db.run_grouped_partial(table, group_col, predicate, agg)
+            })?;
+            for (k, st) in partials {
                 merged.entry(k).or_default().merge(&st);
             }
         }

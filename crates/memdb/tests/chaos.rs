@@ -1,0 +1,168 @@
+//! "No wrong answers under chaos": property tests that drive queries under
+//! randomized fault-injection plans and resource budgets and demand the
+//! engine's one safety contract — every run returns either the bit-identical
+//! fault-free answer or a typed `DbError`. Never a panic, never silently
+//! wrong rows. Outcomes must also be deterministic: rebuilding the same
+//! database and re-running the same plan reproduces the same result,
+//! including which queries fault.
+
+use proptest::prelude::*;
+
+use wdtg_memdb::testutil::{build_db_layout, rows_for};
+use wdtg_memdb::{
+    DbError, ExecMode, FaultPlan, JoinAlgo, PageLayout, Query, ResourceBudget, ShardedDatabase,
+    SystemId,
+};
+
+/// The error classes chaos is allowed to surface. Anything else —
+/// `PlanError`, `Internal`, schema errors — means an injected fault was
+/// translated into the wrong failure, which is a bug.
+fn is_chaos_error(e: &DbError) -> bool {
+    match e {
+        DbError::IoFault { .. }
+        | DbError::PageCorrupt { .. }
+        | DbError::ArenaExhausted { .. }
+        | DbError::BudgetExceeded { .. }
+        | DbError::Cancelled
+        | DbError::ShardFault { .. } => true,
+        DbError::ShardFailed { cause, .. } => is_chaos_error(cause),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scalar aggregation under uniform fault plans, swept across execution
+    /// modes, page layouts and shard counts: the answer is bit-identical to
+    /// the fault-free run or a typed chaos error, and the outcome is
+    /// reproducible from a fresh build.
+    #[test]
+    fn chaos_never_corrupts_scan_answers(
+        seed in 0u64..(1u64 << 48),
+        rate_sel in 0usize..3,
+        mode_sel in 0usize..2,
+        layout_sel in 0usize..2,
+        shards in 1usize..4,
+        n_rows in 300usize..900,
+    ) {
+        let rate = [1e-3, 1e-2, 0.05][rate_sel];
+        let mode = [ExecMode::Row, ExecMode::Batch][mode_sel];
+        let layout = [PageLayout::Nsm, PageLayout::Pax][layout_sel];
+        let rows = rows_for(n_rows, 11);
+        let q = Query::range_select_avg("R", 10, 400);
+
+        let build = |rows: &[Vec<i32>]| -> ShardedDatabase {
+            let mut db = build_db_layout(SystemId::C, layout, &[("R", rows)], false);
+            db.set_exec_mode(mode);
+            db.shard(shards).unwrap()
+        };
+
+        let expected = build(&rows).run(&q).unwrap();
+
+        let plan = FaultPlan::uniform(seed, rate);
+        let run_chaos = |rows: &[Vec<i32>]| {
+            let mut db = build(rows);
+            db.set_fault_plan(plan);
+            let r = db.run(&q);
+            (r, db.robustness_stats(), db.router_stats())
+        };
+        let (r1, stats1, router1) = run_chaos(&rows);
+        let (r2, stats2, router2) = run_chaos(&rows);
+        prop_assert_eq!(&r1, &r2, "chaos outcome must be bit-reproducible");
+        prop_assert_eq!(stats1, stats2, "fault counters must be reproducible");
+        prop_assert_eq!(router1, router2, "retry counters must be reproducible");
+        match r1 {
+            Ok(got) => {
+                prop_assert_eq!(got.rows, expected.rows, "wrong row count under chaos");
+                prop_assert_eq!(
+                    got.value.to_bits(),
+                    expected.value.to_bits(),
+                    "wrong answer under chaos"
+                );
+            }
+            Err(e) => prop_assert!(is_chaos_error(&e), "unexpected error class: {e:?}"),
+        }
+    }
+
+    /// The partitioned join under an arena budget either fits (no
+    /// downgrade), degrades to the naive join (exactly one downgrade), or
+    /// surfaces a typed breach — and every completed run produces the
+    /// bit-identical answer, in both execution modes (batch mode exercises
+    /// the in-flight-batch rescue).
+    #[test]
+    fn join_downgrade_preserves_answers(
+        mode_sel in 0usize..2,
+        budget_kb in 3u64..40,
+        n_build in 200usize..400,
+    ) {
+        let mode = [ExecMode::Row, ExecMode::Batch][mode_sel];
+        let rows = rows_for(1200, 3);
+        let srows = rows_for(n_build, 5);
+        let build = || {
+            let mut db = build_db_layout(
+                SystemId::C,
+                PageLayout::Nsm,
+                &[("R", &rows), ("S", &srows)],
+                false,
+            );
+            db.set_join_algo(JoinAlgo::PartitionedHash);
+            db.set_exec_mode(mode);
+            db
+        };
+        let q = Query::join_avg("R", "S");
+        let expected = build().run(&q).unwrap();
+
+        let mut db = build();
+        db.set_budget(ResourceBudget::unlimited().with_max_arena_bytes(budget_kb * 1024));
+        let got = db.run(&q);
+        match got {
+            Ok(got) => {
+                prop_assert_eq!(
+                    got.value.to_bits(),
+                    expected.value.to_bits(),
+                    "degraded join changed the answer"
+                );
+                prop_assert_eq!(got.rows, expected.rows);
+                prop_assert!(
+                    db.robustness_stats().join_downgrades <= 1,
+                    "a query downgrades at most once"
+                );
+            }
+            Err(e) => prop_assert!(is_chaos_error(&e), "unexpected error class: {e:?}"),
+        }
+    }
+
+    /// A cycle budget either lets the query finish with the exact answer or
+    /// stops it with a typed breach — never a different answer.
+    #[test]
+    fn cycle_budgets_stop_cleanly(
+        budget in 1_000u64..2_000_000,
+        mode_sel in 0usize..2,
+    ) {
+        let mode = [ExecMode::Row, ExecMode::Batch][mode_sel];
+        let rows = rows_for(3000, 7);
+        let build = || {
+            let mut db = build_db_layout(SystemId::C, PageLayout::Nsm, &[("R", &rows)], false);
+            db.set_exec_mode(mode);
+            db
+        };
+        let q = Query::range_select_avg("R", 10, 400);
+        let expected = build().run(&q).unwrap();
+
+        let mut db = build();
+        db.set_budget(ResourceBudget::unlimited().with_max_cycles(budget));
+        match db.run(&q) {
+            Ok(got) => {
+                prop_assert_eq!(got.value.to_bits(), expected.value.to_bits());
+                prop_assert_eq!(got.rows, expected.rows);
+            }
+            Err(DbError::BudgetExceeded { resource, used, limit }) => {
+                prop_assert_eq!(resource, "cycles");
+                prop_assert!(used > limit);
+                prop_assert_eq!(db.robustness_stats().budget_stops, 1);
+            }
+            Err(other) => panic!("expected success or a cycles breach, got {other:?}"),
+        }
+    }
+}

@@ -5,7 +5,10 @@
 //! release build dies instead of reporting the query as unplannable.
 
 use wdtg_memdb::testutil::{build_db_layout, rows_for};
-use wdtg_memdb::{AggSpec, DbError, Expr, PageLayout, Query, QueryPredicate, SystemId};
+use wdtg_memdb::{
+    AggSpec, DbError, Expr, FaultPlan, FaultSite, JoinAlgo, PageLayout, Query, QueryPredicate,
+    ResourceBudget, SystemId,
+};
 
 fn db() -> wdtg_memdb::Database {
     let rows = rows_for(500, 7);
@@ -96,6 +99,151 @@ fn unknown_group_and_agg_columns_in_run_grouped_are_errors() {
         db.run_grouped("R", "a4", None, &AggSpec::avg("ghost")),
         Err(DbError::ColumnNotFound("ghost".into()))
     );
+}
+
+#[test]
+fn cancelled_queries_return_cancelled_until_cleared() {
+    let mut db = db();
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: None,
+        agg: AggSpec::avg("a3"),
+    };
+    let token = db.cancel_token();
+    token.cancel();
+    assert_eq!(db.run(&q), Err(DbError::Cancelled));
+    token.clear();
+    assert!(db.run(&q).is_ok(), "cleared token must unblock queries");
+}
+
+#[test]
+fn cycle_budget_breach_is_a_typed_error() {
+    let rows = rows_for(4000, 7);
+    let mut db = build_db_layout(SystemId::C, PageLayout::Nsm, &[("R", &rows)], false);
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: None,
+        agg: AggSpec::avg("a3"),
+    };
+    assert!(db.run(&q).is_ok(), "unlimited run must succeed");
+
+    db.set_budget(ResourceBudget::unlimited().with_max_cycles(1_000));
+    match db.run(&q) {
+        Err(DbError::BudgetExceeded {
+            resource: "cycles",
+            used,
+            limit,
+        }) => assert!(used > limit),
+        other => panic!("expected a cycles budget breach, got {other:?}"),
+    }
+    assert!(db.robustness_stats().budget_stops >= 1);
+
+    db.set_budget(ResourceBudget::unlimited());
+    assert!(db.run(&q).is_ok(), "disarming the budget must recover");
+}
+
+#[test]
+fn injected_io_and_checksum_faults_are_typed_and_recoverable() {
+    let mut db = db();
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: None,
+        agg: AggSpec::avg("a3"),
+    };
+
+    db.set_fault_plan(FaultPlan::disabled().with_rate(FaultSite::BufpoolFetch, 1.0));
+    match db.run(&q) {
+        Err(e @ DbError::IoFault { .. }) => assert!(e.is_transient()),
+        other => panic!("expected IoFault, got {other:?}"),
+    }
+    assert!(db.robustness_stats().bufpool_fetch_faults >= 1);
+
+    db.set_fault_plan(FaultPlan::disabled().with_rate(FaultSite::PageChecksum, 1.0));
+    match db.run(&q) {
+        Err(e @ DbError::PageCorrupt { .. }) => assert!(e.is_transient()),
+        other => panic!("expected PageCorrupt, got {other:?}"),
+    }
+    assert!(db.robustness_stats().page_checksum_faults >= 1);
+
+    db.set_fault_plan(FaultPlan::disabled());
+    assert!(db.run(&q).is_ok(), "disabling faults must recover");
+}
+
+#[test]
+fn exhausted_shard_retries_surface_shard_failed() {
+    let rows = rows_for(2000, 7);
+    let db = build_db_layout(SystemId::C, PageLayout::Nsm, &[("R", &rows)], false);
+    let mut sharded = db.shard(2).unwrap();
+    sharded.set_fault_plan(FaultPlan::disabled().with_rate(FaultSite::ShardExec, 1.0));
+    let q = Query::SelectAgg {
+        table: "R".into(),
+        predicate: None,
+        agg: AggSpec::avg("a3"),
+    };
+    match sharded.run(&q) {
+        Err(DbError::ShardFailed {
+            shard: 0,
+            attempts: 3,
+            cause,
+        }) => assert!(cause.is_transient()),
+        other => panic!("expected ShardFailed after exhausted retries, got {other:?}"),
+    }
+    let rs = sharded.router_stats();
+    assert_eq!(rs.retries, 2, "two retries before giving up");
+    assert_eq!(rs.failed, 1);
+    assert_eq!(rs.recovered, 0);
+
+    sharded.set_fault_plan(FaultPlan::disabled());
+    assert!(sharded.run(&q).is_ok(), "disabling faults must recover");
+}
+
+#[test]
+fn shard_mutations_under_faults_fail_without_retry() {
+    let rows = rows_for(100, 7);
+    let db = build_db_layout(SystemId::C, PageLayout::Nsm, &[("R", &rows)], false);
+    let mut sharded = db.shard(2).unwrap();
+    sharded.set_fault_plan(FaultPlan::disabled().with_rate(FaultSite::ShardExec, 1.0));
+    let q = Query::InsertRow {
+        table: "R".into(),
+        values: vec![5000, 1, 2, 3, 0],
+    };
+    match sharded.run(&q) {
+        Err(DbError::ShardFailed { attempts: 1, .. }) => {}
+        other => panic!("mutations must fail on the first fault, got {other:?}"),
+    }
+    assert_eq!(
+        sharded.router_stats().retries,
+        0,
+        "mutations are never retried (a re-run could double-apply)"
+    );
+}
+
+#[test]
+fn tight_arena_budget_downgrades_partitioned_join_instead_of_failing() {
+    let rows = rows_for(2000, 3);
+    let srows = rows_for(400, 5);
+    let mut db = build_db_layout(
+        SystemId::C,
+        PageLayout::Nsm,
+        &[("R", &rows), ("S", &srows)],
+        false,
+    );
+    db.set_join_algo(JoinAlgo::PartitionedHash);
+    let q = Query::join_avg("R", "S");
+
+    let baseline = db.run(&q).expect("unbudgeted partitioned join");
+    assert_eq!(db.robustness_stats().join_downgrades, 0);
+
+    db.set_budget(ResourceBudget::unlimited().with_max_arena_bytes(16 * 1024));
+    let degraded = db.run(&q).expect("budgeted join must degrade, not die");
+    assert_eq!(
+        degraded.value.to_bits(),
+        baseline.value.to_bits(),
+        "the degraded plan must produce a bit-identical answer"
+    );
+    assert_eq!(degraded.rows, baseline.rows);
+    assert_eq!(db.robustness_stats().join_downgrades, 1);
+    assert!(db.robustness_stats().budget_stops >= 1);
 }
 
 #[test]
