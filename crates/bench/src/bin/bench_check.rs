@@ -24,6 +24,12 @@
 //!   limits ride along: `wrong_answers` must be 0 and
 //!   `guardrail_overhead_pct` must stay under 2% in the fresh run.
 //!
+//! One *host-clock* floor rides along with the scale gate: on hosts with
+//! at least 4 cores, the OS-thread morsel executor's fresh
+//! `host_speedup_4shard` must reach 2.5× (skipped by name on smaller
+//! hosts — host seconds are machine-local and are never compared against
+//! committed baselines).
+//!
 //! A missing baseline file or key is a configuration error, not a bench
 //! regression: the gate reports exactly which file/key it expected (and
 //! which bin regenerates it) and exits nonzero *before* burning CI minutes
@@ -31,8 +37,8 @@
 //! actionable message under a backtrace.
 
 use wdtg_bench::runners::{
-    json_number, run_branch_report, run_chaos_report, run_exec_report, run_join_report,
-    run_layout_report, run_scale_report,
+    host_parallelism, json_number, run_branch_report, run_chaos_report, run_exec_report,
+    run_join_report, run_layout_report, run_scale_report,
 };
 
 /// Fractional regression tolerated before the gate fails.
@@ -40,6 +46,13 @@ const TOLERANCE: f64 = 0.15;
 
 /// Hard ceiling on the simulated-cycle cost of armed guardrails.
 const MAX_GUARDRAIL_OVERHEAD_PCT: f64 = 2.0;
+
+/// Host wall-clock speedup the 4-shard threaded run must reach over the
+/// 1-worker run — enforced only on hosts with >= 4 cores (the floor is
+/// meaningless on a 1- or 2-core runner, where the skip is reported by
+/// name). Absolute, not baseline-relative: host seconds are machine-local
+/// and must never be compared across baselines.
+const MIN_HOST_SPEEDUP_4SHARD: f64 = 2.5;
 
 /// The baseline documents the gate needs, each with the bin that
 /// regenerates it.
@@ -227,6 +240,32 @@ fn main() {
     if !chaos.downgrade_answer_ok {
         eprintln!("bench_check: budget-pressured join failed to degrade with the same answer");
         failed = true;
+    }
+    // Absolute host-parallelism floor on the fresh scale run: with >= 4
+    // host cores, 4 simulated shards under the OS-thread executor must cut
+    // real wall time >= 2.5x. Host seconds are machine-local, so this gate
+    // is absolute and never compared against a committed baseline.
+    let host_cores = host_parallelism();
+    let host_sp4 = scale.host_speedup_4shard();
+    if host_cores >= 4 {
+        println!(
+            "{:38} host_speedup_4shard {host_sp4:.2}x (floor {MIN_HOST_SPEEDUP_4SHARD:.1}x, \
+             {host_cores} host cores)",
+            "scale: host parallelism",
+        );
+        if host_sp4 < MIN_HOST_SPEEDUP_4SHARD {
+            eprintln!(
+                "bench_check: host_speedup_4shard {host_sp4:.2}x is below the \
+                 {MIN_HOST_SPEEDUP_4SHARD:.1}x floor on a {host_cores}-core host"
+            );
+            failed = true;
+        }
+    } else {
+        println!(
+            "{:38} SKIPPED: host has {host_cores} core(s), floor needs >= 4 \
+             (measured {host_sp4:.2}x, recorded in BENCH_scale.json)",
+            "scale: host parallelism",
+        );
     }
 
     if failed {

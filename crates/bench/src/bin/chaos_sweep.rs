@@ -10,9 +10,13 @@
 //! answer or a typed error — never a silently wrong row. The measurement
 //! lives in [`wdtg_bench::runners`], shared with the `bench_check` gate.
 
-use wdtg_bench::runners::{run_chaos_report, CHAOS_ROWS, CHAOS_RUNS_PER_CELL};
+use wdtg_bench::runners::{
+    host_parallelism, parse_threads_arg, run_chaos_report, run_threaded_chaos_parity, CHAOS_ROWS,
+    CHAOS_RUNS_PER_CELL,
+};
 
 fn main() {
+    let threads = parse_threads_arg().unwrap_or_else(host_parallelism);
     let report = run_chaos_report();
     println!(
         "== chaos_sweep == {} rows, {} seeded plans per cell",
@@ -58,5 +62,18 @@ fn main() {
     assert!(
         recovery > 0.0,
         "the retry/downgrade paths must recover at least some faulted runs"
+    );
+
+    // Threaded parity (`--threads N`, default: host parallelism): the same
+    // seeded fault scenarios must produce the same typed outcome and
+    // bit-identical merged counters under the OS-thread morsel executor.
+    let parity = run_threaded_chaos_parity(threads);
+    println!(
+        "threaded parity: {} scenarios, 1 worker vs {} workers, {} diverged",
+        parity.runs, parity.threads, parity.diverged
+    );
+    assert_eq!(
+        parity.diverged, 0,
+        "fault outcomes must be identical at any worker count"
     );
 }

@@ -1,6 +1,9 @@
 //! Sharded multi-core scaling benchmark: the DSS sequential range selection
 //! swept across shard counts {1, 2, 4, 8} × execution mode × page layout,
 //! written to `BENCH_scale.json` (path overridable via `BENCH_SCALE_OUT`).
+//! Beside the modeled cycles, the report records *host* seconds for the
+//! OS-thread morsel executor (1 worker vs `--threads N`, default: this
+//! host's available parallelism) in the `host_scaling` column family.
 //!
 //! The asserted claims are the acceptance behaviour of the sharding work:
 //!
@@ -14,7 +17,9 @@
 //! The measurement itself lives in [`wdtg_bench::runners`], shared with the
 //! `bench_check` regression gate.
 
-use wdtg_bench::runners::{run_scale_report, scale_workload};
+use wdtg_bench::runners::{
+    host_parallelism, parse_threads_arg, run_scale_report_with_threads, scale_workload,
+};
 use wdtg_core::ScalingComparison;
 use wdtg_memdb::{ExecMode, PageLayout, SystemId};
 use wdtg_sim::{CpuConfig, InterruptCfg};
@@ -22,13 +27,15 @@ use wdtg_workloads::MicroQuery;
 
 fn main() {
     let scale = scale_workload();
+    let threads = parse_threads_arg().unwrap_or_else(host_parallelism);
     println!(
-        "== scale_compare == DSS sequential range selection, {} rows x {} B, shards {:?}",
+        "== scale_compare == DSS sequential range selection, {} rows x {} B, shards {:?}, \
+         {threads} host thread(s)",
         scale.r_records,
         scale.record_bytes,
         ScalingComparison::SHARD_COUNTS,
     );
-    let report = run_scale_report();
+    let report = run_scale_report_with_threads(threads);
 
     for c in &report.cmp.cells {
         println!(
@@ -42,6 +49,17 @@ fn main() {
                 .speedup(c.shards, c.mode, c.layout)
                 .unwrap_or(1.0),
             c.occupancy(),
+        );
+    }
+
+    for h in &report.host.cells {
+        println!(
+            "{:>2} shards | host {:>8.4}s seq -> {:>8.4}s x{} threads | host speedup {:>5.2}x",
+            h.shards,
+            h.seq_secs,
+            h.par_secs,
+            report.host.threads,
+            h.host_speedup(),
         );
     }
 

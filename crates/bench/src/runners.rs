@@ -10,15 +10,16 @@
 
 use std::time::Instant;
 
+use wdtg_core::methodology::build_sharded_db_with_layout;
 use wdtg_core::{
     BranchCell, JoinComparison, ScalingComparison, SelectivityComparison, TimeBreakdown,
 };
 use wdtg_memdb::{
-    Database, DbError, EngineProfile, ExecMode, FaultPlan, JoinAlgo, PageLayout, Query,
-    QueryResult, ResourceBudget, Schema, SelectionMode, ShardedDatabase, SystemId,
+    Database, DbError, EngineProfile, ExecMode, FaultPlan, JoinAlgo, PageLayout, ParallelConfig,
+    Query, QueryResult, ResourceBudget, Schema, SelectionMode, ShardedDatabase, SystemId,
 };
 use wdtg_sim::{CpuConfig, Event, InterruptCfg, Mode};
-use wdtg_workloads::{JoinSpec, MicroQuery, Scale, SweepSpec};
+use wdtg_workloads::{micro, JoinSpec, MicroQuery, Scale, SweepSpec};
 
 /// Rows in the selection benchmarks' single relation.
 pub const SCAN_ROWS: u64 = 100_000;
@@ -541,6 +542,9 @@ pub fn scale_workload() -> Scale {
 pub struct ScaleReport {
     /// The measured grid (shards {1,2,4,8} × 2 exec modes × 2 layouts).
     pub cmp: ScalingComparison,
+    /// Host-clock scaling of the OS-thread morsel executor on the Row/NSM
+    /// slice (real seconds beside the modeled cycles above).
+    pub host: HostScaling,
 }
 
 impl ScaleReport {
@@ -555,6 +559,11 @@ impl ScaleReport {
     /// (the gated headline — the paper's configuration, scaled out).
     pub fn speedup_4shard(&self) -> f64 {
         self.speedup(4, ExecMode::Row, PageLayout::Nsm)
+    }
+
+    /// Host wall-clock speedup of the 4-shard threaded run over 1 worker.
+    pub fn host_speedup_4shard(&self) -> f64 {
+        self.host.host_speedup_4shard()
     }
 
     /// Whether every cell returned the same rows *and bit-identical* value
@@ -597,13 +606,32 @@ impl ScaleReport {
                 },
             ));
         }
+        let mut host_cells = String::new();
+        for (i, h) in self.host.cells.iter().enumerate() {
+            host_cells.push_str(&format!(
+                "    {{ \"shards\": {}, \"host_seq_secs\": {:.6}, \
+                 \"host_par_secs\": {:.6}, \"host_speedup\": {:.3} }}{}\n",
+                h.shards,
+                h.seq_secs,
+                h.par_secs,
+                h.host_speedup(),
+                if i + 1 == self.host.cells.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
         format!(
             "{{\n  \"benchmark\": \"sharded_scaling\",\n  \"system\": \"{}\",\n  \
              \"query\": \"{}\",\n  \"rows\": {},\n  \"record_bytes\": {},\n  \
              \"cells\": [\n{cells}  ],\n  \
              \"speedup_2shard\": {:.3},\n  \"speedup_4shard\": {:.3},\n  \
              \"speedup_8shard\": {:.3},\n  \"speedup_4shard_batch\": {:.3},\n  \
-             \"answers_identical\": {}\n}}\n",
+             \"answers_identical\": {},\n  \
+             \"host_cores\": {},\n  \"host_threads\": {},\n  \
+             \"host_scaling\": [\n{host_cells}  ],\n  \
+             \"host_speedup_4shard\": {:.3}\n}}\n",
             self.cmp.system.letter(),
             self.cmp.query.label(),
             self.cmp.scale.r_records,
@@ -613,13 +641,24 @@ impl ScaleReport {
             self.speedup(8, ExecMode::Row, PageLayout::Nsm),
             self.speedup(4, ExecMode::Batch, PageLayout::Nsm),
             self.answers_identical(),
+            self.host.host_cores,
+            self.host.threads,
+            self.host_speedup_4shard(),
         )
     }
 }
 
 /// Runs the scaling benchmark: the DSS sequential range selection on
-/// System C across shards {1,2,4,8} × exec mode × page layout.
+/// System C across shards {1,2,4,8} × exec mode × page layout, plus the
+/// host-clock scaling of the OS-thread morsel executor (threads = this
+/// host's available parallelism).
 pub fn run_scale_report() -> ScaleReport {
+    run_scale_report_with_threads(host_parallelism())
+}
+
+/// [`run_scale_report`] with an explicit worker-thread count for the
+/// host-clock measurement (the `--threads N` knob on `scale_compare`).
+pub fn run_scale_report_with_threads(threads: usize) -> ScaleReport {
     let cmp = ScalingComparison::run(
         SystemId::C,
         scale_workload(),
@@ -627,7 +666,211 @@ pub fn run_scale_report() -> ScaleReport {
         &CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
     )
     .expect("scaling comparison runs");
-    ScaleReport { cmp }
+    let host = measure_host_scaling(threads);
+    ScaleReport { cmp, host }
+}
+
+// ---------------------------------------------------------------------
+// host parallelism: wall-clock scaling of the OS-thread morsel executor
+// ---------------------------------------------------------------------
+
+/// This host's available hardware parallelism (1 if unknown).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses an optional `--threads N` / `--threads=N` CLI argument; exits
+/// with a usage message on a malformed value.
+pub fn parse_threads_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = if a == "--threads" {
+            args.next()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match val.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n >= 1 => return Some(n),
+            _ => {
+                eprintln!("usage: --threads N  (N >= 1)");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
+/// One shard count's host-clock cell: best-of-`HOST_TIMING_REPS` seconds
+/// for the sequential (1-worker) and threaded executor on the Row/NSM
+/// DSS scan. Simulated counters are asserted bit-identical between the
+/// two before the times are reported, so the speedup compares two runs of
+/// *the same* simulated work.
+#[derive(Debug, Clone, Copy)]
+pub struct HostScalingCell {
+    /// Simulated shard (core) count.
+    pub shards: usize,
+    /// Best host seconds with a single worker thread.
+    pub seq_secs: f64,
+    /// Best host seconds with the measured worker-thread count.
+    pub par_secs: f64,
+}
+
+impl HostScalingCell {
+    /// Host wall-clock speedup of the threaded run over the 1-worker run.
+    pub fn host_speedup(&self) -> f64 {
+        self.seq_secs / self.par_secs.max(1e-12)
+    }
+}
+
+/// Host-clock scaling of [`ShardedDatabase::run_parallel`] across shard
+/// counts, measured with `threads` worker threads.
+#[derive(Debug, Clone)]
+pub struct HostScaling {
+    /// `available_parallelism()` on the measuring host — the gate in
+    /// `bench_check` only enforces the speedup floor when this is >= 4.
+    pub host_cores: usize,
+    /// Worker threads used for the parallel runs.
+    pub threads: usize,
+    /// One cell per shard count in {1, 2, 4, 8}.
+    pub cells: Vec<HostScalingCell>,
+}
+
+impl HostScaling {
+    /// Host wall-clock speedup of the 4-shard scan (the gated headline).
+    pub fn host_speedup_4shard(&self) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.shards == 4)
+            .expect("4-shard cell measured")
+            .host_speedup()
+    }
+}
+
+/// Timing repetitions per (shard count, worker count); the minimum is
+/// reported to shed scheduler noise.
+const HOST_TIMING_REPS: usize = 3;
+
+/// Measures host seconds for the Row/NSM DSS scan per shard count, with 1
+/// worker and with `threads` workers, asserting bit-identical answers and
+/// merged counters between the two (the executor's determinism contract).
+pub fn measure_host_scaling(threads: usize) -> HostScaling {
+    let scale = scale_workload();
+    let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
+    let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+    let mut cells = Vec::new();
+    for &shards in &ScalingComparison::SHARD_COUNTS {
+        // One warmed measurement per worker count, each on its own fresh
+        // build: the simulator's state (caches, predictor history) carries
+        // across runs on one database, so only runs with identical history
+        // are comparable bit-for-bit.
+        let measure = |pc: &ParallelConfig| {
+            let mut db = build_sharded_db_with_layout(
+                EngineProfile::system(SystemId::C),
+                scale,
+                MicroQuery::SequentialRangeSelection,
+                &cfg,
+                PageLayout::Nsm,
+                shards,
+            )
+            .expect("sharded build");
+            db.run_parallel(&q, pc).expect("warm-up run");
+            let before = db.snapshots();
+            let answer = db.run_parallel(&q, pc).expect("measured run");
+            let delta = db.merged_delta(&before);
+            // Host seconds: best of a few reps on the warmed database.
+            let mut best = f64::INFINITY;
+            for _ in 0..HOST_TIMING_REPS {
+                let t = Instant::now();
+                db.run_parallel(&q, pc).expect("timed run");
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            (answer, delta, best)
+        };
+        let seq = ParallelConfig::default().with_workers(1);
+        let par = ParallelConfig::default().with_workers(threads);
+        let (a, s_delta, seq_secs) = measure(&seq);
+        let (b, p_delta, par_secs) = measure(&par);
+
+        // The executor's contract: thread count must not move a single
+        // simulated bit.
+        assert_eq!((a.rows, a.value.to_bits()), (b.rows, b.value.to_bits()));
+        assert_eq!(
+            s_delta, p_delta,
+            "thread count perturbed simulated counters"
+        );
+        cells.push(HostScalingCell {
+            shards,
+            seq_secs,
+            par_secs,
+        });
+    }
+    HostScaling {
+        host_cores: host_parallelism(),
+        threads,
+        cells,
+    }
+}
+
+/// Outcome parity of a seeded fault grid under the threaded executor: each
+/// (seed, rate) scenario is run with 1 worker and with `threads` workers,
+/// comparing the full typed outcome *and* the merged counter delta.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedChaosParity {
+    /// Worker threads compared against the 1-worker baseline.
+    pub threads: usize,
+    /// Scenarios compared.
+    pub runs: usize,
+    /// Scenarios whose outcome or counters diverged (must be 0).
+    pub diverged: usize,
+}
+
+/// Runs the threaded fault-parity check (the `--threads N` knob on
+/// `chaos_sweep`): deterministic fault plans must surface the same typed
+/// result and bit-identical merged counters at any worker count.
+pub fn run_threaded_chaos_parity(threads: usize) -> ThreadedChaosParity {
+    let scale = Scale::tiny();
+    let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
+    let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+    let mut runs = 0;
+    let mut diverged = 0;
+    for seed in 0..6u64 {
+        for rate in [0.0, 1e-3, 1e-2] {
+            let outcome = |workers: usize| {
+                let mut db = build_sharded_db_with_layout(
+                    EngineProfile::system(SystemId::C),
+                    scale,
+                    MicroQuery::SequentialRangeSelection,
+                    &cfg,
+                    PageLayout::Nsm,
+                    4,
+                )
+                .expect("sharded build");
+                db.set_fault_plan(FaultPlan::uniform(seed, rate));
+                let before = db.snapshots();
+                let r = db.run_parallel(
+                    &q,
+                    &ParallelConfig::default()
+                        .with_workers(workers)
+                        .with_morsel_rows(1024)
+                        .with_steal_seed(seed),
+                );
+                (r, db.merged_delta(&before))
+            };
+            runs += 1;
+            if outcome(1) != outcome(threads) {
+                diverged += 1;
+            }
+        }
+    }
+    ThreadedChaosParity {
+        threads,
+        runs,
+        diverged,
+    }
 }
 
 // ---------------------------------------------------------------------

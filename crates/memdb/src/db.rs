@@ -1,7 +1,7 @@
 //! The database facade: catalog, storage, instrumented execution context and
 //! the query planner/runner.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::{segment, BranchSite, CodeBlock, Cpu, CpuConfig, MemDep};
 
@@ -496,7 +496,7 @@ impl Database {
     /// spins (64 · 2^attempt, capped), so backoff is visible simulated
     /// time, not hidden host sleeping, and identical runs stay cycle-exact.
     pub(crate) fn charge_backoff(&mut self, attempt: u32) {
-        let blocks = Rc::clone(&self.profile.blocks);
+        let blocks = Arc::clone(&self.profile.blocks);
         self.ctx
             .exec_scaled(&blocks.budget_check, 64u32 << attempt.min(8));
     }
@@ -659,7 +659,7 @@ impl Database {
     /// transaction; its large, rarely-resident footprint is one reason the
     /// paper's TPC-C profile is instruction-miss heavy (§5.5).
     pub fn txn_overhead(&mut self) {
-        let blocks = Rc::clone(&self.profile.blocks);
+        let blocks = Arc::clone(&self.profile.blocks);
         self.ctx.exec(&blocks.txn_begin_commit);
     }
 
@@ -717,7 +717,7 @@ impl Database {
         if self.ctx.cancel.is_cancelled() {
             return Err(DbError::Cancelled);
         }
-        catch_internal(|| self.run_grouped_inner(table, group_col, predicate, agg))
+        catch_internal(|| self.run_grouped_inner(table, group_col, predicate, agg, None, true))
     }
 
     fn run_grouped_inner(
@@ -726,12 +726,14 @@ impl Database {
         group_col: &str,
         predicate: Option<&QueryPredicate>,
         agg: &crate::query::AggSpec,
+        range: Option<(u32, u32)>,
+        charge_setup: bool,
     ) -> DbResult<Vec<(i32, AggState)>> {
         let ti = self.table_idx(table)?;
         let schema = &self.tables[ti].schema;
         let gc = schema.col(group_col)?;
         let ac = schema.col(&agg.col)?;
-        let blocks = Rc::clone(&self.profile.blocks);
+        let blocks = Arc::clone(&self.profile.blocks);
 
         let mut cols = vec![gc, ac];
         let pred_remapped = match predicate {
@@ -752,13 +754,16 @@ impl Database {
         let g_pos = scan_pos(&cols, gc)?;
         let a_pos = scan_pos(&cols, ac)?;
 
-        let scan = SeqScan::new(
+        let mut scan = SeqScan::new(
             self.tables[ti].heap.clone(),
             cols.clone(),
-            Rc::clone(&blocks),
+            Arc::clone(&blocks),
             self.profile.materialize,
             self.profile.prefetch_lines_ahead,
         );
+        if let Some((first, end)) = range {
+            scan = scan.with_page_range(first, end);
+        }
         let child: Box<dyn Operator> = match pred_remapped {
             None => Box::new(scan),
             Some((ci, lo, hi)) => {
@@ -766,7 +771,7 @@ impl Database {
                 Box::new(Filter::new(
                     Box::new(scan),
                     PredicateExec::Range { col: pos, lo, hi },
-                    Rc::clone(&blocks),
+                    Arc::clone(&blocks),
                     self.profile.eval_mode == EvalMode::Interpreted,
                     self.selection_mode,
                 ))
@@ -777,7 +782,7 @@ impl Database {
             g_pos,
             a_pos,
             agg.kind,
-            Rc::clone(&blocks),
+            Arc::clone(&blocks),
         );
         let Database {
             ctx,
@@ -791,7 +796,9 @@ impl Database {
             bufpool,
             mode: *exec_mode,
         };
-        env.ctx.exec(&profile.blocks.query_setup);
+        if charge_setup {
+            env.ctx.exec(&profile.blocks.query_setup);
+        }
         gb.run_to_end_partial(&mut env)
     }
 
@@ -945,10 +952,137 @@ impl Database {
         })
     }
 
+    /// [`Database::run_partial`] executed as a sequence of page-aligned
+    /// morsels of roughly `morsel_rows` rows each.
+    ///
+    /// The morsels of one database run **in order on its own simulated
+    /// core**, so the instruction/data stream the cache and branch
+    /// simulators see is a pure function of the morsel decomposition —
+    /// never of which OS thread runs it or when. That is the determinism
+    /// contract the parallel executor is built on: for a fixed
+    /// `morsel_rows`, any schedule produces bit-identical counters, and a
+    /// single whole-table morsel (`morsel_rows ≥ rows`) reproduces
+    /// [`Database::run_partial`] cycle-exactly.
+    ///
+    /// Each morsel boundary is also a cancellation and budget checkpoint
+    /// (a pure check — no simulated cost — so the counter stream still
+    /// depends only on the morsel decomposition), and `query_setup` is
+    /// charged on the first morsel only.
+    pub fn run_partial_morsels(&mut self, q: &Query, morsel_rows: u32) -> DbResult<AggState> {
+        self.ctx.begin_query();
+        if self.ctx.cancel.is_cancelled() {
+            return Err(DbError::Cancelled);
+        }
+        catch_internal(|| {
+            let ranges = self.morsel_ranges(q, morsel_rows)?;
+            let mut acc = AggState::new();
+            for (i, r) in ranges.into_iter().enumerate() {
+                if i > 0 {
+                    if self.ctx.cancel.is_cancelled() {
+                        return Err(DbError::Cancelled);
+                    }
+                    self.ctx.enforce_budget()?;
+                }
+                let mut agg_exec = self.plan_agg_ranged(q, Some(r))?;
+                acc.merge(&self.finish_agg_opts(&mut agg_exec, i == 0)?);
+            }
+            Ok(acc)
+        })
+    }
+
+    /// [`Database::run_grouped_partial`] executed morsel-by-morsel; same
+    /// contract as [`Database::run_partial_morsels`]. Per-morsel group maps
+    /// merge through [`AggState::merge`] (exact integer arithmetic), so the
+    /// merged groups are bit-identical to the unbounded run's.
+    pub fn run_grouped_partial_morsels(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        predicate: Option<&QueryPredicate>,
+        agg: &crate::query::AggSpec,
+        morsel_rows: u32,
+    ) -> DbResult<Vec<(i32, AggState)>> {
+        self.ctx.begin_query();
+        if self.ctx.cancel.is_cancelled() {
+            return Err(DbError::Cancelled);
+        }
+        catch_internal(|| {
+            let ti = self.table_idx(table)?;
+            let ranges = self.heap_morsel_ranges(ti, morsel_rows);
+            let mut merged: std::collections::BTreeMap<i32, AggState> =
+                std::collections::BTreeMap::new();
+            for (i, r) in ranges.into_iter().enumerate() {
+                if i > 0 {
+                    if self.ctx.cancel.is_cancelled() {
+                        return Err(DbError::Cancelled);
+                    }
+                    self.ctx.enforce_budget()?;
+                }
+                for (k, st) in
+                    self.run_grouped_inner(table, group_col, predicate, agg, Some(r), i == 0)?
+                {
+                    merged.entry(k).or_default().merge(&st);
+                }
+            }
+            Ok(merged.into_iter().collect())
+        })
+    }
+
+    /// Splits `q`'s outer scan into page-aligned morsel ranges of roughly
+    /// `morsel_rows` rows each. Plan shapes whose cost is not page-linear —
+    /// joins (the build side reads the whole inner table) and B+tree index
+    /// range scans — get a single whole-table morsel, so morselization
+    /// never changes *what* a plan does, only how a seq scan is sliced.
+    fn morsel_ranges(&self, q: &Query, morsel_rows: u32) -> DbResult<Vec<(u32, u32)>> {
+        let Query::SelectAgg {
+            table, predicate, ..
+        } = q
+        else {
+            return Ok(vec![(0, u32::MAX)]);
+        };
+        let ti = self.table_idx(table)?;
+        if let Some(QueryPredicate::Range { col, .. }) = predicate {
+            let ci = self.tables[ti].schema.col(col)?;
+            if self.profile.use_index_for_range && self.index_on(ti, ci).is_some() {
+                return Ok(vec![(0, u32::MAX)]);
+            }
+        }
+        Ok(self.heap_morsel_ranges(ti, morsel_rows))
+    }
+
+    /// Page-aligned morsel ranges over one table's heap. A morsel is at
+    /// least one page (the page is the unit of the buffer-pool open path);
+    /// an empty heap still yields one `(0, 0)` morsel so `query_setup` is
+    /// charged exactly once, as in an unbounded scan.
+    fn heap_morsel_ranges(&self, ti: usize, morsel_rows: u32) -> Vec<(u32, u32)> {
+        let heap = &self.tables[ti].heap;
+        let n_pages = heap.n_pages();
+        if n_pages == 0 {
+            return vec![(0, 0)];
+        }
+        let per = (morsel_rows.max(1) as u64)
+            .div_ceil(heap.page_cap as u64)
+            .max(1) as u32;
+        (0..n_pages)
+            .step_by(per as usize)
+            .map(|p| (p, (p + per).min(n_pages)))
+            .collect()
+    }
+
     /// The planner half of [`Database::run`] for aggregate queries, shared
     /// with [`Database::run_partial`] so both paths plan identically.
     fn plan_agg(&self, q: &Query) -> DbResult<AggExec> {
-        let blocks = Rc::clone(&self.profile.blocks);
+        self.plan_agg_ranged(q, None)
+    }
+
+    /// [`Database::plan_agg`] with an optional heap-page bound on the
+    /// outer sequential scan — the morsel hook. `None` plans the whole
+    /// table; `Some((first, end))` plans one morsel's page range. Only the
+    /// seq-scan path of [`Query::SelectAgg`] is ever planned with a bound
+    /// ([`Database::morsel_ranges`] hands every other plan shape a single
+    /// whole-table morsel), so index and join plans are unaffected.
+    fn plan_agg_ranged(&self, q: &Query, range: Option<(u32, u32)>) -> DbResult<AggExec> {
+        let blocks = Arc::clone(&self.profile.blocks);
         match q {
             Query::SelectAgg {
                 table,
@@ -996,7 +1130,7 @@ impl Database {
                                 *hi,
                                 self.tables[ti].heap.clone(),
                                 cols.clone(),
-                                Rc::clone(&blocks),
+                                Arc::clone(&blocks),
                             )
                             .with_full_materialization(
                                 self.profile.materialize
@@ -1006,20 +1140,23 @@ impl Database {
                                 Box::new(scan),
                                 agg.kind,
                                 agg_pos,
-                                Rc::clone(&blocks),
+                                Arc::clone(&blocks),
                             ));
                         }
                     }
                 }
 
                 // Sequential scan + filter path.
-                let scan = SeqScan::new(
+                let mut scan = SeqScan::new(
                     self.tables[ti].heap.clone(),
                     cols.clone(),
-                    Rc::clone(&blocks),
+                    Arc::clone(&blocks),
                     self.profile.materialize,
                     self.profile.prefetch_lines_ahead,
                 );
+                if let Some((first, end)) = range {
+                    scan = scan.with_page_range(first, end);
+                }
                 let child: Box<dyn Operator> = match pred {
                     None => Box::new(scan),
                     Some((kind, _)) => {
@@ -1037,13 +1174,13 @@ impl Database {
                         Box::new(Filter::new(
                             Box::new(scan),
                             pexec,
-                            Rc::clone(&blocks),
+                            Arc::clone(&blocks),
                             self.profile.eval_mode == EvalMode::Interpreted,
                             self.selection_mode,
                         ))
                     }
                 };
-                Ok(AggExec::new(child, agg.kind, agg_pos, Rc::clone(&blocks)))
+                Ok(AggExec::new(child, agg.kind, agg_pos, Arc::clone(&blocks)))
             }
 
             Query::JoinAgg {
@@ -1069,7 +1206,7 @@ impl Database {
                 let probe = SeqScan::new(
                     self.tables[li].heap.clone(),
                     lcols,
-                    Rc::clone(&blocks),
+                    Arc::clone(&blocks),
                     self.profile.materialize,
                     self.profile.prefetch_lines_ahead,
                 );
@@ -1088,7 +1225,7 @@ impl Database {
                         ix.btree.clone(),
                         self.tables[ri].heap.clone(),
                         vec![rkey],
-                        Rc::clone(&blocks),
+                        Arc::clone(&blocks),
                     ))
                 } else {
                     match self.profile.join_algo {
@@ -1096,7 +1233,7 @@ impl Database {
                             let build = SeqScan::new(
                                 self.tables[ri].heap.clone(),
                                 vec![rkey],
-                                Rc::clone(&blocks),
+                                Arc::clone(&blocks),
                                 self.profile.materialize,
                                 self.profile.prefetch_lines_ahead,
                             );
@@ -1105,7 +1242,7 @@ impl Database {
                                 0,
                                 Box::new(probe),
                                 lkey_pos,
-                                Rc::clone(&blocks),
+                                Arc::clone(&blocks),
                                 self.ctx.cpu.config().l2.size_bytes,
                             ))
                         }
@@ -1113,7 +1250,7 @@ impl Database {
                             let build = SeqScan::new(
                                 self.tables[ri].heap.clone(),
                                 vec![rkey],
-                                Rc::clone(&blocks),
+                                Arc::clone(&blocks),
                                 self.profile.materialize,
                                 self.profile.prefetch_lines_ahead,
                             );
@@ -1122,12 +1259,12 @@ impl Database {
                                 0,
                                 Box::new(probe),
                                 lkey_pos,
-                                Rc::clone(&blocks),
+                                Arc::clone(&blocks),
                             ))
                         }
                     }
                 };
-                Ok(AggExec::new(join, agg.kind, agg_pos, Rc::clone(&blocks)))
+                Ok(AggExec::new(join, agg.kind, agg_pos, Arc::clone(&blocks)))
             }
 
             _ => Err(DbError::PlanError(
@@ -1137,6 +1274,13 @@ impl Database {
     }
 
     fn finish_agg(&mut self, agg: &mut AggExec) -> DbResult<AggState> {
+        self.finish_agg_opts(agg, true)
+    }
+
+    /// [`Database::finish_agg`] with control over the one-time query-setup
+    /// charge: a morselized query charges it on its first morsel only, so
+    /// the whole morsel sequence costs exactly what one unbounded run does.
+    fn finish_agg_opts(&mut self, agg: &mut AggExec, charge_setup: bool) -> DbResult<AggState> {
         let Database {
             ctx,
             bufpool,
@@ -1149,7 +1293,9 @@ impl Database {
             bufpool,
             mode: *exec_mode,
         };
-        env.ctx.exec(&profile.blocks.query_setup);
+        if charge_setup {
+            env.ctx.exec(&profile.blocks.query_setup);
+        }
         agg.run_partial(&mut env)
     }
 
@@ -1170,7 +1316,7 @@ impl Database {
             .ok_or_else(|| DbError::IndexNotFound(format!("{table}.{key_col}")))?;
         let btree = ix.btree.clone();
         let heap = self.tables[ti].heap.clone();
-        let blocks = Rc::clone(&self.profile.blocks);
+        let blocks = Arc::clone(&self.profile.blocks);
 
         let Database {
             ctx,
@@ -1221,7 +1367,7 @@ impl Database {
             .ok_or_else(|| DbError::IndexNotFound(format!("{table}.{key_col}")))?;
         let btree = ix.btree.clone();
         let heap = self.tables[ti].heap.clone();
-        let blocks = Rc::clone(&self.profile.blocks);
+        let blocks = Arc::clone(&self.profile.blocks);
 
         let Database {
             ctx,
@@ -1266,7 +1412,7 @@ impl Database {
                 got: values.len(),
             });
         }
-        let blocks = Rc::clone(&self.profile.blocks);
+        let blocks = Arc::clone(&self.profile.blocks);
         let mut buf = Vec::with_capacity(arity * 4);
         for v in &values {
             buf.extend_from_slice(&v.to_le_bytes());
@@ -1386,6 +1532,11 @@ impl Database {
             .map(|_| {
                 let mut db =
                     Database::with_capacity(self.profile.clone(), cfg.clone(), per_shard_pages);
+                // Each shard is its own simulated core: give it a private
+                // block set so probe-address rotation state is per-core and
+                // the core's stream stays schedule-independent (see
+                // EngineProfile::privatize_blocks).
+                db.profile.privatize_blocks();
                 db.exec_mode = self.exec_mode;
                 db.page_layout = self.page_layout;
                 db.selection_mode = self.selection_mode;
@@ -1419,6 +1570,10 @@ impl Database {
             // plan (deterministic, but shards do not fault in lockstep).
             s.set_fault_plan(self.ctx.fault.plan().for_shard(i));
             s.set_budget(self.ctx.budget);
+            // All shards share the parent's cancellation flag, so one token
+            // (possibly held by another thread) cancels the whole sharded
+            // query — including morsels already in flight on worker threads.
+            s.ctx.cancel = self.ctx.cancel.clone();
         }
         Ok(ShardedDatabase::from_shards(shards))
     }

@@ -10,7 +10,7 @@
 //! merges the partials, so the merged answer is bit-identical to a
 //! single-shard run (see [`crate::exec::partial`]).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::MemDep;
 
@@ -26,7 +26,7 @@ pub struct AggExec {
     child: Box<dyn Operator>,
     kind: AggKind,
     col: usize,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
 }
 
 impl AggExec {
@@ -35,7 +35,7 @@ impl AggExec {
         child: Box<dyn Operator>,
         kind: AggKind,
         col: usize,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
     ) -> Self {
         AggExec {
             child,

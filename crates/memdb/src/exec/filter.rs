@@ -16,7 +16,7 @@
 //! use ("Code Generation Techniques for Raw Data Processing"; Sirin &
 //! Ailamaki's OLAP analysis).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::DbResult;
 use crate::exec::batch::Batch;
@@ -115,7 +115,7 @@ impl PredicateExec {
 pub struct Filter {
     child: Box<dyn Operator>,
     pred: PredicateExec,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
     interpreted: bool,
     selection: SelectionMode,
     handlers: Vec<u8>,
@@ -131,7 +131,7 @@ impl Filter {
     pub fn new(
         child: Box<dyn Operator>,
         pred: PredicateExec,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
         interpreted: bool,
         selection: SelectionMode,
     ) -> Self {

@@ -9,7 +9,7 @@
 //! the hot data.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::MemDep;
 
@@ -28,7 +28,7 @@ pub struct GroupByExec {
     group_col: usize,
     agg_col: usize,
     kind: AggKind,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
     groups: Vec<(i32, AggState)>,
     pos: usize,
 }
@@ -41,7 +41,7 @@ impl GroupByExec {
         group_col: usize,
         agg_col: usize,
         kind: AggKind,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
     ) -> Self {
         GroupByExec {
             child,

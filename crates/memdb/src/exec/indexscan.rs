@@ -7,7 +7,7 @@
 //! stall share *larger* than the sequential scan's despite touching fewer
 //! records (§5.1: System B goes from 20% to 50% memory stalls).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::MemDep;
 
@@ -140,7 +140,7 @@ pub struct IndexRangeScan {
     hi: i32,
     heap: HeapFile,
     cols: Vec<usize>,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
     cursor: Option<LeafCursor>,
     materialize_full: bool,
 }
@@ -153,7 +153,7 @@ impl IndexRangeScan {
         hi: i32,
         heap: HeapFile,
         cols: Vec<usize>,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
     ) -> Self {
         IndexRangeScan {
             btree,

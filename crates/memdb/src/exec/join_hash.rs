@@ -10,7 +10,7 @@
 //! collapses the join's computation time, not its memory stalls, exactly as
 //! the vectorized-engine literature reports.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::MemDep;
 
@@ -26,7 +26,7 @@ pub struct HashJoin {
     build_key: usize,
     probe: Box<dyn Operator>,
     probe_key: usize,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
     table: Option<JoinHashTable>,
     build_rows: Vec<Vec<i32>>,
     // probe state
@@ -46,7 +46,7 @@ impl HashJoin {
         build_key: usize,
         probe: Box<dyn Operator>,
         probe_key: usize,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
     ) -> Self {
         HashJoin {
             build,

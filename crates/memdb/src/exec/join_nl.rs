@@ -5,7 +5,7 @@
 //! §3.3) but part of any complete executor; the TPC-D-like suite and the
 //! ablation experiments exercise it.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::MemDep;
 
@@ -24,7 +24,7 @@ pub struct IndexNlJoin {
     inner_index: BTree,
     inner_heap: HeapFile,
     inner_cols: Vec<usize>,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
     // state: pending inner matches for the current outer row
     outer_row: Vec<i32>,
     pending: Vec<u64>, // packed rids, reversed for pop()
@@ -38,7 +38,7 @@ impl IndexNlJoin {
         inner_index: BTree,
         inner_heap: HeapFile,
         inner_cols: Vec<usize>,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
     ) -> Self {
         IndexNlJoin {
             outer,

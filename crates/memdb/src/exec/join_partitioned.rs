@@ -37,7 +37,7 @@
 //! ([`wdtg_sim::Cpu::store_run`], [`wdtg_sim::Cpu::load_run`]); the line
 //! traffic itself is identical in both modes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::MemDep;
 
@@ -161,7 +161,7 @@ pub struct PartitionedHashJoin {
     build_key: usize,
     probe: Box<dyn Operator>,
     probe_key: usize,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
     l2_bytes: u32,
     // partition state (after open)
     build_parts: Vec<Partition>,
@@ -204,7 +204,7 @@ impl PartitionedHashJoin {
         build_key: usize,
         probe: Box<dyn Operator>,
         probe_key: usize,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
         l2_bytes: u32,
     ) -> Self {
         PartitionedHashJoin {

@@ -30,7 +30,7 @@
 //! `scan_next` path per record, and streams contiguous spans (NSM records,
 //! PAX minipage runs) through the simulator's contiguous-run fast lane.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::MemDep;
 
@@ -47,9 +47,14 @@ pub struct SeqScan {
     /// Columns whose minipages a PAX scan touches: every column under
     /// full-record materialization, the projected set otherwise.
     touch_cols: Vec<usize>,
-    blocks: Rc<EngineBlocks>,
+    blocks: Arc<EngineBlocks>,
     materialize: Materialize,
     prefetch_lines_ahead: u32,
+    /// First heap page this scan visits (inclusive). Morsel-driven execution
+    /// bounds one scan per morsel; the default covers the whole heap.
+    first_page: u32,
+    /// One past the last heap page this scan visits (clamped to the heap).
+    end_page: u32,
     // cursor state
     cur_page: u32,
     cur_slot: u32,
@@ -63,7 +68,7 @@ impl SeqScan {
     pub fn new(
         heap: HeapFile,
         cols: Vec<usize>,
-        blocks: Rc<EngineBlocks>,
+        blocks: Arc<EngineBlocks>,
         materialize: Materialize,
         prefetch_lines_ahead: u32,
     ) -> Self {
@@ -72,6 +77,8 @@ impl SeqScan {
             Materialize::FieldsOnly => cols.clone(),
         };
         SeqScan {
+            first_page: 0,
+            end_page: heap.n_pages(),
             heap,
             cols,
             touch_cols,
@@ -86,9 +93,19 @@ impl SeqScan {
         }
     }
 
+    /// Restricts the scan to heap pages `[first, end)` — the morsel hook.
+    /// Both row and batch cursors stop at the bound, so a sequence of
+    /// adjacent ranges visits exactly the pages (and charges exactly the
+    /// page-open paths) of one unbounded scan.
+    pub fn with_page_range(mut self, first: u32, end: u32) -> Self {
+        self.first_page = first.min(self.heap.n_pages());
+        self.end_page = end.min(self.heap.n_pages());
+        self
+    }
+
     /// Opens the next page through the buffer pool; false if no more pages.
     fn open_page(&mut self, env: &mut ExecEnv<'_>) -> DbResult<bool> {
-        if self.cur_page >= self.heap.n_pages() {
+        if self.cur_page >= self.end_page {
             return Ok(false);
         }
         env.ctx.exec(&self.blocks.scan_page);
@@ -186,7 +203,7 @@ impl SeqScan {
 
 impl Operator for SeqScan {
     fn open(&mut self, env: &mut ExecEnv<'_>) -> DbResult<()> {
-        self.cur_page = 0;
+        self.cur_page = self.first_page;
         self.opened = self.open_page(env)?;
         Ok(())
     }

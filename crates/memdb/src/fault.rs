@@ -39,8 +39,8 @@
 //! [`crate::DbError::BudgetExceeded`] instead of running away. A
 //! [`CancelToken`] cancels a query at the same checkpoints.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// The seams at which the engine can inject a deterministic fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -334,8 +334,12 @@ impl ResourceBudget {
 /// future query on the owning [`crate::Database`] return
 /// [`crate::DbError::Cancelled`] at its next checkpoint, until
 /// [`CancelToken::clear`] re-arms the database.
+///
+/// The flag is an [`AtomicBool`] so a token cloned onto another OS thread can
+/// cancel a query mid-flight on the parallel executor; `SeqCst` ordering keeps
+/// the cancel/clear edges totally ordered with the worker-side checkpoints.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Rc<Cell<bool>>);
+pub struct CancelToken(Arc<AtomicBool>);
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -345,25 +349,25 @@ impl CancelToken {
 
     /// Requests cancellation.
     pub fn cancel(&self) {
-        self.0.set(true);
+        self.0.store(true, Ordering::SeqCst);
     }
 
     /// Clears a previous cancellation so the database is usable again.
     pub fn clear(&self) {
-        self.0.set(false);
+        self.0.store(false, Ordering::SeqCst);
     }
 
     /// Whether cancellation has been requested.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        self.0.get()
+        self.0.load(Ordering::SeqCst)
     }
 }
 
 /// SplitMix64: the standard 64-bit finalizer-style mixer; statistically
 /// strong enough for fault scheduling and trivially reproducible.
 #[inline]
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -52,7 +52,7 @@
 //! size was large enough to fit the datasets for all the queries"), so a
 //! page's simulated address is stable for its lifetime.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::arena::SimArena;
 use crate::error::{DbError, DbResult};
@@ -130,9 +130,9 @@ pub struct HeapFile {
     pub page_cap: u32,
     /// On-page placement of record bytes.
     pub layout: PageLayout,
-    /// Simulated base addresses of the pages, in page-number order. `Rc` so
+    /// Simulated base addresses of the pages, in page-number order. `Arc` so
     /// scan operators can hold a cheap snapshot for the duration of a query.
-    pub pages: Rc<Vec<u64>>,
+    pub pages: Arc<Vec<u64>>,
     /// Total records.
     pub n_records: u64,
     /// Global page-id of this file's first page (buffer-pool key space).
@@ -158,7 +158,7 @@ impl HeapFile {
             record_size,
             page_cap: ((PAGE_SIZE - PAGE_HDR) / record_size as u64) as u32,
             layout,
-            pages: Rc::new(Vec::new()),
+            pages: Arc::new(Vec::new()),
             n_records: 0,
             first_page_id,
         }
@@ -264,7 +264,7 @@ impl HeapFile {
             arena.write_i32(addr + HDR_NRECS, 0);
             arena.write_i32(addr + HDR_RECSIZE, self.record_size as i32);
             arena.write_u64(addr + HDR_PAGEID, self.page_id(page_no));
-            Rc::make_mut(&mut self.pages).push(addr);
+            Arc::make_mut(&mut self.pages).push(addr);
         }
         let page_no = (self.n_records / self.page_cap as u64) as u32;
         let page = self.pages[page_no as usize];

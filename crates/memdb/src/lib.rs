@@ -25,6 +25,7 @@ pub mod expr;
 pub mod fault;
 pub mod heap;
 pub mod index;
+pub mod parallel;
 pub mod profiles;
 pub mod query;
 pub mod schema;
@@ -38,6 +39,7 @@ pub use exec::{AggState, Batch, ExecMode, SelectionMode, BATCH_ROWS};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use fault::{CancelToken, FaultPlan, FaultSite, ResourceBudget, RobustnessStats};
 pub use heap::{HeapFile, PageLayout, Rid, PAGE_HDR, PAGE_SIZE};
+pub use parallel::ParallelConfig;
 pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize, SystemId};
 pub use query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
 pub use schema::{Column, Schema};

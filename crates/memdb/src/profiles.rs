@@ -22,7 +22,7 @@
 //!   IRS/SJ (Fig 5.3), L1I stalls up to ~40% (§5.2.2); used for the
 //!   selectivity sweep of Fig 5.4 (right).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wdtg_sim::{segment, BranchSite, CodeBlock, SegmentAlloc};
 
@@ -119,7 +119,7 @@ pub enum JoinAlgo {
 /// system's row-mode paths with the call prologue/epilogue, iterator
 /// dispatch and per-call buffer management stripped, so fat engines (C/D)
 /// keep proportionally fatter loops than lean ones (A).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[allow(missing_docs)] // field names are the documentation
 pub struct BatchBlocks {
     /// Per-batch vector dispatch/setup (function call, batch bookkeeping).
@@ -148,7 +148,7 @@ pub struct BatchBlocks {
 ///
 /// Field names mirror the operator code paths of a late-90s commercial
 /// executor; per-invocation path lengths differ per system.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[allow(missing_docs)] // field names are the documentation
 pub struct EngineBlocks {
     pub query_setup: CodeBlock,
@@ -215,7 +215,7 @@ pub struct EngineProfile {
     /// Which system this profile models.
     pub system: SystemId,
     /// Instrumented code paths (shared with operators).
-    pub blocks: Rc<EngineBlocks>,
+    pub blocks: Arc<EngineBlocks>,
     /// Predicate evaluation strategy.
     pub eval_mode: EvalMode,
     /// Tuple materialization strategy.
@@ -817,7 +817,7 @@ impl EngineProfile {
             backward: false,
         };
 
-        let blocks = Rc::new(EngineBlocks {
+        let blocks = Arc::new(EngineBlocks {
             query_setup,
             scan_next,
             scan_page,
@@ -892,6 +892,20 @@ impl EngineProfile {
             .iter()
             .map(|s| EngineProfile::system(*s))
             .collect()
+    }
+
+    /// Replaces the shared block set with a private deep copy.
+    ///
+    /// A cloned profile shares its `Arc<EngineBlocks>`, and code blocks
+    /// carry a probe-address rotation counter that is part of the simulated
+    /// stream — so two simulated cores sharing one block set would see each
+    /// other's rotation advances, making counters depend on core
+    /// interleaving (and, under the parallel executor, on the host
+    /// schedule). [`crate::Database::shard`] privatizes each shard's blocks
+    /// through this so every core's stream is a pure function of its own
+    /// work.
+    pub fn privatize_blocks(&mut self) {
+        self.blocks = Arc::new((*self.blocks).clone());
     }
 }
 

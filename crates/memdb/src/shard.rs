@@ -85,6 +85,16 @@ pub struct RouterStats {
     pub failed: u64,
 }
 
+impl RouterStats {
+    /// Folds another router's counters in (the parallel executor keeps one
+    /// [`RouterStats`] per in-flight shard task and merges in shard order).
+    pub fn absorb(&mut self, other: &RouterStats) {
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.failed += other.failed;
+    }
+}
+
 /// Runs one read-only shard sub-query with bounded deterministic retry:
 /// an injected [`FaultSite::ShardExec`] hit (drawn before each attempt)
 /// or a transient error from the shard is retried up to
@@ -92,7 +102,7 @@ pub struct RouterStats {
 /// the shard's own simulated core between attempts. Non-transient errors
 /// propagate unchanged; exhaustion surfaces as [`DbError::ShardFailed`]
 /// wrapping the last cause.
-fn run_with_retry<T>(
+pub(crate) fn run_with_retry<T>(
     shard: &mut Database,
     shard_no: usize,
     stats: &mut RouterStats,
@@ -135,7 +145,7 @@ fn run_with_retry<T>(
 /// are never retried: a failed attempt may have partially applied, and a
 /// blind re-run could double-apply its effect — the router surfaces
 /// [`DbError::ShardFailed`] after a single attempt instead.
-fn run_mutation<T>(
+pub(crate) fn run_mutation<T>(
     shard: &mut Database,
     shard_no: usize,
     stats: &mut RouterStats,
@@ -167,8 +177,8 @@ pub(crate) fn shard_of(key: i32, n: usize) -> usize {
 /// [`Database::shard`].
 #[derive(Debug)]
 pub struct ShardedDatabase {
-    shards: Vec<Database>,
-    stats: RouterStats,
+    pub(crate) shards: Vec<Database>,
+    pub(crate) stats: RouterStats,
 }
 
 impl ShardedDatabase {
@@ -298,7 +308,7 @@ impl ShardedDatabase {
 
     /// A sharded join is computed shard-locally, which is only correct when
     /// matching rows co-locate: both tables sharded on their join keys.
-    fn check_join_co_partitioning(&self, q: &Query) -> DbResult<()> {
+    pub(crate) fn check_join_co_partitioning(&self, q: &Query) -> DbResult<()> {
         let Query::JoinAgg {
             left,
             right,

@@ -827,6 +827,19 @@ mod tests {
             .at(segment::CODE)
     }
 
+    /// The simulated core must be freely movable across OS threads (the
+    /// morsel executor ships each shard's `Cpu` with its task) — a
+    /// compile-time lock against reintroducing `Rc`/`Cell`/`thread_local!`
+    /// state into the simulator.
+    #[test]
+    fn cpu_and_snapshots_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cpu>();
+        assert_send_sync::<CpuConfig>();
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<CodeBlock>();
+    }
+
     #[test]
     fn ledger_total_equals_cycle_counter() {
         let mut cpu = quiet_cpu();

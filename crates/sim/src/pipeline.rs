@@ -15,7 +15,7 @@
 //! for the data accesses and data-dependent branches whose behaviour must
 //! *emerge* from the simulation rather than being declared.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::config::PipelineCfg;
 
@@ -73,7 +73,31 @@ pub struct CodeBlock {
     pub long_instr_frac: f64,
     /// Rotation state for representative probe addresses (interior mutability
     /// so blocks can be shared immutably by the engine).
-    pub(crate) rot: Cell<u32>,
+    pub(crate) rot: Rot,
+}
+
+/// The rotation counter of a [`CodeBlock`]: a cloneable atomic so blocks are
+/// `Sync` (shards move across OS threads under the parallel executor).
+///
+/// Determinism caveat: the counter is part of the simulated instruction
+/// stream, so two *cores* must never share one block — each simulated core
+/// needs its own block set ([`CodeBlock`] clones carry the current rotation
+/// value), otherwise interleaving would make probe addresses depend on the
+/// host schedule. The engine privatizes block sets per shard for exactly
+/// this reason.
+#[derive(Debug, Default)]
+pub(crate) struct Rot(AtomicU32);
+
+impl Clone for Rot {
+    fn clone(&self) -> Self {
+        Rot(AtomicU32::new(self.0.load(Ordering::Relaxed)))
+    }
+}
+
+impl Rot {
+    fn next(&self) -> u32 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 impl CodeBlock {
@@ -106,7 +130,7 @@ impl CodeBlock {
                 dep_frac: 0.22,
                 fu_frac: 0.18,
                 long_instr_frac: 0.04,
-                rot: Cell::new(0),
+                rot: Rot::default(),
             },
         }
     }
@@ -128,9 +152,7 @@ impl CodeBlock {
     }
 
     pub(crate) fn next_rot(&self) -> u32 {
-        let r = self.rot.get();
-        self.rot.set(r.wrapping_add(1));
-        r
+        self.rot.next()
     }
 }
 
