@@ -1,10 +1,10 @@
-//! CI bench-regression gate: re-runs the six headline bench measurements
+//! CI bench-regression gate: re-runs the seven headline bench measurements
 //! (`exec_mode`, `layout_compare`, `join_compare`, `branch_compare`,
-//! `scale_compare`, `chaos_sweep` — via the shared [`wdtg_bench::runners`]
-//! code, so the gate cannot drift from the bins) and fails if any headline
-//! metric regresses more than 15% versus the committed `BENCH_*.json`
-//! baselines at the repository root (directory overridable via
-//! `BENCH_BASELINE_DIR`).
+//! `scale_compare`, `chaos_sweep`, `planner_compare` — via the shared
+//! [`wdtg_bench::runners`] code, so the gate cannot drift from the bins)
+//! and fails if any headline metric regresses more than 15% versus the
+//! committed `BENCH_*.json` baselines at the repository root (directory
+//! overridable via `BENCH_BASELINE_DIR`).
 //!
 //! Gated metrics — all simulated, so the gate is deterministic and immune
 //! to CI-runner wall-clock noise:
@@ -22,7 +22,12 @@
 //! * `recovery_rate` (BENCH_chaos.json) — the fraction of fault-hit runs
 //!   the engine absorbed via retry or downgrade. Two *absolute* robustness
 //!   limits ride along: `wrong_answers` must be 0 and
-//!   `guardrail_overhead_pct` must stay under 2% in the fresh run.
+//!   `guardrail_overhead_pct` must stay under 2% in the fresh run;
+//! * `planner_win_rate` (BENCH_planner.json) — how often the SQL planner's
+//!   pilot-simulated pick is the exhaustive winner. Three *absolute*
+//!   accuracy limits ride along: worst regret ≤ 1.10x, and the planner
+//!   must rediscover predication at the deep-pipeline 50%-selectivity peak
+//!   and the partitioned join past the L2 crossover.
 //!
 //! One *host-clock* floor rides along with the scale gate: on hosts with
 //! at least 4 cores, the OS-thread morsel executor's fresh
@@ -38,7 +43,7 @@
 
 use wdtg_bench::runners::{
     host_parallelism, json_number, run_branch_report, run_chaos_report, run_exec_report,
-    run_join_report, run_layout_report, run_scale_report,
+    run_join_report, run_layout_report, run_planner_report, run_scale_report,
 };
 
 /// Fractional regression tolerated before the gate fails.
@@ -56,14 +61,20 @@ const MIN_HOST_SPEEDUP_4SHARD: f64 = 2.5;
 
 /// The baseline documents the gate needs, each with the bin that
 /// regenerates it.
-const BASELINES: [(&str, &str); 6] = [
+const BASELINES: [(&str, &str); 7] = [
     ("BENCH_exec.json", "exec_mode"),
     ("BENCH_layout.json", "layout_compare"),
     ("BENCH_join.json", "join_compare"),
     ("BENCH_branch.json", "branch_compare"),
     ("BENCH_scale.json", "scale_compare"),
     ("BENCH_chaos.json", "chaos_sweep"),
+    ("BENCH_planner.json", "planner_compare"),
 ];
+
+/// Hard ceiling on the planner's worst regret: its pick must stay within
+/// 10% of the exhaustive-best simulated T_Q in every scenario. Absolute,
+/// not baseline-relative — this is the frontend's accuracy contract.
+const MAX_PLANNER_REGRET: f64 = 1.10;
 
 struct Gate {
     name: &'static str,
@@ -118,8 +129,8 @@ fn main() {
     if !problems.is_empty() {
         bail(&dir, &problems);
     }
-    let [exec_doc, layout_doc, join_doc, branch_doc, scale_doc, chaos_doc]: [String; 6] =
-        docs.try_into().expect("one doc per baseline");
+    let [exec_doc, layout_doc, join_doc, branch_doc, scale_doc, chaos_doc, planner_doc]: [String;
+        7] = docs.try_into().expect("one doc per baseline");
 
     // Each baseline is bound by name right next to its (file, key), so a
     // gate can only ever read the metric it names — there is no positional
@@ -151,6 +162,8 @@ fn main() {
     );
     let base_scale_speedup = metric(&scale_doc, "BENCH_scale.json", None, "speedup_4shard");
     let base_recovery_rate = metric(&chaos_doc, "BENCH_chaos.json", None, "recovery_rate");
+    let base_planner_win_rate =
+        metric(&planner_doc, "BENCH_planner.json", None, "planner_win_rate");
     if !problems.is_empty() {
         bail(&dir, &problems);
     }
@@ -162,6 +175,7 @@ fn main() {
     let branch = run_branch_report();
     let scale = run_scale_report();
     let chaos = run_chaos_report();
+    let planner = run_planner_report();
 
     let gates = [
         Gate {
@@ -198,6 +212,11 @@ fn main() {
             name: "chaos: recovery_rate",
             baseline: base_recovery_rate,
             current: chaos.recovery_rate(),
+        },
+        Gate {
+            name: "planner: planner_win_rate",
+            baseline: base_planner_win_rate,
+            current: planner.planner_win_rate(),
         },
     ];
 
@@ -239,6 +258,38 @@ fn main() {
     }
     if !chaos.downgrade_answer_ok {
         eprintln!("bench_check: budget-pressured join failed to degrade with the same answer");
+        failed = true;
+    }
+    // Absolute planner-accuracy limits on the fresh run: the pilot-costed
+    // pick must stay within 10% of the exhaustive best everywhere, and both
+    // headline rediscoveries (predication at the deep-pipeline misprediction
+    // peak, the partitioned join past the L2 crossover) must hold.
+    let regret = planner.max_ratio();
+    println!(
+        "{:38} max_regret {regret:.3}x (limit {MAX_PLANNER_REGRET:.2}x), \
+         predicated@50% {}, partitioned@large {}",
+        "planner: absolute limits",
+        planner.predicated_chosen_at_50(),
+        planner.partitioned_chosen_large(),
+    );
+    if regret > MAX_PLANNER_REGRET {
+        eprintln!(
+            "bench_check: planner's worst pick is {regret:.3}x the exhaustive best \
+             (limit {MAX_PLANNER_REGRET:.2}x)"
+        );
+        failed = true;
+    }
+    if !planner.predicated_chosen_at_50() {
+        eprintln!(
+            "bench_check: planner failed to choose predication at the deep-pipeline \
+             50%-selectivity misprediction peak"
+        );
+        failed = true;
+    }
+    if !planner.partitioned_chosen_large() {
+        eprintln!(
+            "bench_check: planner failed to choose the partitioned join past the L2 crossover"
+        );
         failed = true;
     }
     // Absolute host-parallelism floor on the fresh scale run: with >= 4

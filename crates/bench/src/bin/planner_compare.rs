@@ -1,0 +1,46 @@
+//! Planner validation: plans each scenario's SQL through the frontend's
+//! pilot-simulated cost model ([`wdtg_memdb::Session::explain`]), then
+//! measures **every** enumerated physical candidate for real and scores the
+//! planner's pick against the exhaustive winner. Written to
+//! `BENCH_planner.json` (path overridable via `BENCH_PLANNER_OUT`).
+//!
+//! The grid brackets the paper's two headline physical-design trade-offs —
+//! predication's win at the 50%-selectivity misprediction peak (§5.3, on a
+//! deep-pipeline variant per §6) and the partitioned hash join's L2
+//! crossover — so the headline booleans assert the planner rediscovers both
+//! from simulated stall terms alone. The measurement lives in
+//! [`wdtg_bench::runners`], shared with the `bench_check` gate.
+
+use wdtg_bench::runners::{
+    run_planner_report, PLANNER_JOIN_BUILDS, PLANNER_L2_BYTES, PLANNER_SCAN_ROWS,
+};
+
+fn main() {
+    println!(
+        "== planner_compare == {} scan rows, joins at builds {:?}, L2 {} KB",
+        PLANNER_SCAN_ROWS,
+        PLANNER_JOIN_BUILDS,
+        PLANNER_L2_BYTES / 1024,
+    );
+    let report = run_planner_report();
+    print!("{}", report.cmp.render());
+
+    let out = std::env::var("BENCH_PLANNER_OUT").unwrap_or_else(|_| "BENCH_planner.json".into());
+    std::fs::write(&out, report.to_json()).expect("write BENCH_planner.json");
+    println!("wrote {out}");
+
+    assert!(
+        report.predicated_chosen_at_50(),
+        "planner must choose predication at the deep-pipeline misprediction peak"
+    );
+    assert!(
+        report.partitioned_chosen_large(),
+        "planner must choose the partitioned join past the L2 crossover"
+    );
+    assert!(
+        report.max_ratio() <= 1.10,
+        "planner picks must stay within 10% of the exhaustive best \
+         (worst regret {:.3}x)",
+        report.max_ratio()
+    );
+}

@@ -12,8 +12,10 @@ use std::time::Instant;
 
 use wdtg_core::methodology::build_sharded_db_with_layout;
 use wdtg_core::{
-    BranchCell, JoinComparison, ScalingComparison, SelectivityComparison, TimeBreakdown,
+    BranchCell, JoinComparison, PlannerComparison, ScalingComparison, SelectivityComparison,
+    TimeBreakdown,
 };
+use wdtg_memdb::sql::{compile, BoundStatement};
 use wdtg_memdb::{
     Database, DbError, EngineProfile, ExecMode, FaultPlan, JoinAlgo, PageLayout, ParallelConfig,
     Query, QueryResult, ResourceBudget, Schema, SelectionMode, ShardedDatabase, SystemId,
@@ -55,6 +57,18 @@ fn build_scan_db(sys: SystemId, layout: PageLayout) -> Database {
 /// The paper's 10% selectivity band on the scan relation's 1..=2000 domain.
 fn scan_query() -> Query {
     Query::range_select_avg("R", 900, 1101)
+}
+
+/// Compiles a scalar workload statement through the SQL frontend. The bench
+/// workloads are *stated* in SQL (what a [`wdtg_memdb::Session`] user would
+/// type) and compiled once up front, so the measured loops execute the exact
+/// same hand-built [`Query`] IR as before — zero cycles of frontend cost
+/// inside any measurement.
+fn sql_query(db: &Database, sql: &str) -> Query {
+    match compile(db, sql).expect("workload SQL compiles") {
+        BoundStatement::Scalar(q) => q,
+        other => panic!("workload SQL must be a scalar statement, got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -536,6 +550,21 @@ pub fn scale_workload() -> Scale {
     }
 }
 
+/// Compiles a §3.3 microbenchmark workload from its SQL text
+/// ([`micro::query_sql`]) against a schema-only catalog — the compiled
+/// [`Query`] is what the measured loops run, so stating the workload in SQL
+/// costs zero measured cycles.
+fn compile_micro_sql(scale: Scale, cfg: &CpuConfig, q: MicroQuery, sel: f64) -> Query {
+    let mut cat = Database::new(EngineProfile::system(SystemId::C), cfg.clone());
+    cat.create_table("R", Schema::paper_relation(scale.record_bytes))
+        .unwrap();
+    if q == MicroQuery::SequentialJoin {
+        cat.create_table("S", Schema::paper_relation(scale.record_bytes))
+            .unwrap();
+    }
+    sql_query(&cat, &micro::query_sql(scale, q, sel))
+}
+
 /// The multi-core scaling comparison (a [`ScalingComparison`] grid plus the
 /// headline accessors the regression gate reads).
 #[derive(Debug, Clone)]
@@ -759,8 +788,8 @@ const HOST_TIMING_REPS: usize = 3;
 /// merged counters between the two (the executor's determinism contract).
 pub fn measure_host_scaling(threads: usize) -> HostScaling {
     let scale = scale_workload();
-    let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
     let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+    let q = compile_micro_sql(scale, &cfg, MicroQuery::SequentialRangeSelection, 0.1);
     let mut cells = Vec::new();
     for &shards in &ScalingComparison::SHARD_COUNTS {
         // One warmed measurement per worker count, each on its own fresh
@@ -833,8 +862,8 @@ pub struct ThreadedChaosParity {
 /// result and bit-identical merged counters at any worker count.
 pub fn run_threaded_chaos_parity(threads: usize) -> ThreadedChaosParity {
     let scale = Scale::tiny();
-    let q = micro::query(scale, MicroQuery::SequentialRangeSelection, 0.1);
     let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+    let q = compile_micro_sql(scale, &cfg, MicroQuery::SequentialRangeSelection, 0.1);
     let mut runs = 0;
     let mut diverged = 0;
     for seed in 0..6u64 {
@@ -887,6 +916,11 @@ pub const CHAOS_BUILD_ROWS: u64 = 1_500;
 pub const CHAOS_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
 /// Runs (distinct fault-plan seeds) per grid cell.
 pub const CHAOS_RUNS_PER_CELL: u32 = 24;
+
+/// The chaos scan workload as SQL (the paper's 10% band on R's domain).
+pub const CHAOS_SCAN_SQL: &str = "SELECT AVG(a3) FROM R WHERE a2 > 900 AND a2 < 1101";
+/// The chaos join workload as SQL (§3.3 query 2 on the chaos relations).
+pub const CHAOS_JOIN_SQL: &str = "SELECT AVG(R.a3) FROM R JOIN S ON R.a2 = S.a1";
 
 /// Builds the chaos scan relation: `CHAOS_ROWS` 20-byte records with the
 /// same column roles as the headline scan relation.
@@ -1155,8 +1189,13 @@ impl ChaosReport {
 /// distinct seeded plans, every answer checked bit-for-bit against the
 /// fault-free run. Fresh databases per cell keep the sweep deterministic.
 pub fn run_chaos_report() -> ChaosReport {
-    let q_scan = Query::range_select_avg("R", 900, 1101);
-    let q_join = Query::join_avg("R", "S");
+    // Both workloads are stated as SQL and compiled once against the chaos
+    // catalog; the grid below measures the compiled plans.
+    let q_scan = sql_query(&build_chaos_db(None), CHAOS_SCAN_SQL);
+    let q_join = sql_query(
+        &build_chaos_db(Some(("S", CHAOS_BUILD_ROWS))),
+        CHAOS_JOIN_SQL,
+    );
     let mut cells = Vec::new();
 
     let scan_expected = build_chaos_db(None).run(&q_scan).unwrap();
@@ -1221,6 +1260,119 @@ pub fn run_chaos_report() -> ChaosReport {
         baseline_cycles,
         guarded_cycles,
         downgrade_answer_ok,
+    }
+}
+
+// ---------------------------------------------------------------------
+// planner_compare: the SQL planner's picks vs the exhaustive best
+// ---------------------------------------------------------------------
+
+/// Rows in the planner scenarios' scanned/probed relation.
+pub const PLANNER_SCAN_ROWS: usize = 4096;
+/// Build-side row counts of the join scenarios — one comfortably inside the
+/// shrunk L2, one far beyond it, so the grid brackets the partitioned
+/// join's crossover.
+pub const PLANNER_JOIN_BUILDS: [usize; 2] = [128, 4096];
+/// L2 capacity for the planner scenarios: shrunk so the join crossover
+/// happens at CI-sized builds ([`CpuConfig::with_l2_size`]).
+pub const PLANNER_L2_BYTES: u32 = 32 * 1024;
+
+/// The planner validation (a [`PlannerComparison`] grid plus the headline
+/// accessors the regression gate reads).
+#[derive(Debug, Clone)]
+pub struct PlannerReport {
+    /// The measured grid: scan selectivity sweep + deep-pipeline scan +
+    /// join crossover, each planned from pilot simulation and then
+    /// exhaustively measured.
+    pub cmp: PlannerComparison,
+}
+
+impl PlannerReport {
+    /// Fraction of scenarios where the pilot-costed pick was the exhaustive
+    /// winner (the baseline-gated headline).
+    pub fn planner_win_rate(&self) -> f64 {
+        self.cmp.win_rate()
+    }
+
+    /// Worst regret across scenarios: actual cycles of the planner's pick
+    /// over the exhaustive best. Gated *absolutely* (≤ 1.10): the planner
+    /// must stay within 10% of optimal everywhere.
+    pub fn max_ratio(&self) -> f64 {
+        self.cmp.max_ratio()
+    }
+
+    /// Whether the deep-pipeline 50%-selectivity scan chose predication —
+    /// the §5.3 headline, rediscovered from simulated branch stalls.
+    pub fn predicated_chosen_at_50(&self) -> bool {
+        self.cmp
+            .cell_named("scan sel=50% deep-pipe")
+            .map(|c| c.chosen.contains("predicated"))
+            .unwrap_or(false)
+    }
+
+    /// Whether the largest join chose the cache-partitioned algorithm —
+    /// the L2 crossover, rediscovered from simulated memory stalls.
+    pub fn partitioned_chosen_large(&self) -> bool {
+        self.cmp
+            .cell_named(&format!("join build={}", PLANNER_JOIN_BUILDS[1]))
+            .map(|c| c.chosen.ends_with("/partitioned"))
+            .unwrap_or(false)
+    }
+
+    /// The `BENCH_planner.json` document.
+    pub fn to_json(&self) -> String {
+        let mut cells = String::new();
+        for (i, c) in self.cmp.cells.iter().enumerate() {
+            cells.push_str(&format!(
+                "    {{ \"label\": \"{}\", \"sql\": \"{}\", \"chosen\": \"{}\", \
+                 \"best\": \"{}\", \"chosen_cycles\": {:.0}, \"best_cycles\": {:.0}, \
+                 \"regret\": {:.4}, \"optimal\": {} }}{}\n",
+                c.label,
+                c.sql,
+                c.chosen,
+                c.best,
+                c.chosen_cycles,
+                c.best_cycles,
+                c.ratio(),
+                if c.optimal() { 1 } else { 0 },
+                if i + 1 == self.cmp.cells.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        format!(
+            "{{\n  \"benchmark\": \"planner_compare\",\n  \"scan_rows\": {},\n  \
+             \"l2_bytes\": {},\n  \"deep_pipe_penalty\": {},\n  \
+             \"cells\": [\n{cells}  ],\n  \
+             \"planner_win_rate\": {:.4},\n  \"max_ratio\": {:.4},\n  \
+             \"predicated_chosen_at_50\": {},\n  \"partitioned_chosen_large\": {}\n}}\n",
+            PLANNER_SCAN_ROWS,
+            PLANNER_L2_BYTES,
+            PlannerComparison::DEEP_PIPE_PENALTY,
+            self.planner_win_rate(),
+            self.max_ratio(),
+            if self.predicated_chosen_at_50() { 1 } else { 0 },
+            if self.partitioned_chosen_large() {
+                1
+            } else {
+                0
+            },
+        )
+    }
+}
+
+/// Runs the planner validation: plans each scenario's SQL through
+/// [`wdtg_memdb::Session::explain`] (pilot-simulated costs only), measures
+/// every enumerated candidate for real, and scores the planner's pick.
+pub fn run_planner_report() -> PlannerReport {
+    let cfg = CpuConfig::pentium_ii_xeon()
+        .with_interrupts(InterruptCfg::disabled())
+        .with_l2_size(PLANNER_L2_BYTES);
+    PlannerReport {
+        cmp: PlannerComparison::run(&cfg, PLANNER_SCAN_ROWS, &PLANNER_JOIN_BUILDS)
+            .expect("planner comparison runs"),
     }
 }
 

@@ -8,13 +8,14 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const BASELINE_FILES: [&str; 6] = [
+const BASELINE_FILES: [&str; 7] = [
     "BENCH_exec.json",
     "BENCH_layout.json",
     "BENCH_join.json",
     "BENCH_branch.json",
     "BENCH_scale.json",
     "BENCH_chaos.json",
+    "BENCH_planner.json",
 ];
 
 fn scratch_dir(name: &str) -> PathBuf {
@@ -81,7 +82,9 @@ fn missing_key_names_the_file_and_key() {
         "stderr must name the stale file and its missing key; got:\n{err}"
     );
     assert!(
-        err.contains("instr_collapse") && err.contains("recovery_rate"),
+        err.contains("instr_collapse")
+            && err.contains("recovery_rate")
+            && err.contains("planner_win_rate"),
         "all missing keys are reported in one run; got:\n{err}"
     );
     assert!(!err.contains("panicked"), "no panic on stale baselines");

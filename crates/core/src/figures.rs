@@ -6,8 +6,10 @@
 //! dominance, trends under selectivity/record-size variation — are the
 //! reproduction targets (see EXPERIMENTS.md).
 
+use wdtg_memdb::sql::{compile, BoundStatement, Session};
 use wdtg_memdb::{
-    Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, SelectionMode, SystemId,
+    Database, DbResult, EngineProfile, ExecMode, JoinAlgo, PageLayout, Schema, SelectionMode,
+    SystemId,
 };
 use wdtg_sim::{CpuConfig, Event, Mode};
 use wdtg_workloads::{join, micro, JoinSpec, MicroQuery, Scale, SweepSpec};
@@ -1266,6 +1268,240 @@ impl L1iHypotheses {
             "remaining growth with interrupts off comes from page-boundary crossings\n\
              executing buffer-pool code (hypothesis 3), which scales with record size.\n",
         );
+        out
+    }
+}
+
+/// One planner-validation scenario: the SQL planner's pick versus the
+/// exhaustively measured best configuration for the same statement.
+#[derive(Debug, Clone)]
+pub struct PlannerCell {
+    /// Scenario label (`scan sel=50%`, `join build=65536`).
+    pub label: String,
+    /// The statement planned.
+    pub sql: String,
+    /// The planner's choice ([`wdtg_memdb::sql::PhysicalConfig`] label).
+    pub chosen: String,
+    /// Actual measured cycles under the planner's choice.
+    pub chosen_cycles: f64,
+    /// The best configuration by exhaustive actual measurement.
+    pub best: String,
+    /// Actual measured cycles under that best configuration.
+    pub best_cycles: f64,
+    /// Every candidate's actual measured cycles, in enumeration order.
+    pub measured: Vec<(String, f64)>,
+}
+
+impl PlannerCell {
+    /// Planner regret: actual cycles of the pick over the actual best
+    /// (1.0 = the planner found the optimum).
+    pub fn ratio(&self) -> f64 {
+        self.chosen_cycles / self.best_cycles.max(1e-9)
+    }
+
+    /// Whether the planner picked the exhaustive winner.
+    pub fn optimal(&self) -> bool {
+        self.chosen == self.best
+    }
+}
+
+/// Planner validation: does the SQL frontend's pilot-simulated cost model
+/// rediscover the paper's two headline physical-design wins — predication
+/// near 50% selectivity (§5.3) and the partitioned join once the build side
+/// outgrows L2 — without ever being told the rules?
+///
+/// Each cell plans one statement through [`Session::explain`] (candidates
+/// costed on sampled pilot runs only), then measures **every** candidate
+/// for real on the full data and compares the planner's pick against the
+/// exhaustive winner. The headline number is the worst regret ratio.
+#[derive(Debug, Clone)]
+pub struct PlannerComparison {
+    /// One cell per scenario.
+    pub cells: Vec<PlannerCell>,
+}
+
+impl PlannerComparison {
+    /// Scan selectivities swept (predication should win near the middle).
+    pub const SELECTIVITIES: [f64; 4] = [0.01, 0.1, 0.5, 0.9];
+
+    /// Branch-misprediction penalty of the deep-pipeline scenario (3x the
+    /// P6's 17 cycles — the §6 direction). On the Xeon's short pipeline
+    /// predication is roughly cost-neutral; on a deeper pipeline it wins
+    /// outright at 50% selectivity, and the planner must find the flip.
+    pub const DEEP_PIPE_PENALTY: u32 = 51;
+
+    /// Runs, on System A: scan scenarios over `scan_rows` rows at
+    /// [`Self::SELECTIVITIES`]; the same 50%-selectivity scan on a
+    /// deep-pipeline variant of `cfg` ([`Self::DEEP_PIPE_PENALTY`]); and one
+    /// join scenario per entry of `join_builds` (build-side rows; probe side
+    /// is `scan_rows`). Pass a [`CpuConfig::with_l2_size`]-shrunk config to
+    /// move the join crossover into cheap territory.
+    pub fn run(
+        cfg: &CpuConfig,
+        scan_rows: usize,
+        join_builds: &[usize],
+    ) -> DbResult<PlannerComparison> {
+        let sys = SystemId::A;
+        let mut cells = Vec::new();
+        for sel in Self::SELECTIVITIES {
+            cells.push(Self::scan_cell(cfg, sys, scan_rows, sel)?);
+        }
+        let deep = cfg.clone().with_mispredict_penalty(Self::DEEP_PIPE_PENALTY);
+        let mut cell = Self::scan_cell(&deep, sys, scan_rows, 0.5)?;
+        cell.label = "scan sel=50% deep-pipe".into();
+        cells.push(cell);
+        for &build in join_builds {
+            cells.push(Self::join_cell(cfg, sys, scan_rows, build)?);
+        }
+        Ok(PlannerComparison { cells })
+    }
+
+    /// Mix function shared by the data generators (runners.rs idiom).
+    fn mix(i: usize) -> i32 {
+        ((i as u32).wrapping_mul(0x9e37_79b9) >> 8) as i32 & 0x7fff_ffff
+    }
+
+    /// Plans `sql` on `db`, then measures every candidate the planner
+    /// enumerated for real and scores the pick.
+    fn cell(label: String, sql: &str, db: Database) -> DbResult<PlannerCell> {
+        let q = match compile(&db, sql)? {
+            BoundStatement::Scalar(q) => q,
+            BoundStatement::Grouped { .. } => {
+                return Err(wdtg_memdb::DbError::PlanError(
+                    "planner comparison cells are scalar".into(),
+                ))
+            }
+        };
+        let mut sess = Session::open(db);
+        sess.explain(sql)?;
+        let report = sess
+            .last_plan()
+            .expect("aggregate statements are always planned")
+            .clone();
+        let mut db = sess.into_db();
+        let mut measured = Vec::new();
+        for c in &report.candidates {
+            c.config.apply(&mut db);
+            db.run(&q)?; // warm-up (§4.3)
+            let before = db.cpu().snapshot();
+            db.run(&q)?;
+            let cycles = db.cpu().snapshot().delta(&before).cycles;
+            measured.push((c.config.label(), cycles));
+        }
+        let best = measured
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let chosen_label = report.chosen().config.label();
+        let chosen_cycles = measured
+            .iter()
+            .find(|(l, _)| *l == chosen_label)
+            .map(|(_, c)| *c)
+            .unwrap_or(f64::MAX);
+        Ok(PlannerCell {
+            label,
+            sql: sql.to_string(),
+            chosen: chosen_label,
+            chosen_cycles,
+            best: measured[best].0.clone(),
+            best_cycles: measured[best].1,
+            measured,
+        })
+    }
+
+    /// Scan scenario: `a2` uniform over 0..1000, range predicate selecting
+    /// the requested fraction.
+    pub fn scan_cell(
+        cfg: &CpuConfig,
+        sys: SystemId,
+        rows: usize,
+        sel: f64,
+    ) -> DbResult<PlannerCell> {
+        let mut db = Database::new(EngineProfile::system(sys), cfg.clone());
+        db.ctx.instrument = false;
+        db.create_table("R", Schema::paper_relation(20))?;
+        db.load_rows(
+            "R",
+            (0..rows).map(|i| {
+                let x = Self::mix(i);
+                vec![i as i32, x % 1000, x % 10007, 0, 0]
+            }),
+        )?;
+        db.ctx.instrument = true;
+        let hi = (1000.0 * sel).round() as i64;
+        let sql = format!("SELECT AVG(a3) FROM R WHERE a2 > -1 AND a2 < {hi}");
+        Self::cell(format!("scan sel={:.0}%", sel * 100.0), &sql, db)
+    }
+
+    /// Join scenario: probe table R joined to a `build`-row table S on
+    /// `R.a2 = S.a1`; the build side's hash-table residency in L2 is what
+    /// the planner must price.
+    pub fn join_cell(
+        cfg: &CpuConfig,
+        sys: SystemId,
+        probe: usize,
+        build: usize,
+    ) -> DbResult<PlannerCell> {
+        let mut db = Database::new(EngineProfile::system(sys), cfg.clone());
+        db.ctx.instrument = false;
+        db.create_table("R", Schema::paper_relation(20))?;
+        db.create_table("S", Schema::paper_relation(20))?;
+        db.load_rows(
+            "R",
+            (0..probe).map(|i| {
+                let x = Self::mix(i);
+                vec![i as i32, x % build as i32, x % 10007, 0, 0]
+            }),
+        )?;
+        db.load_rows(
+            "S",
+            (0..build).map(|i| vec![i as i32, Self::mix(i) % 4096, 0, 0, 0]),
+        )?;
+        db.ctx.instrument = true;
+        let sql = "SELECT AVG(R.a3) FROM R JOIN S ON R.a2 = S.a1";
+        Self::cell(format!("join build={build}"), sql, db)
+    }
+
+    /// Fraction of cells where the planner picked the exhaustive winner.
+    pub fn win_rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().filter(|c| c.optimal()).count() as f64 / self.cells.len() as f64
+    }
+
+    /// Worst regret ratio across cells (1.0 = optimal everywhere).
+    pub fn max_ratio(&self) -> f64 {
+        self.cells.iter().map(|c| c.ratio()).fold(1.0, f64::max)
+    }
+
+    /// The cell whose label is `label`, if present.
+    pub fn cell_named(&self, label: &str) -> Option<&PlannerCell> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+
+    /// Renders the comparison (one row per scenario).
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Planner validation: pilot-simulated choice vs exhaustive actual best\n");
+        let mut t = TextTable::new(["scenario", "chosen", "best", "regret", "optimal"]);
+        for c in &self.cells {
+            t.row([
+                c.label.clone(),
+                c.chosen.clone(),
+                c.best.clone(),
+                format!("{:.3}x", c.ratio()),
+                if c.optimal() { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "win rate {:.0}% — worst regret {:.3}x\n",
+            self.win_rate() * 100.0,
+            self.max_ratio()
+        ));
         out
     }
 }

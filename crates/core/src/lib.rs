@@ -37,8 +37,8 @@ pub mod validate;
 pub use breakdown::{BreakdownSource, FourWay, TimeBreakdown};
 pub use figures::{
     BranchCell, ExecModeComparison, FigureCtx, JoinCell, JoinComparison, L1iHypotheses,
-    LayoutComparison, MicrobenchGrid, RecordSizeSweep, ScalingCell, ScalingComparison,
-    SelectivityComparison, SelectivitySweep,
+    LayoutComparison, MicrobenchGrid, PlannerCell, PlannerComparison, RecordSizeSweep, ScalingCell,
+    ScalingComparison, SelectivityComparison, SelectivitySweep,
 };
 pub use methodology::{
     build_db, build_db_with, build_db_with_layout, build_sharded_db_with_layout, measure_query,

@@ -511,7 +511,7 @@ impl Database {
         &mut self.ctx.cpu
     }
 
-    fn table_idx(&self, name: &str) -> DbResult<usize> {
+    pub(crate) fn table_idx(&self, name: &str) -> DbResult<usize> {
         self.tables
             .iter()
             .position(|t| t.name == name)
@@ -523,7 +523,7 @@ impl Database {
         Ok(&self.tables[self.table_idx(name)?])
     }
 
-    fn index_on(&self, table: usize, col: usize) -> Option<&IndexMeta> {
+    pub(crate) fn index_on(&self, table: usize, col: usize) -> Option<&IndexMeta> {
         self.indexes
             .iter()
             .find(|i| i.table == table && i.col == col)
@@ -687,6 +687,9 @@ impl Database {
     /// table [where predicate] group by group_col`, returning
     /// `(group, value)` pairs in ascending group order. TPC-D's original
     /// queries are grouped aggregates (e.g. Q1 groups on return flag).
+    ///
+    /// Thin shim over the unified `Database::dispatch` path; prefer
+    /// [`crate::sql::Session::sql_grouped`] for new code.
     pub fn run_grouped(
         &mut self,
         table: &str,
@@ -713,11 +716,16 @@ impl Database {
         predicate: Option<&QueryPredicate>,
         agg: &crate::query::AggSpec,
     ) -> DbResult<Vec<(i32, AggState)>> {
-        self.ctx.begin_query();
-        if self.ctx.cancel.is_cancelled() {
-            return Err(DbError::Cancelled);
+        match self.dispatch(ExecRequest::Grouped {
+            table,
+            group_col,
+            predicate,
+            agg,
+            morsel_rows: None,
+        })? {
+            ExecOutcome::Grouped(v) => Ok(v),
+            _ => Err(DbError::Internal("grouped dispatch shape".into())),
         }
-        catch_internal(|| self.run_grouped_inner(table, group_col, predicate, agg, None, true))
     }
 
     fn run_grouped_inner(
@@ -904,12 +912,92 @@ impl Database {
     /// violation rather than a typed error) is caught and converted to
     /// [`DbError::Internal`], so one bad query can never take down the
     /// engine.
+    ///
+    /// Thin shim over the unified `Database::dispatch` path (as are all
+    /// six `run*` entry points); prefer [`crate::sql::Session::sql`], which
+    /// also picks the physical knobs, for new code.
     pub fn run(&mut self, q: &Query) -> DbResult<QueryResult> {
+        match self.dispatch(ExecRequest::Scalar(q))? {
+            ExecOutcome::Scalar(r) => Ok(r),
+            _ => Err(DbError::Internal("scalar dispatch shape".into())),
+        }
+    }
+
+    /// The single entry gate every `run*` shim funnels through: per-query
+    /// budget baselines reset, pending cancellation honored, panic firewall
+    /// armed — exactly once, in one place, for all six public entry points.
+    pub(crate) fn dispatch(&mut self, req: ExecRequest<'_>) -> DbResult<ExecOutcome> {
         self.ctx.begin_query();
         if self.ctx.cancel.is_cancelled() {
             return Err(DbError::Cancelled);
         }
-        catch_internal(|| self.run_inner(q))
+        catch_internal(|| self.dispatch_inner(req))
+    }
+
+    /// Cancellation + budget checkpoint between morsels (not before the
+    /// first — `Database::dispatch` already checked). A pure check: no
+    /// simulated cost, so the counter stream depends only on the morsel
+    /// decomposition.
+    fn morsel_checkpoint(&mut self, morsel_no: usize) -> DbResult<()> {
+        if morsel_no > 0 {
+            if self.ctx.cancel.is_cancelled() {
+                return Err(DbError::Cancelled);
+            }
+            self.ctx.enforce_budget()?;
+        }
+        Ok(())
+    }
+
+    fn dispatch_inner(&mut self, req: ExecRequest<'_>) -> DbResult<ExecOutcome> {
+        match req {
+            ExecRequest::Scalar(q) => self.run_inner(q).map(ExecOutcome::Scalar),
+            ExecRequest::Partial { q, morsel_rows } => {
+                let ranges = match morsel_rows {
+                    None => vec![(0, u32::MAX)],
+                    Some(m) => self.morsel_ranges(q, m)?,
+                };
+                let mut acc = AggState::new();
+                for (i, r) in ranges.into_iter().enumerate() {
+                    self.morsel_checkpoint(i)?;
+                    // An unbounded request plans with no page range at all
+                    // (not a `(0, MAX)` bound), keeping its plan identical
+                    // to the historical `run_partial`.
+                    let range = if morsel_rows.is_some() { Some(r) } else { None };
+                    let mut agg_exec = self.plan_agg_ranged(q, range)?;
+                    acc.merge(&self.finish_agg_opts(&mut agg_exec, i == 0)?);
+                }
+                Ok(ExecOutcome::Partial(acc))
+            }
+            ExecRequest::Grouped {
+                table,
+                group_col,
+                predicate,
+                agg,
+                morsel_rows,
+            } => {
+                let ranges = match morsel_rows {
+                    None => vec![None],
+                    Some(m) => {
+                        let ti = self.table_idx(table)?;
+                        self.heap_morsel_ranges(ti, m)
+                            .into_iter()
+                            .map(Some)
+                            .collect()
+                    }
+                };
+                let mut merged: std::collections::BTreeMap<i32, AggState> =
+                    std::collections::BTreeMap::new();
+                for (i, r) in ranges.into_iter().enumerate() {
+                    self.morsel_checkpoint(i)?;
+                    for (k, st) in
+                        self.run_grouped_inner(table, group_col, predicate, agg, r, i == 0)?
+                    {
+                        merged.entry(k).or_default().merge(&st);
+                    }
+                }
+                Ok(ExecOutcome::Grouped(merged.into_iter().collect()))
+            }
+        }
     }
 
     fn run_inner(&mut self, q: &Query) -> DbResult<QueryResult> {
@@ -942,14 +1030,13 @@ impl Database {
     /// ([`AggState::merge`]), so the merged answer is bit-identical to a
     /// single-shard [`Database::run`].
     pub fn run_partial(&mut self, q: &Query) -> DbResult<AggState> {
-        self.ctx.begin_query();
-        if self.ctx.cancel.is_cancelled() {
-            return Err(DbError::Cancelled);
+        match self.dispatch(ExecRequest::Partial {
+            q,
+            morsel_rows: None,
+        })? {
+            ExecOutcome::Partial(st) => Ok(st),
+            _ => Err(DbError::Internal("partial dispatch shape".into())),
         }
-        catch_internal(|| {
-            let mut agg_exec = self.plan_agg(q)?;
-            self.finish_agg(&mut agg_exec)
-        })
     }
 
     /// [`Database::run_partial`] executed as a sequence of page-aligned
@@ -969,25 +1056,13 @@ impl Database {
     /// depends only on the morsel decomposition), and `query_setup` is
     /// charged on the first morsel only.
     pub fn run_partial_morsels(&mut self, q: &Query, morsel_rows: u32) -> DbResult<AggState> {
-        self.ctx.begin_query();
-        if self.ctx.cancel.is_cancelled() {
-            return Err(DbError::Cancelled);
+        match self.dispatch(ExecRequest::Partial {
+            q,
+            morsel_rows: Some(morsel_rows),
+        })? {
+            ExecOutcome::Partial(st) => Ok(st),
+            _ => Err(DbError::Internal("partial dispatch shape".into())),
         }
-        catch_internal(|| {
-            let ranges = self.morsel_ranges(q, morsel_rows)?;
-            let mut acc = AggState::new();
-            for (i, r) in ranges.into_iter().enumerate() {
-                if i > 0 {
-                    if self.ctx.cancel.is_cancelled() {
-                        return Err(DbError::Cancelled);
-                    }
-                    self.ctx.enforce_budget()?;
-                }
-                let mut agg_exec = self.plan_agg_ranged(q, Some(r))?;
-                acc.merge(&self.finish_agg_opts(&mut agg_exec, i == 0)?);
-            }
-            Ok(acc)
-        })
     }
 
     /// [`Database::run_grouped_partial`] executed morsel-by-morsel; same
@@ -1002,30 +1077,16 @@ impl Database {
         agg: &crate::query::AggSpec,
         morsel_rows: u32,
     ) -> DbResult<Vec<(i32, AggState)>> {
-        self.ctx.begin_query();
-        if self.ctx.cancel.is_cancelled() {
-            return Err(DbError::Cancelled);
+        match self.dispatch(ExecRequest::Grouped {
+            table,
+            group_col,
+            predicate,
+            agg,
+            morsel_rows: Some(morsel_rows),
+        })? {
+            ExecOutcome::Grouped(v) => Ok(v),
+            _ => Err(DbError::Internal("grouped dispatch shape".into())),
         }
-        catch_internal(|| {
-            let ti = self.table_idx(table)?;
-            let ranges = self.heap_morsel_ranges(ti, morsel_rows);
-            let mut merged: std::collections::BTreeMap<i32, AggState> =
-                std::collections::BTreeMap::new();
-            for (i, r) in ranges.into_iter().enumerate() {
-                if i > 0 {
-                    if self.ctx.cancel.is_cancelled() {
-                        return Err(DbError::Cancelled);
-                    }
-                    self.ctx.enforce_budget()?;
-                }
-                for (k, st) in
-                    self.run_grouped_inner(table, group_col, predicate, agg, Some(r), i == 0)?
-                {
-                    merged.entry(k).or_default().merge(&st);
-                }
-            }
-            Ok(merged.into_iter().collect())
-        })
     }
 
     /// Splits `q`'s outer scan into page-aligned morsel ranges of roughly
@@ -1483,8 +1544,9 @@ impl Database {
     }
 
     /// All rows of table `ti`, read raw (uninstrumented) in heap order.
-    /// Used by [`Database::shard`] to re-partition loaded data.
-    fn table_rows(&self, ti: usize) -> DbResult<Vec<Vec<i32>>> {
+    /// Used by [`Database::shard`] to re-partition loaded data and by the
+    /// SQL planner ([`crate::sql`]) to build its pilot databases.
+    pub(crate) fn table_rows(&self, ti: usize) -> DbResult<Vec<Vec<i32>>> {
         let t = &self.tables[ti];
         let arity = t.schema.arity();
         let mut rows = Vec::new();
@@ -1577,6 +1639,51 @@ impl Database {
         }
         Ok(ShardedDatabase::from_shards(shards))
     }
+}
+
+/// One request on the unified execution path. Every public `run*` entry
+/// point (and the SQL [`crate::sql::Session`]) lowers to one of these and
+/// goes through `Database::dispatch`, so query setup, cancellation,
+/// budget checkpoints and the panic firewall exist exactly once.
+#[derive(Debug)]
+pub(crate) enum ExecRequest<'a> {
+    /// A scalar-result query ([`Database::run`]).
+    Scalar(&'a Query),
+    /// An aggregate returning its exact partial accumulator, optionally
+    /// morselized ([`Database::run_partial`] /
+    /// [`Database::run_partial_morsels`]).
+    Partial {
+        /// The aggregate query.
+        q: &'a Query,
+        /// `Some(rows)` slices the outer scan into page-aligned morsels.
+        morsel_rows: Option<u32>,
+    },
+    /// A grouped aggregate returning per-group partials, optionally
+    /// morselized ([`Database::run_grouped_partial`] /
+    /// [`Database::run_grouped_partial_morsels`]).
+    Grouped {
+        /// Table name.
+        table: &'a str,
+        /// Grouping column.
+        group_col: &'a str,
+        /// Optional predicate (range form).
+        predicate: Option<&'a QueryPredicate>,
+        /// Aggregate.
+        agg: &'a crate::query::AggSpec,
+        /// `Some(rows)` slices the scan into page-aligned morsels.
+        morsel_rows: Option<u32>,
+    },
+}
+
+/// What `Database::dispatch` produced; each shim unwraps its own shape.
+#[derive(Debug)]
+pub(crate) enum ExecOutcome {
+    /// Scalar result.
+    Scalar(QueryResult),
+    /// Exact aggregate partial.
+    Partial(AggState),
+    /// Per-group partials in ascending group order.
+    Grouped(Vec<(i32, AggState)>),
 }
 
 /// Runs `f`, converting any panic into [`DbError::Internal`] so executor

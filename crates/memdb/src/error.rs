@@ -41,6 +41,28 @@ pub enum DbError {
     },
     /// The query referenced tables/columns in an unsupported combination.
     PlanError(String),
+    /// SQL text failed to lex/parse. Carries the byte span of the offending
+    /// token and a one-line snippet of the statement around it, so callers
+    /// can render a caret diagnostic without re-tokenizing.
+    ParseError {
+        /// What the parser expected / found.
+        msg: String,
+        /// Byte range `[start, end)` of the offending token in the input.
+        span: (usize, usize),
+        /// The input text around the span (see [`crate::sql`]).
+        snippet: String,
+    },
+    /// Parsed SQL referenced a name or shape the catalog cannot satisfy
+    /// (unknown table/column, unsupported projection mix, ...). Same span +
+    /// snippet contract as [`DbError::ParseError`].
+    BindError {
+        /// Why binding failed.
+        msg: String,
+        /// Byte range `[start, end)` of the offending name in the input.
+        span: (usize, usize),
+        /// The input text around the span.
+        snippet: String,
+    },
     /// A buffer-pool page fetch failed (injected or real I/O failure).
     /// Transient: shard retries may succeed.
     IoFault {
@@ -153,6 +175,20 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::PlanError(m) => write!(f, "cannot plan query: {m}"),
+            DbError::ParseError { msg, span, snippet } => {
+                write!(
+                    f,
+                    "syntax error at byte {}..{}: {msg} (near `{snippet}`)",
+                    span.0, span.1
+                )
+            }
+            DbError::BindError { msg, span, snippet } => {
+                write!(
+                    f,
+                    "bind error at byte {}..{}: {msg} (near `{snippet}`)",
+                    span.0, span.1
+                )
+            }
             DbError::IoFault { page_id } => {
                 write!(f, "buffer-pool fetch of page {page_id} failed")
             }

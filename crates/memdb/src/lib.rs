@@ -30,6 +30,7 @@ pub mod profiles;
 pub mod query;
 pub mod schema;
 pub mod shard;
+pub mod sql;
 pub mod testutil;
 
 pub use arena::SimArena;
@@ -44,3 +45,23 @@ pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize,
 pub use query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
 pub use schema::{Column, Schema};
 pub use shard::{RouterStats, ShardedDatabase};
+pub use sql::Session;
+
+/// The one-stop import for driving the engine through SQL.
+///
+/// ```
+/// use wdtg_memdb::prelude::*;
+/// ```
+/// brings in the [`Session`] front door, both database types, the physical
+/// knob enums a session tunes ([`ExecMode`], [`SelectionMode`], [`JoinAlgo`],
+/// [`PageLayout`]) and the result/error types SQL calls return.
+pub mod prelude {
+    pub use crate::db::Database;
+    pub use crate::error::{DbError, DbResult};
+    pub use crate::exec::{ExecMode, SelectionMode};
+    pub use crate::heap::PageLayout;
+    pub use crate::profiles::JoinAlgo;
+    pub use crate::query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
+    pub use crate::shard::ShardedDatabase;
+    pub use crate::sql::{CandidateCost, PhysicalConfig, PlanReport, Session};
+}

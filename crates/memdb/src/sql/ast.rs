@@ -1,0 +1,137 @@
+//! Abstract syntax for the engine's SQL dialect.
+//!
+//! The AST is deliberately close to the dialect the executor already runs
+//! ([`crate::query::Query`]): single-table aggregates with conjunctive
+//! predicates, optional GROUP BY, two-table equi-joins, point selects, and
+//! the two mutations. The binder ([`crate::sql::bind`]) narrows these to
+//! bound queries; nothing here knows about the catalog.
+
+use crate::query::AggKind;
+
+/// A possibly table-qualified column reference, with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Optional qualifying table name (`R.a2`).
+    pub table: Option<String>,
+    /// Column name.
+    pub col: String,
+    /// Byte span in the statement text.
+    pub span: (usize, usize),
+}
+
+impl ColRef {
+    /// `"t.c"` or `"c"` for diagnostics.
+    pub fn display(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.col),
+            None => self.col.clone(),
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `AVG(col)`, `SUM(col)`, `MIN(col)`, `MAX(col)`, `COUNT(*)` or
+    /// `COUNT(col)`.
+    Agg {
+        /// Aggregate function.
+        kind: AggKind,
+        /// Aggregated column; `None` only for `COUNT(*)`.
+        col: Option<ColRef>,
+        /// Span of the whole aggregate call.
+        span: (usize, usize),
+    },
+    /// A bare column (legal as the GROUP BY key or a point-select read).
+    Col(ColRef),
+}
+
+/// Comparison operator as written (the binder maps to [`crate::expr::CmpOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpKind {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhereAtom {
+    /// `col OP literal` (or the mirrored `literal OP col`, normalized by
+    /// the parser so the column is always on the left).
+    Cmp {
+        /// Column operand.
+        col: ColRef,
+        /// Operator, after normalization.
+        op: CmpKind,
+        /// Literal operand.
+        value: i64,
+        /// Span of the whole comparison.
+        span: (usize, usize),
+    },
+    /// `left_col = right_col` — the equi-join condition.
+    ColEq {
+        /// Left column.
+        left: ColRef,
+        /// Right column.
+        right: ColRef,
+        /// Span of the whole comparison.
+        span: (usize, usize),
+    },
+}
+
+impl WhereAtom {
+    /// The atom's source span.
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            WhereAtom::Cmp { span, .. } | WhereAtom::ColEq { span, .. } => *span,
+        }
+    }
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStmt {
+    /// SELECT-list items, in order.
+    pub projections: Vec<Projection>,
+    /// FROM tables (1 or 2; `JOIN ... ON` folds into `tables` + a
+    /// [`WhereAtom::ColEq`] conjunct), with spans.
+    pub tables: Vec<(String, (usize, usize))>,
+    /// WHERE conjuncts (ANDed).
+    pub where_atoms: Vec<WhereAtom>,
+    /// GROUP BY key, if present.
+    pub group_by: Option<ColRef>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `SELECT ...`.
+    Select(SelectStmt),
+    /// `INSERT INTO table VALUES (v, ...)`.
+    Insert {
+        /// Target table and its span.
+        table: (String, (usize, usize)),
+        /// Literal row values, with the span of each literal.
+        values: Vec<(i64, (usize, usize))>,
+    },
+    /// `UPDATE table SET col = col + delta WHERE key_col = key`.
+    Update {
+        /// Target table and its span.
+        table: (String, (usize, usize)),
+        /// Column assigned.
+        set_col: ColRef,
+        /// Column read on the right-hand side (must rebind to `set_col`).
+        read_col: ColRef,
+        /// Signed increment.
+        delta: i64,
+        /// Key column of the WHERE equality.
+        key_col: ColRef,
+        /// Key value.
+        key: i64,
+    },
+}

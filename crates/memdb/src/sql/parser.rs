@@ -1,0 +1,438 @@
+//! Recursive-descent parser for the engine's SQL dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! stmt      := select | insert | update
+//! select    := SELECT proj (',' proj)* FROM table_ref [WHERE conj] [GROUP BY colref]
+//! table_ref := ident (',' ident | [INNER] JOIN ident ON colref '=' colref)*
+//! proj      := agg '(' ('*' | colref) ')' | colref
+//! agg       := AVG | SUM | COUNT | MIN | MAX
+//! conj      := atom (AND atom)*
+//! atom      := operand cmp operand
+//! operand   := colref | ['-'] int
+//! colref    := ident ['.' ident]
+//! insert    := INSERT INTO ident VALUES '(' ['-']int (',' ['-']int)* ')'
+//! update    := UPDATE ident SET colref '=' colref ('+'|'-') int
+//!              WHERE colref '=' ['-']int
+//! ```
+//!
+//! Every error is a [`DbError::ParseError`] with the offending token's byte
+//! span and a snippet — malformed SQL never panics.
+
+use crate::error::{DbError, DbResult};
+use crate::query::AggKind;
+
+use super::ast::{CmpKind, ColRef, Projection, SelectStmt, Statement, WhereAtom};
+use super::token::{lex, parse_err, Tok, Token};
+
+/// Parses one statement (an optional trailing `;` is allowed).
+pub fn parse(src: &str) -> DbResult<Statement> {
+    let toks = lex(src)?;
+    let mut p = Parser { src, toks, pos: 0 };
+    let stmt = match p.peek().clone() {
+        Tok::Kw("SELECT") => Statement::Select(p.select()?),
+        Tok::Kw("INSERT") => p.insert()?,
+        Tok::Kw("UPDATE") => p.update()?,
+        _ => {
+            return Err(p.err_here("expected SELECT, INSERT or UPDATE"));
+        }
+    };
+    p.eat_sym(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_span(&self) -> (usize, usize) {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> DbError {
+        parse_err(self.src, self.peek_span(), msg)
+    }
+
+    fn eat_kw(&mut self, kw: &'static str) -> bool {
+        if *self.peek() == Tok::Kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &'static str) -> bool {
+        if *self.peek() == Tok::Sym(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &'static str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {kw}")))
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &'static str) -> DbResult<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected `{sym}`")))
+        }
+    }
+
+    fn expect_eof(&self) -> DbResult<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err_here("unexpected trailing input"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> DbResult<(String, (usize, usize))> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let span = self.peek_span();
+                self.bump();
+                Ok((name, span))
+            }
+            _ => Err(self.err_here(format!("expected {what} name"))),
+        }
+    }
+
+    /// `ident ['.' ident]`.
+    fn colref(&mut self) -> DbResult<ColRef> {
+        let (first, span1) = self.ident("column")?;
+        if self.eat_sym(".") {
+            let (col, span2) = self.ident("column")?;
+            Ok(ColRef {
+                table: Some(first),
+                col,
+                span: (span1.0, span2.1),
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                col: first,
+                span: span1,
+            })
+        }
+    }
+
+    /// `['-'] int`, returning the signed value and its span.
+    fn int(&mut self) -> DbResult<(i64, (usize, usize))> {
+        let neg_span = if self.eat_sym("-") {
+            Some(self.toks[self.pos - 1].span)
+        } else {
+            None
+        };
+        match *self.peek() {
+            Tok::Int(v) => {
+                let span = self.peek_span();
+                self.bump();
+                match neg_span {
+                    Some(ns) => Ok((-v, (ns.0, span.1))),
+                    None => Ok((v, span)),
+                }
+            }
+            _ => Err(self.err_here("expected integer literal")),
+        }
+    }
+
+    fn agg_kind(&mut self) -> Option<AggKind> {
+        let kind = match self.peek() {
+            Tok::Kw("AVG") => AggKind::Avg,
+            Tok::Kw("SUM") => AggKind::Sum,
+            Tok::Kw("COUNT") => AggKind::Count,
+            Tok::Kw("MIN") => AggKind::Min,
+            Tok::Kw("MAX") => AggKind::Max,
+            _ => return None,
+        };
+        self.bump();
+        Some(kind)
+    }
+
+    fn projection(&mut self) -> DbResult<Projection> {
+        let start = self.peek_span().0;
+        if let Some(kind) = self.agg_kind() {
+            self.expect_sym("(")?;
+            let col = if self.eat_sym("*") {
+                if kind != AggKind::Count {
+                    return Err(parse_err(
+                        self.src,
+                        (start, self.peek_span().1),
+                        "`*` is only valid in COUNT(*)",
+                    ));
+                }
+                None
+            } else {
+                Some(self.colref()?)
+            };
+            self.expect_sym(")")?;
+            let end = self.toks[self.pos - 1].span.1;
+            Ok(Projection::Agg {
+                kind,
+                col,
+                span: (start, end),
+            })
+        } else {
+            Ok(Projection::Col(self.colref()?))
+        }
+    }
+
+    /// One comparison; column/literal sides are normalized so the column is
+    /// on the left (mirroring flips the operator).
+    fn where_atom(&mut self) -> DbResult<WhereAtom> {
+        enum Operand {
+            Col(ColRef),
+            Lit(i64),
+        }
+        let start = self.peek_span().0;
+        let operand = |p: &mut Self| -> DbResult<Operand> {
+            if matches!(p.peek(), Tok::Ident(_)) {
+                Ok(Operand::Col(p.colref()?))
+            } else {
+                let (v, _) = p.int()?;
+                Ok(Operand::Lit(v))
+            }
+        };
+        let lhs = operand(self)?;
+        let op = match self.peek() {
+            Tok::Sym("<") => CmpKind::Lt,
+            Tok::Sym("<=") => CmpKind::Le,
+            Tok::Sym(">") => CmpKind::Gt,
+            Tok::Sym(">=") => CmpKind::Ge,
+            Tok::Sym("=") => CmpKind::Eq,
+            Tok::Sym("<>") => CmpKind::Ne,
+            _ => return Err(self.err_here("expected comparison operator")),
+        };
+        self.bump();
+        let rhs = operand(self)?;
+        let end = self.toks[self.pos - 1].span.1;
+        let span = (start, end);
+        let mirrored = |op: CmpKind| match op {
+            CmpKind::Lt => CmpKind::Gt,
+            CmpKind::Le => CmpKind::Ge,
+            CmpKind::Gt => CmpKind::Lt,
+            CmpKind::Ge => CmpKind::Le,
+            CmpKind::Eq => CmpKind::Eq,
+            CmpKind::Ne => CmpKind::Ne,
+        };
+        match (lhs, rhs) {
+            (Operand::Col(left), Operand::Col(right)) => {
+                if op != CmpKind::Eq {
+                    return Err(parse_err(
+                        self.src,
+                        span,
+                        "column-to-column comparison must be `=` (an equi-join condition)",
+                    ));
+                }
+                Ok(WhereAtom::ColEq { left, right, span })
+            }
+            (Operand::Col(col), Operand::Lit(value)) => Ok(WhereAtom::Cmp {
+                col,
+                op,
+                value,
+                span,
+            }),
+            (Operand::Lit(value), Operand::Col(col)) => Ok(WhereAtom::Cmp {
+                col,
+                op: mirrored(op),
+                value,
+                span,
+            }),
+            (Operand::Lit(..), Operand::Lit(..)) => Err(parse_err(
+                self.src,
+                span,
+                "comparison must reference a column",
+            )),
+        }
+    }
+
+    fn select(&mut self) -> DbResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let mut projections = vec![self.projection()?];
+        while self.eat_sym(",") {
+            projections.push(self.projection()?);
+        }
+        self.expect_kw("FROM")?;
+        let mut tables = vec![self.ident("table")?];
+        let mut where_atoms: Vec<WhereAtom> = Vec::new();
+        loop {
+            if self.eat_sym(",") {
+                tables.push(self.ident("table")?);
+            } else if *self.peek() == Tok::Kw("JOIN") || *self.peek() == Tok::Kw("INNER") {
+                self.eat_kw("INNER");
+                self.expect_kw("JOIN")?;
+                tables.push(self.ident("table")?);
+                self.expect_kw("ON")?;
+                let atom = self.where_atom()?;
+                match atom {
+                    WhereAtom::ColEq { .. } => where_atoms.push(atom),
+                    other => {
+                        return Err(parse_err(
+                            self.src,
+                            other.span(),
+                            "ON clause must be an equi-join condition `t1.c1 = t2.c2`",
+                        ))
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if self.eat_kw("WHERE") {
+            where_atoms.push(self.where_atom()?);
+            while self.eat_kw("AND") {
+                where_atoms.push(self.where_atom()?);
+            }
+            if *self.peek() == Tok::Kw("OR") || *self.peek() == Tok::Kw("NOT") {
+                return Err(self
+                    .err_here("only conjunctive (AND) predicates are supported in this dialect"));
+            }
+        }
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            Some(self.colref()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projections,
+            tables,
+            where_atoms,
+            group_by,
+        })
+    }
+
+    fn insert(&mut self) -> DbResult<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident("table")?;
+        self.expect_kw("VALUES")?;
+        self.expect_sym("(")?;
+        let mut values = vec![self.int()?];
+        while self.eat_sym(",") {
+            values.push(self.int()?);
+        }
+        self.expect_sym(")")?;
+        Ok(Statement::Insert { table, values })
+    }
+
+    fn update(&mut self) -> DbResult<Statement> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident("table")?;
+        self.expect_kw("SET")?;
+        let set_col = self.colref()?;
+        self.expect_sym("=")?;
+        let read_col = self.colref()?;
+        let delta = if self.eat_sym("+") {
+            self.int()?.0
+        } else if self.eat_sym("-") {
+            -self.int()?.0
+        } else {
+            return Err(
+                self.err_here("UPDATE supports the form `SET col = col + n` (or `- n`) only")
+            );
+        };
+        self.expect_kw("WHERE")?;
+        let key_col = self.colref()?;
+        self.expect_sym("=")?;
+        let (key, _) = self.int()?;
+        Ok(Statement::Update {
+            table,
+            set_col,
+            read_col,
+            delta,
+            key_col,
+            key,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_range_selection() {
+        let s = parse("SELECT AVG(a3) FROM R WHERE a2 > 900 AND a2 < 1101").unwrap();
+        let Statement::Select(sel) = s else {
+            panic!("expected select")
+        };
+        assert_eq!(sel.tables[0].0, "R");
+        assert_eq!(sel.where_atoms.len(), 2);
+        assert!(sel.group_by.is_none());
+    }
+
+    /// Span-free fingerprint of a select, for comparing spellings.
+    fn shape(src: &str) -> String {
+        let Statement::Select(sel) = parse(src).unwrap() else {
+            panic!("expected select")
+        };
+        let mut out = String::new();
+        for t in &sel.tables {
+            out.push_str(&format!("table {};", t.0));
+        }
+        for a in &sel.where_atoms {
+            match a {
+                WhereAtom::Cmp { col, op, value, .. } => {
+                    out.push_str(&format!("cmp {} {op:?} {value};", col.display()))
+                }
+                WhereAtom::ColEq { left, right, .. } => {
+                    out.push_str(&format!("eq {} {};", left.display(), right.display()))
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_join_in_both_spellings() {
+        // The two spellings have different byte spans but identical shape.
+        assert_eq!(
+            shape("SELECT AVG(R.a3) FROM R, S WHERE R.a2 = S.a1"),
+            shape("SELECT AVG(R.a3) FROM R JOIN S ON R.a2 = S.a1"),
+        );
+    }
+
+    #[test]
+    fn normalizes_mirrored_literal_comparisons() {
+        assert_eq!(
+            shape("SELECT COUNT(*) FROM R WHERE 900 < a2"),
+            shape("SELECT COUNT(*) FROM R WHERE a2 > 900"),
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = parse("SELECT AVG(a3) FROM R WHERE").unwrap_err();
+        match err {
+            DbError::ParseError { span, .. } => assert_eq!(span.0, 27),
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+    }
+}

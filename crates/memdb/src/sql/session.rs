@@ -1,0 +1,254 @@
+//! The unified front door: [`Session`] wraps a database (single-core or
+//! sharded), accepts SQL text, and drives the full pipeline —
+//! lex → parse → bind → simulator-costed plan → execute.
+//!
+//! ```
+//! use wdtg_memdb::prelude::*;
+//! use wdtg_sim::{CpuConfig, InterruptCfg};
+//! use wdtg_memdb::{EngineProfile, Schema, SystemId};
+//!
+//! let cfg = CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled());
+//! let mut db = Database::new(EngineProfile::system(SystemId::D), cfg);
+//! db.create_table("R", Schema::paper_relation(20)).unwrap();
+//! db.load_rows("R", (0..500).map(|i| vec![i, i % 512, i % 1009, 0, 0])).unwrap();
+//!
+//! let mut sess = Session::open(db);
+//! let r = sess.sql("SELECT AVG(a3) FROM R WHERE a2 > 100 AND a2 < 300").unwrap();
+//! assert!(r.rows > 0);
+//! println!("{}", sess.explain("SELECT AVG(a3) FROM R WHERE a2 > 100 AND a2 < 300").unwrap());
+//! ```
+
+use std::collections::HashMap;
+
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+use crate::query::{Query, QueryPredicate, QueryResult};
+use crate::shard::ShardedDatabase;
+
+use super::bind::{compile, BoundStatement};
+use super::plan::{plan, PhysicalConfig, PlanReport};
+
+/// The engine behind a session: one simulated core, or a sharded router.
+enum Backend {
+    Single(Box<Database>),
+    Sharded(Box<ShardedDatabase>),
+}
+
+/// A SQL session over one database.
+///
+/// The session owns the database, a plan cache (keyed by statement text),
+/// and the report of the last planning decision. Aggregate queries are
+/// physically planned on first sight — every knob candidate is costed on a
+/// sampled pilot run of the cycle simulator (see [`crate::sql::plan`]) —
+/// and the winning configuration is cached and re-applied on repeats.
+/// Point reads and mutations have no physical choice and bypass planning.
+pub struct Session {
+    backend: Backend,
+    plans: HashMap<String, Option<PhysicalConfig>>,
+    last_report: Option<PlanReport>,
+}
+
+impl Session {
+    /// Opens a session over a single-core database.
+    pub fn open(db: Database) -> Session {
+        Session {
+            backend: Backend::Single(Box::new(db)),
+            plans: HashMap::new(),
+            last_report: None,
+        }
+    }
+
+    /// Opens a session over a sharded database. Planning runs against
+    /// shard 0 — with co-partitioned data each shard sees the same regime
+    /// (per-shard partition sizes are what the join actually runs over),
+    /// and the chosen knobs are applied to every shard.
+    pub fn open_sharded(db: ShardedDatabase) -> Session {
+        Session {
+            backend: Backend::Sharded(Box::new(db)),
+            plans: HashMap::new(),
+            last_report: None,
+        }
+    }
+
+    /// The underlying single-core database, if this session is single-core.
+    pub fn db(&self) -> Option<&Database> {
+        match &self.backend {
+            Backend::Single(db) => Some(db),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// Mutable access to the single-core database (knobs, snapshots).
+    pub fn db_mut(&mut self) -> Option<&mut Database> {
+        match &mut self.backend {
+            Backend::Single(db) => Some(db),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The underlying sharded database, if this session is sharded.
+    pub fn sharded(&self) -> Option<&ShardedDatabase> {
+        match &self.backend {
+            Backend::Sharded(db) => Some(db),
+            Backend::Single(_) => None,
+        }
+    }
+
+    /// Mutable access to the sharded database.
+    pub fn sharded_mut(&mut self) -> Option<&mut ShardedDatabase> {
+        match &mut self.backend {
+            Backend::Sharded(db) => Some(db),
+            Backend::Single(_) => None,
+        }
+    }
+
+    /// Consumes the session, returning the single-core database.
+    ///
+    /// # Panics
+    /// Panics if the session is sharded.
+    pub fn into_db(self) -> Database {
+        match self.backend {
+            Backend::Single(db) => *db,
+            Backend::Sharded(_) => panic!("into_db on a sharded session"),
+        }
+    }
+
+    /// The planner report of the most recent planned statement (from
+    /// [`Session::sql`], [`Session::sql_grouped`] or [`Session::explain`]).
+    /// Cache hits do not refresh it.
+    pub fn last_plan(&self) -> Option<&PlanReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The planning database: shard 0 for sharded sessions.
+    fn plan_db(&self) -> &Database {
+        match &self.backend {
+            Backend::Single(db) => db,
+            Backend::Sharded(db) => &db.shards()[0],
+        }
+    }
+
+    /// Plans `stmt` (or reuses the cached choice) and applies the winning
+    /// knobs to the backend. Returns whether the statement was planned.
+    fn plan_and_apply(&mut self, text: &str, stmt: &BoundStatement) -> DbResult<()> {
+        let config = match self.plans.get(text) {
+            Some(cached) => *cached,
+            None => {
+                let report = plan(self.plan_db(), text, stmt)?;
+                let config = report.as_ref().map(|r| r.chosen().config);
+                if let Some(r) = report {
+                    self.last_report = Some(r);
+                }
+                self.plans.insert(text.to_string(), config);
+                config
+            }
+        };
+        if let Some(config) = config {
+            match &mut self.backend {
+                Backend::Single(db) => config.apply(db),
+                Backend::Sharded(db) => {
+                    db.set_exec_mode(config.exec_mode);
+                    if let Some(s) = config.selection_mode {
+                        db.set_selection_mode(s);
+                    }
+                    if let Some(j) = config.join_algo {
+                        db.set_join_algo(j);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one SQL statement and returns its scalar result.
+    ///
+    /// Grouped queries (`GROUP BY`) return per-group rows, not a scalar —
+    /// submit them through [`Session::sql_grouped`]; this method reports a
+    /// [`DbError::PlanError`] for them.
+    pub fn sql(&mut self, text: &str) -> DbResult<QueryResult> {
+        let stmt = compile(self.plan_db(), text)?;
+        match stmt {
+            BoundStatement::Scalar(q) => {
+                self.plan_and_apply(text, &BoundStatement::Scalar(q.clone()))?;
+                match &mut self.backend {
+                    Backend::Single(db) => db.run(&q),
+                    Backend::Sharded(db) => db.run(&q),
+                }
+            }
+            BoundStatement::Grouped { .. } => Err(DbError::PlanError(
+                "grouped query returns per-group rows; use Session::sql_grouped".into(),
+            )),
+        }
+    }
+
+    /// Executes a `GROUP BY` aggregate, returning `(group key, value)`
+    /// pairs in ascending key order.
+    pub fn sql_grouped(&mut self, text: &str) -> DbResult<Vec<(i32, f64)>> {
+        let stmt = compile(self.plan_db(), text)?;
+        let BoundStatement::Grouped {
+            table,
+            group_col,
+            predicate,
+            agg,
+        } = stmt
+        else {
+            return Err(DbError::PlanError(
+                "statement is not grouped; use Session::sql".into(),
+            ));
+        };
+        self.plan_and_apply(
+            text,
+            &BoundStatement::Grouped {
+                table: table.clone(),
+                group_col: group_col.clone(),
+                predicate: predicate.clone(),
+                agg: agg.clone(),
+            },
+        )?;
+        let pred: Option<&QueryPredicate> = predicate.as_ref();
+        match &mut self.backend {
+            Backend::Single(db) => db.run_grouped(&table, &group_col, pred, &agg),
+            Backend::Sharded(db) => db.run_grouped(&table, &group_col, pred, &agg),
+        }
+    }
+
+    /// Plans a statement without executing it and renders the decision:
+    /// the chosen plan shape plus every candidate's simulated stall-term
+    /// cost (`T_C`/`T_M`/`T_B`/`T_R`), winner starred. Unplanned statements
+    /// (point reads, mutations) render their structural plan only.
+    ///
+    /// `EXPLAIN` always re-plans (and refreshes [`Session::last_plan`]);
+    /// the resulting choice is cached for subsequent executions.
+    pub fn explain(&mut self, text: &str) -> DbResult<String> {
+        let stmt = compile(self.plan_db(), text)?;
+        match plan(self.plan_db(), text, &stmt)? {
+            Some(report) => {
+                let rendered = report.render();
+                self.plans
+                    .insert(text.to_string(), Some(report.chosen().config));
+                self.last_report = Some(report);
+                Ok(rendered)
+            }
+            None => {
+                let BoundStatement::Scalar(q) = &stmt else {
+                    return Err(DbError::Internal("unplanned grouped statement".into()));
+                };
+                let shape = self.plan_db().explain(q)?;
+                Ok(format!(
+                    "sql: {text}\nplan:\n  {shape}\n(no physical alternatives; runs as-is)\n"
+                ))
+            }
+        }
+    }
+
+    /// Compiles a statement to the engine's [`Query`] IR without planning
+    /// or executing — the bridge for callers that want the classic API.
+    pub fn compile_only(&self, text: &str) -> DbResult<Query> {
+        match compile(self.plan_db(), text)? {
+            BoundStatement::Scalar(q) => Ok(q),
+            BoundStatement::Grouped { .. } => Err(DbError::PlanError(
+                "grouped statement has no scalar Query form".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Hand-rolled lexer for the engine's SQL dialect.
+//!
+//! Every token carries its byte span in the source text; parse and bind
+//! errors are reported against those spans with a snippet, so a typo in a
+//! 200-byte statement points at the offending bytes instead of "syntax
+//! error" ([`DbError::ParseError`]).
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token kind. Keywords are case-insensitive; identifiers keep
+/// their original spelling (the catalog is case-sensitive, like the rest of
+/// the engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Keyword (uppercased spelling, e.g. `SELECT`).
+    Kw(&'static str),
+    /// Identifier (table/column name).
+    Ident(String),
+    /// Integer literal (sign handled by the parser).
+    Int(i64),
+    /// One of `( ) , . ; * = + -` or a comparison operator.
+    Sym(&'static str),
+    /// End of input (simplifies the parser's lookahead).
+    Eof,
+}
+
+/// A token plus its byte span `[start, end)` in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte range in the statement text.
+    pub span: (usize, usize),
+}
+
+/// The dialect's keywords (uppercase canonical spellings).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "GROUP", "BY", "AVG", "SUM", "COUNT", "MIN",
+    "MAX", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "JOIN", "INNER", "ON", "AS",
+];
+
+/// A one-line excerpt of `src` centered on `span`, for error messages.
+/// Collapses the window to at most 40 bytes so diagnostics stay on one line.
+pub fn snippet(src: &str, span: (usize, usize)) -> String {
+    let (lo, hi) = (span.0.min(src.len()), span.1.min(src.len()));
+    let start = lo.saturating_sub(15);
+    let end = (hi + 15).min(src.len());
+    // Don't split multi-byte chars (identifiers are ASCII but input is not).
+    let mut s = start;
+    while s > 0 && !src.is_char_boundary(s) {
+        s -= 1;
+    }
+    let mut e = end;
+    while e < src.len() && !src.is_char_boundary(e) {
+        e += 1;
+    }
+    let mut out = String::new();
+    if s > 0 {
+        out.push('…');
+    }
+    out.push_str(src[s..e].trim_matches('\n'));
+    if e < src.len() {
+        out.push('…');
+    }
+    out
+}
+
+/// Builds a [`DbError::ParseError`] against `src` at `span`.
+pub fn parse_err(src: &str, span: (usize, usize), msg: impl Into<String>) -> DbError {
+    DbError::ParseError {
+        msg: msg.into(),
+        span,
+        snippet: snippet(src, span),
+    }
+}
+
+/// Builds a [`DbError::BindError`] against `src` at `span`.
+pub fn bind_err(src: &str, span: (usize, usize), msg: impl Into<String>) -> DbError {
+    DbError::BindError {
+        msg: msg.into(),
+        span,
+        snippet: snippet(src, span),
+    }
+}
+
+/// Tokenizes `src`, appending a final [`Tok::Eof`]. The only lexical errors
+/// are an unknown character and an integer literal out of `i64` range.
+pub fn lex(src: &str) -> DbResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let upper = word.to_ascii_uppercase();
+            let tok = match KEYWORDS.iter().find(|k| **k == upper) {
+                Some(kw) => Tok::Kw(kw),
+                None => Tok::Ident(word.to_string()),
+            };
+            out.push(Token {
+                tok,
+                span: (start, i),
+            });
+        } else if b.is_ascii_digit() {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let v: i64 = text
+                .parse()
+                .map_err(|_| parse_err(src, (start, i), format!("integer `{text}` overflows")))?;
+            out.push(Token {
+                tok: Tok::Int(v),
+                span: (start, i),
+            });
+        } else {
+            let (sym, len): (&'static str, usize) = match b {
+                b'<' if bytes.get(i + 1) == Some(&b'=') => ("<=", 2),
+                b'>' if bytes.get(i + 1) == Some(&b'=') => (">=", 2),
+                b'<' if bytes.get(i + 1) == Some(&b'>') => ("<>", 2),
+                b'!' if bytes.get(i + 1) == Some(&b'=') => ("<>", 2),
+                b'<' => ("<", 1),
+                b'>' => (">", 1),
+                b'=' => ("=", 1),
+                b'(' => ("(", 1),
+                b')' => (")", 1),
+                b',' => (",", 1),
+                b'.' => (".", 1),
+                b';' => (";", 1),
+                b'*' => ("*", 1),
+                b'+' => ("+", 1),
+                b'-' => ("-", 1),
+                _ => {
+                    return Err(parse_err(
+                        src,
+                        (start, start + 1),
+                        format!("unexpected character `{}`", &src[start..][..1]),
+                    ))
+                }
+            };
+            i += len;
+            out.push(Token {
+                tok: Tok::Sym(sym),
+                span: (start, i),
+            });
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: (src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_keywords_idents_ints_and_symbols() {
+        let toks = lex("select avg(a3) from R where a2 > 900").unwrap();
+        assert_eq!(toks[0].tok, Tok::Kw("SELECT"));
+        assert_eq!(toks[1].tok, Tok::Kw("AVG"));
+        assert_eq!(toks[2].tok, Tok::Sym("("));
+        assert_eq!(toks[3].tok, Tok::Ident("a3".into()));
+        assert!(matches!(toks.last().unwrap().tok, Tok::Eof));
+    }
+
+    #[test]
+    fn rejects_unknown_characters_with_span() {
+        let err = lex("select @ from R").unwrap_err();
+        match err {
+            DbError::ParseError { span, .. } => assert_eq!(span, (7, 8)),
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+    }
+}

@@ -260,3 +260,103 @@ fn run_partial_rejects_point_operations() {
         other => panic!("expected PlanError, got {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// SQL frontend: malformed statements come back as typed errors with byte
+// spans and a source snippet, never as a panic.
+
+mod sql_errors {
+    use super::db;
+    use wdtg_memdb::sql::Session;
+    use wdtg_memdb::DbError;
+
+    fn compile_err(sql: &str) -> DbError {
+        wdtg_memdb::sql::compile(&db(), sql).expect_err(sql)
+    }
+
+    #[test]
+    fn syntax_errors_carry_span_and_snippet() {
+        match compile_err("SELECT AVG(a3) FROM R WHERE") {
+            DbError::ParseError { span, snippet, .. } => {
+                // The error points at the end of the truncated input.
+                assert_eq!(span.0, 27, "span: {span:?}");
+                assert!(snippet.contains("WHERE"), "snippet: {snippet}");
+            }
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjunctions_are_rejected_as_unsupported() {
+        match compile_err("SELECT AVG(a3) FROM R WHERE a2 > 1 OR a2 < 9") {
+            DbError::ParseError { msg, .. } => {
+                assert!(msg.contains("conjunctive"), "msg: {msg}")
+            }
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_table_is_a_bind_error_at_the_table_name() {
+        let sql = "SELECT AVG(a3) FROM ghost";
+        match compile_err(sql) {
+            DbError::BindError { span, snippet, msg } => {
+                assert_eq!(&sql[span.0..span.1], "ghost");
+                assert!(msg.contains("ghost"), "msg: {msg}");
+                assert!(snippet.contains("ghost"), "snippet: {snippet}");
+            }
+            other => panic!("expected BindError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_column_is_a_bind_error_at_the_column_name() {
+        let sql = "SELECT AVG(nope) FROM R";
+        match compile_err(sql) {
+            DbError::BindError { span, .. } => assert_eq!(&sql[span.0..span.1], "nope"),
+            other => panic!("expected BindError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_literals_are_bind_errors() {
+        match compile_err("SELECT AVG(a3) FROM R WHERE a2 >= 3000000000") {
+            DbError::BindError { msg, .. } => {
+                assert!(msg.contains("32-bit"), "msg: {msg}")
+            }
+            other => panic!("expected BindError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_arity_mismatch_is_a_bind_error() {
+        match compile_err("INSERT INTO R VALUES (1, 2)") {
+            DbError::BindError { msg, .. } => {
+                assert!(msg.contains("2 values"), "msg: {msg}")
+            }
+            other => panic!("expected BindError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grouped_statements_are_refused_by_the_scalar_entry_point() {
+        let mut sess = Session::open(db());
+        match sess.sql("SELECT a4, AVG(a3) FROM R GROUP BY a4") {
+            Err(DbError::PlanError(msg)) => {
+                assert!(msg.contains("sql_grouped"), "msg: {msg}")
+            }
+            other => panic!("expected PlanError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontend_errors_do_not_poison_the_session() {
+        let mut sess = Session::open(db());
+        assert!(sess.sql("SELEC TYPO").is_err());
+        assert!(sess.sql("SELECT AVG(ghost) FROM R").is_err());
+        let ok = sess
+            .sql("SELECT COUNT(*) FROM R")
+            .expect("session still usable after frontend errors");
+        assert_eq!(ok.rows, 500);
+    }
+}

@@ -203,6 +203,17 @@ impl CpuConfig {
         self
     }
 
+    /// Same processor with a different branch-misprediction penalty — a
+    /// deeper pipeline. §6 warns that "processors with longer pipelines
+    /// will suffer more" from mispredictions; this knob moves the machine
+    /// in that direction (the Pentium 4 generation paid ~2x the P6's
+    /// 17 cycles) so branch-sensitive trade-offs like predication can be
+    /// studied on both sides of their crossover.
+    pub fn with_mispredict_penalty(mut self, cycles: u32) -> Self {
+        self.pipe.mispredict_penalty = cycles;
+        self
+    }
+
     /// Same processor with L2 inclusion of the L1 caches forced on
     /// (the inclusion hypothesis of §5.2.2).
     pub fn with_inclusive_l2(mut self, on: bool) -> Self {

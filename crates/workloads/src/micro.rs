@@ -155,6 +155,21 @@ pub fn query(scale: Scale, q: MicroQuery, selectivity: f64) -> Query {
     }
 }
 
+/// The paper query at the requested selectivity as SQL text — the form the
+/// [`wdtg_memdb::sql`] frontend takes. Compiling the returned string against
+/// a prepared database yields exactly [`query`]'s hand-built plan (the
+/// golden contract `sql_matches_hand_built_queries` pins), so benches can
+/// state their workloads in SQL without changing a single measured cycle.
+pub fn query_sql(scale: Scale, q: MicroQuery, selectivity: f64) -> String {
+    match q {
+        MicroQuery::SequentialRangeSelection | MicroQuery::IndexedRangeSelection => {
+            let (lo, hi) = scale.selectivity_range(selectivity);
+            format!("SELECT AVG(a3) FROM R WHERE a2 > {lo} AND a2 < {hi}")
+        }
+        MicroQuery::SequentialJoin => "SELECT AVG(R.a3) FROM R JOIN S ON R.a2 = S.a1".into(),
+    }
+}
+
 /// Prepares a database for one microbenchmark query: loads R (and S for the
 /// join) and creates the `a2` index for the indexed selection.
 pub fn prepare(db: &mut Database, scale: Scale, q: MicroQuery) -> DbResult<()> {
@@ -289,6 +304,23 @@ mod tests {
                     expect.value, got.value,
                     "{q:?} x{shards}: value must be bit-identical"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sql_matches_hand_built_queries() {
+        let scale = Scale::tiny();
+        for q in MicroQuery::ALL {
+            let mut db = tiny_db();
+            prepare(&mut db, scale, q).unwrap();
+            for sel in [0.01, 0.1, 0.5] {
+                let sql = query_sql(scale, q, sel);
+                let compiled = match wdtg_memdb::sql::compile(&db, &sql).expect(&sql) {
+                    wdtg_memdb::sql::BoundStatement::Scalar(c) => c,
+                    other => panic!("{sql}: expected scalar, got {other:?}"),
+                };
+                assert_eq!(compiled, query(scale, q, sel), "{q:?} sel={sel}: {sql}");
             }
         }
     }

@@ -1,34 +1,51 @@
-//! Quickstart: where does time go when one engine runs one query?
+//! Quickstart: ask in SQL, see where the time goes.
 //!
 //! Builds System C (an interpreted, full-materialization engine) on a
-//! simulated Pentium II Xeon, loads a small R relation, runs the paper's
-//! sequential range selection and prints the execution-time breakdown.
+//! simulated Pentium II Xeon, loads the §3.3 microbenchmark relation, and
+//! opens a [`wdtg::memdb::Session`] — the unified front door. `EXPLAIN`
+//! shows the physical plan the session picked (every knob candidate costed
+//! on a sampled pilot run of the cycle simulator), then the measured run's
+//! execution-time breakdown answers the paper's question.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use wdtg_core::methodology::{measure_query, Methodology};
-use wdtg_core::tables::pct;
-use wdtg_memdb::SystemId;
-use wdtg_sim::CpuConfig;
-use wdtg_workloads::{MicroQuery, Scale};
+use wdtg::core::methodology::Rates;
+use wdtg::core::tables::pct;
+use wdtg::core::TimeBreakdown;
+use wdtg::memdb::prelude::*;
+use wdtg::memdb::{EngineProfile, SystemId};
+use wdtg::sim::{CpuConfig, Mode};
+use wdtg::workloads::{micro, MicroQuery, Scale};
 
 fn main() {
-    // select avg(a3) from R where a2 < Hi and a2 > Lo  -- 10% selectivity
-    let measurement = measure_query(
-        SystemId::C,
-        MicroQuery::SequentialRangeSelection,
-        0.10,
-        Scale::tiny(),
-        &CpuConfig::pentium_ii_xeon(),
-        &Methodology::default(),
-    )
-    .expect("measurement runs");
+    let scale = Scale::tiny();
+    let mut db = Database::new(
+        EngineProfile::system(SystemId::C),
+        CpuConfig::pentium_ii_xeon(),
+    );
+    db.ctx.instrument = false;
+    micro::prepare(&mut db, scale, MicroQuery::SequentialRangeSelection).unwrap();
+    db.ctx.instrument = true;
 
-    let b = &measurement.truth;
+    // select avg(a3) from R where a2 > Lo and a2 < Hi  -- 10% selectivity
+    let sql = micro::query_sql(scale, MicroQuery::SequentialRangeSelection, 0.10);
+    let mut sess = Session::open(db);
+
+    // The planner shows its work: each candidate is a knob combination
+    // costed by simulating a sampled pilot; the star marks the winner.
+    println!("{}", sess.explain(&sql).unwrap());
+
+    // Warm run first (the paper measures warm caches, §4.3), then measure.
+    sess.sql(&sql).unwrap();
+    let before = sess.db().unwrap().cpu().snapshot();
+    let r = sess.sql(&sql).unwrap();
+    let delta = sess.db().unwrap().cpu().snapshot().delta(&before);
+
+    let b = TimeBreakdown::from_snapshot(&delta, Mode::User);
     let f = b.four_way();
     println!(
         "System C, 10% sequential range selection ({} rows selected)\n",
-        measurement.rows
+        r.rows
     );
     println!("cycles per query:        {:>12.0}", b.cycles);
     println!("instructions retired:    {:>12}", b.inst_retired);
@@ -63,15 +80,16 @@ fn main() {
         bar(f.resource)
     );
     println!();
+    let rates = Rates::from_delta(&delta);
     println!(
         "hardware rates: L1D miss {:.1}%, L2 data miss {:.1}%, mispredict {:.1}%, BTB miss {:.1}%",
-        measurement.rates.l1d_miss * 100.0,
-        measurement.rates.l2d_miss * 100.0,
-        measurement.rates.br_mispredict * 100.0,
-        measurement.rates.btb_miss * 100.0
+        rates.l1d_miss * 100.0,
+        rates.l2d_miss * 100.0,
+        rates.br_mispredict * 100.0,
+        rates.btb_miss * 100.0
     );
 }
 
 fn bar(f: f64) -> String {
-    wdtg_core::tables::bar(f, 40)
+    wdtg::core::tables::bar(f, 40)
 }

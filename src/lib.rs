@@ -19,7 +19,9 @@ pub use wdtg_memdb as memdb;
 pub use wdtg_sim as sim;
 pub use wdtg_workloads as workloads;
 
-pub use wdtg_core::{FigureCtx, Methodology, MicrobenchGrid, ScalingComparison, TimeBreakdown};
-pub use wdtg_memdb::{Database, EngineProfile, Query, ShardedDatabase, SystemId};
+pub use wdtg_core::{
+    FigureCtx, Methodology, MicrobenchGrid, PlannerComparison, ScalingComparison, TimeBreakdown,
+};
+pub use wdtg_memdb::{Database, EngineProfile, Query, Session, ShardedDatabase, SystemId};
 pub use wdtg_sim::{CpuConfig, Event, Mode};
 pub use wdtg_workloads::{MicroQuery, Scale};

@@ -1,0 +1,97 @@
+//! The planner's self-tuning contract: the SQL frontend must rediscover the
+//! paper's two headline physical-design rules from pilot-simulated stall
+//! costs alone — no selectivity thresholds or cache-size rules are coded
+//! anywhere in the planner.
+//!
+//! * Predication (§5.3): near 50% selectivity the qualify branch is
+//!   maximally unpredictable, so the branch-free predicated evaluation must
+//!   win on simulated `T_B` grounds.
+//! * Partitioned hash join: once the build side's hash table outgrows L2,
+//!   cache-partitioning must win on simulated `T_M` grounds. The test
+//!   shrinks L2 to 32 KB so the crossover happens at debug-friendly sizes.
+
+use wdtg_core::PlannerComparison;
+use wdtg_memdb::SystemId;
+use wdtg_sim::{CpuConfig, InterruptCfg};
+
+fn quiet() -> CpuConfig {
+    CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled())
+}
+
+/// Deep-pipeline variant: 3x the P6's 17-cycle misprediction penalty. On
+/// the Xeon itself predication is roughly cost-neutral (its ~12 cycles of
+/// unconditional select work buy back ~8.5 expected penalty cycles per row
+/// at 50% selectivity); a deeper pipeline tips the trade, and the planner
+/// must find the tipping point on its own.
+fn deep_pipe() -> CpuConfig {
+    quiet().with_mispredict_penalty(PlannerComparison::DEEP_PIPE_PENALTY)
+}
+
+#[test]
+fn planner_picks_predication_at_the_branch_misprediction_peak() {
+    let cell =
+        PlannerComparison::scan_cell(&deep_pipe(), SystemId::A, 4096, 0.5).expect("scan cell runs");
+    assert!(
+        cell.chosen.contains("predicated"),
+        "at 50% selectivity on a deep pipeline the planner should choose \
+         predication from simulated branch-stall costs; chose `{}`\nmeasured: {:?}",
+        cell.chosen,
+        cell.measured,
+    );
+    assert!(
+        cell.ratio() <= 1.15,
+        "planner pick `{}` is {:.3}x the actual best `{}`",
+        cell.chosen,
+        cell.ratio(),
+        cell.best,
+    );
+}
+
+#[test]
+fn planner_keeps_branching_where_the_qualify_branch_is_predictable() {
+    // Same deep pipeline, 1% selectivity: the qualify branch almost always
+    // falls through, mispredictions are rare, and predication's
+    // unconditional select work is pure overhead.
+    let cell = PlannerComparison::scan_cell(&deep_pipe(), SystemId::A, 4096, 0.01)
+        .expect("scan cell runs");
+    assert!(
+        cell.chosen.contains("branching"),
+        "at 1% selectivity branching should win; chose `{}`\nmeasured: {:?}",
+        cell.chosen,
+        cell.measured,
+    );
+}
+
+#[test]
+fn planner_picks_plain_hash_join_while_the_build_side_fits_l2() {
+    let cfg = quiet().with_l2_size(32 * 1024);
+    let cell = PlannerComparison::join_cell(&cfg, SystemId::A, 4096, 128).expect("join cell runs");
+    assert!(
+        cell.chosen.ends_with("/hash"),
+        "with a 128-row build side resident in L2, partitioning buys nothing; \
+         chose `{}`\nmeasured: {:?}",
+        cell.chosen,
+        cell.measured,
+    );
+}
+
+#[test]
+fn planner_picks_partitioned_hash_join_past_the_l2_crossover() {
+    let cfg = quiet().with_l2_size(32 * 1024);
+    let cell = PlannerComparison::join_cell(&cfg, SystemId::A, 4096, 4096).expect("join cell runs");
+    assert!(
+        cell.chosen.ends_with("/partitioned"),
+        "with a 4096-row build side far beyond a 32 KB L2, the planner should \
+         choose the partitioned join from simulated memory-stall costs; \
+         chose `{}`\nmeasured: {:?}",
+        cell.chosen,
+        cell.measured,
+    );
+    assert!(
+        cell.ratio() <= 1.15,
+        "planner pick `{}` is {:.3}x the actual best `{}`",
+        cell.chosen,
+        cell.ratio(),
+        cell.best,
+    );
+}
