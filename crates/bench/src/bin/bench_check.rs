@@ -1,7 +1,8 @@
-//! CI bench-regression gate: re-runs the seven headline bench measurements
+//! CI bench-regression gate: re-runs the eight headline bench measurements
 //! (`exec_mode`, `layout_compare`, `join_compare`, `branch_compare`,
-//! `scale_compare`, `chaos_sweep`, `planner_compare` — via the shared
-//! [`wdtg_bench::runners`] code, so the gate cannot drift from the bins)
+//! `scale_compare`, `chaos_sweep`, `planner_compare`, `oltp_bench` — via
+//! the shared [`wdtg_bench::runners`] code, so the gate cannot drift from
+//! the bins)
 //! and fails if any headline metric regresses more than 15% versus the
 //! committed `BENCH_*.json` baselines at the repository root (directory
 //! overridable via `BENCH_BASELINE_DIR`).
@@ -27,7 +28,11 @@
 //!   pilot-simulated pick is the exhaustive winner. Three *absolute*
 //!   accuracy limits ride along: worst regret ≤ 1.10x, and the planner
 //!   must rediscover predication at the deep-pipeline 50%-selectivity peak
-//!   and the partitioned join past the L2 crossover.
+//!   and the partitioned join past the L2 crossover;
+//! * `sim_tps` (BENCH_oltp.json) — committed transaction throughput of the
+//!   concurrent snapshot-isolation OLTP mix. Three *absolute* transaction
+//!   safety limits ride along: `wrong_answers` and `anomalies` must be 0
+//!   and WAL crash recovery must reproduce every node bit-for-bit.
 //!
 //! One *host-clock* floor rides along with the scale gate: on hosts with
 //! at least 4 cores, the OS-thread morsel executor's fresh
@@ -43,7 +48,7 @@
 
 use wdtg_bench::runners::{
     host_parallelism, json_number, run_branch_report, run_chaos_report, run_exec_report,
-    run_join_report, run_layout_report, run_planner_report, run_scale_report,
+    run_join_report, run_layout_report, run_oltp_report, run_planner_report, run_scale_report,
 };
 
 /// Fractional regression tolerated before the gate fails.
@@ -61,7 +66,7 @@ const MIN_HOST_SPEEDUP_4SHARD: f64 = 2.5;
 
 /// The baseline documents the gate needs, each with the bin that
 /// regenerates it.
-const BASELINES: [(&str, &str); 7] = [
+const BASELINES: [(&str, &str); 8] = [
     ("BENCH_exec.json", "exec_mode"),
     ("BENCH_layout.json", "layout_compare"),
     ("BENCH_join.json", "join_compare"),
@@ -69,6 +74,7 @@ const BASELINES: [(&str, &str); 7] = [
     ("BENCH_scale.json", "scale_compare"),
     ("BENCH_chaos.json", "chaos_sweep"),
     ("BENCH_planner.json", "planner_compare"),
+    ("BENCH_oltp.json", "oltp_bench"),
 ];
 
 /// Hard ceiling on the planner's worst regret: its pick must stay within
@@ -129,8 +135,8 @@ fn main() {
     if !problems.is_empty() {
         bail(&dir, &problems);
     }
-    let [exec_doc, layout_doc, join_doc, branch_doc, scale_doc, chaos_doc, planner_doc]: [String;
-        7] = docs.try_into().expect("one doc per baseline");
+    let [exec_doc, layout_doc, join_doc, branch_doc, scale_doc, chaos_doc, planner_doc, oltp_doc]:
+        [String; 8] = docs.try_into().expect("one doc per baseline");
 
     // Each baseline is bound by name right next to its (file, key), so a
     // gate can only ever read the metric it names — there is no positional
@@ -164,6 +170,7 @@ fn main() {
     let base_recovery_rate = metric(&chaos_doc, "BENCH_chaos.json", None, "recovery_rate");
     let base_planner_win_rate =
         metric(&planner_doc, "BENCH_planner.json", None, "planner_win_rate");
+    let base_oltp_sim_tps = metric(&oltp_doc, "BENCH_oltp.json", Some("\"oltp\""), "sim_tps");
     if !problems.is_empty() {
         bail(&dir, &problems);
     }
@@ -176,6 +183,7 @@ fn main() {
     let scale = run_scale_report();
     let chaos = run_chaos_report();
     let planner = run_planner_report();
+    let oltp = run_oltp_report();
 
     let gates = [
         Gate {
@@ -217,6 +225,11 @@ fn main() {
             name: "planner: planner_win_rate",
             baseline: base_planner_win_rate,
             current: planner.planner_win_rate(),
+        },
+        Gate {
+            name: "oltp: sim_tps",
+            baseline: base_oltp_sim_tps,
+            current: oltp.sim_tps(),
         },
     ];
 
@@ -290,6 +303,33 @@ fn main() {
         eprintln!(
             "bench_check: planner failed to choose the partitioned join past the L2 crossover"
         );
+        failed = true;
+    }
+    // Absolute transaction-safety limits on the fresh OLTP run: snapshot
+    // isolation must produce zero oracle mismatches and zero serialization
+    // anomalies, and WAL replay must reproduce every node bit-for-bit.
+    // These are correctness contracts, not tunable baselines.
+    let oltp_r = &oltp.report;
+    println!(
+        "{:38} wrong_answers {} (must be 0), anomalies {} (must be 0), recovery ok {}",
+        "oltp: absolute limits", oltp_r.wrong_answers, oltp_r.anomalies, oltp_r.recovery_ok,
+    );
+    if oltp_r.wrong_answers != 0 {
+        eprintln!(
+            "bench_check: OLTP oracle found {} committed effect(s) missing or wrong",
+            oltp_r.wrong_answers
+        );
+        failed = true;
+    }
+    if oltp_r.anomalies != 0 {
+        eprintln!(
+            "bench_check: OLTP run produced {} serialization anomaly(ies)",
+            oltp_r.anomalies
+        );
+        failed = true;
+    }
+    if !oltp_r.recovery_ok {
+        eprintln!("bench_check: WAL replay failed to reproduce a node bit-for-bit");
         failed = true;
     }
     // Absolute host-parallelism floor on the fresh scale run: with >= 4

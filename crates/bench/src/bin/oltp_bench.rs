@@ -1,0 +1,62 @@
+//! OLTP at service scale: the TPC-C-like mix issued by concurrent clients
+//! under snapshot-isolation transactions, across a tier of node replicas.
+//! Reports committed throughput (simulated TPS), p50/p99 transaction
+//! latency, conflict/retry counts, and the safety headlines: zero oracle
+//! mismatches, zero serialization anomalies, and bit-identical WAL crash
+//! recovery on every node. Written to `BENCH_oltp.json` (path overridable
+//! via `BENCH_OLTP_OUT`).
+//!
+//! The measurement lives in [`wdtg_bench::runners`], shared with the
+//! `bench_check` gate. Everything gated is simulated, so the numbers are
+//! bit-identical on every host; `host_tps` is informational.
+
+use wdtg_bench::runners::run_oltp_report;
+
+fn main() {
+    let bench = run_oltp_report();
+    let r = &bench.report;
+    println!(
+        "== oltp_bench == {} clients over {} nodes, {} txns/client, scale {} items",
+        r.clients, r.nodes, bench.cfg.txns_per_client, bench.cfg.scale.items
+    );
+    println!(
+        "committed {} (NO {} / P {} / OS {} / D {} / SL {}), conflicts {}, abandoned {}",
+        r.committed,
+        r.per_kind[0],
+        r.per_kind[1],
+        r.per_kind[2],
+        r.per_kind[3],
+        r.per_kind[4],
+        r.conflicts,
+        r.retries_exhausted,
+    );
+    println!(
+        "sim TPS {:.1}, latency p50 {:.3} ms / p99 {:.3} ms (host TPS {:.0})",
+        r.sim_tps, r.p50_ms, r.p99_ms, r.host_tps
+    );
+    println!(
+        "safety: wrong answers {}, anomalies {}, WAL recovery ok {}, {} WAL records",
+        r.wrong_answers, r.anomalies, r.recovery_ok, r.wal_records
+    );
+
+    let out = std::env::var("BENCH_OLTP_OUT").unwrap_or_else(|_| "BENCH_oltp.json".into());
+    std::fs::write(&out, bench.to_json()).expect("write BENCH_oltp.json");
+    println!("wrote {out}");
+
+    assert_eq!(
+        r.wrong_answers, 0,
+        "oracle mismatch: a committed effect was lost"
+    );
+    assert_eq!(
+        r.anomalies, 0,
+        "serialization anomaly under snapshot isolation"
+    );
+    assert!(
+        r.recovery_ok,
+        "WAL replay failed to reproduce a node bit-for-bit"
+    );
+    assert!(
+        r.committed > 0 && r.sim_tps > 0.0,
+        "benchmark committed no transactions"
+    );
+}

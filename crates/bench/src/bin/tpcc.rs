@@ -15,4 +15,19 @@ fn main() {
         wdtg_core::oltp::tpcc_report(TpccScale::from_env(), &ctx.cfg, txns).expect("tpcc runs");
     println!("{report}");
     println!("{}", render_claims(&validate_tpcc(&ms)));
+
+    // The concurrent deployment of the same mix: snapshot-isolation
+    // transactions over a small node tier, with conflict/retry.
+    let (oltp, figure) = wdtg_core::oltp::concurrent_tpcc_report(
+        wdtg_memdb::SystemId::C,
+        TpccScale::from_env(),
+        &ctx.cfg,
+        8,
+        (txns as usize / 40).max(10),
+    )
+    .expect("concurrent tpcc runs");
+    println!("{figure}");
+    assert_eq!(oltp.wrong_answers, 0, "OLTP oracle mismatch");
+    assert_eq!(oltp.anomalies, 0, "serialization anomaly");
+    assert!(oltp.recovery_ok, "WAL recovery failed");
 }

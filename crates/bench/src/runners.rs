@@ -21,7 +21,9 @@ use wdtg_memdb::{
     Query, QueryResult, ResourceBudget, Schema, SelectionMode, ShardedDatabase, SystemId,
 };
 use wdtg_sim::{CpuConfig, Event, InterruptCfg, Mode};
-use wdtg_workloads::{micro, JoinSpec, MicroQuery, Scale, SweepSpec};
+use wdtg_workloads::{
+    micro, run_oltp, JoinSpec, MicroQuery, OltpConfig, OltpReport, Scale, SweepSpec, TpccScale,
+};
 
 /// Rows in the selection benchmarks' single relation.
 pub const SCAN_ROWS: u64 = 100_000;
@@ -1374,6 +1376,97 @@ pub fn run_planner_report() -> PlannerReport {
         cmp: PlannerComparison::run(&cfg, PLANNER_SCAN_ROWS, &PLANNER_JOIN_BUILDS)
             .expect("planner comparison runs"),
     }
+}
+
+// ---------------------------------------------------------------------
+// oltp_bench: concurrent TPC-C over transactions — TPS, p99, safety
+// ---------------------------------------------------------------------
+
+/// Concurrent clients of the OLTP benchmark.
+pub const OLTP_CLIENTS: usize = 8;
+/// Node replicas the clients are dealt across.
+pub const OLTP_NODES: usize = 4;
+/// Transactions each client must commit.
+pub const OLTP_TXNS_PER_CLIENT: usize = 40;
+
+/// The OLTP service benchmark: its configuration and the measured
+/// [`OltpReport`]. All gated numbers are simulated (deterministic across
+/// hosts); `host_tps` is recorded for information only.
+#[derive(Debug, Clone)]
+pub struct OltpBenchReport {
+    /// The run configuration (scale from `WDTG_SCALE`).
+    pub cfg: OltpConfig,
+    /// The measured run.
+    pub report: OltpReport,
+}
+
+impl OltpBenchReport {
+    /// Committed simulated throughput — the baseline-gated headline.
+    pub fn sim_tps(&self) -> f64 {
+        self.report.sim_tps
+    }
+
+    /// The `BENCH_oltp.json` document.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{{\n  \"benchmark\": \"oltp_bench\",\n  \
+             \"clients\": {},\n  \"nodes\": {},\n  \"txns_per_client\": {},\n  \
+             \"scale_items\": {},\n  \"scale_customers_per_district\": {},\n  \
+             \"committed\": {},\n  \"conflicts\": {},\n  \"retries_exhausted\": {},\n  \
+             \"per_kind\": {{ \"new_order\": {}, \"payment\": {}, \"order_status\": {}, \
+             \"delivery\": {}, \"stock_level\": {} }},\n  \
+             \"oltp\": {{ \"sim_tps\": {:.4}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"wrong_answers\": {}, \"anomalies\": {}, \"recovery_ok\": {}, \
+             \"wal_records\": {} }},\n  \
+             \"host_tps\": {:.2}\n}}\n",
+            r.clients,
+            r.nodes,
+            self.cfg.txns_per_client,
+            self.cfg.scale.items,
+            self.cfg.scale.customers_per_district,
+            r.committed,
+            r.conflicts,
+            r.retries_exhausted,
+            r.per_kind[0],
+            r.per_kind[1],
+            r.per_kind[2],
+            r.per_kind[3],
+            r.per_kind[4],
+            r.sim_tps,
+            r.p50_ms,
+            r.p99_ms,
+            r.wrong_answers,
+            r.anomalies,
+            if r.recovery_ok { 1 } else { 0 },
+            r.wal_records,
+            r.host_tps,
+        )
+    }
+}
+
+/// Runs the concurrent OLTP benchmark: [`OLTP_CLIENTS`] clients over
+/// [`OLTP_NODES`] System C node replicas at the `WDTG_SCALE` data scale,
+/// with the oracle and WAL-recovery checks armed.
+pub fn run_oltp_report() -> OltpBenchReport {
+    let cfg = OltpConfig {
+        scale: TpccScale::from_env(),
+        clients: OLTP_CLIENTS,
+        txns_per_client: OLTP_TXNS_PER_CLIENT,
+        nodes: OLTP_NODES,
+        workers: 0,
+        seed: wdtg_workloads::DEFAULT_SEED,
+        retry_cap: 64,
+    };
+    let report = run_oltp(&cfg, || {
+        Database::with_capacity(
+            EngineProfile::system(SystemId::C),
+            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+            1 << 16,
+        )
+    })
+    .expect("oltp benchmark runs");
+    OltpBenchReport { cfg, report }
 }
 
 // ---------------------------------------------------------------------

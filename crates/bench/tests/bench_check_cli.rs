@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const BASELINE_FILES: [&str; 7] = [
+const BASELINE_FILES: [&str; 8] = [
     "BENCH_exec.json",
     "BENCH_layout.json",
     "BENCH_join.json",
@@ -16,6 +16,7 @@ const BASELINE_FILES: [&str; 7] = [
     "BENCH_scale.json",
     "BENCH_chaos.json",
     "BENCH_planner.json",
+    "BENCH_oltp.json",
 ];
 
 fn scratch_dir(name: &str) -> PathBuf {
@@ -84,7 +85,8 @@ fn missing_key_names_the_file_and_key() {
     assert!(
         err.contains("instr_collapse")
             && err.contains("recovery_rate")
-            && err.contains("planner_win_rate"),
+            && err.contains("planner_win_rate")
+            && err.contains("sim_tps"),
         "all missing keys are reported in one run; got:\n{err}"
     );
     assert!(!err.contains("panicked"), "no panic on stale baselines");

@@ -24,6 +24,7 @@ use crate::profiles::{EngineProfile, EvalMode, JoinAlgo};
 use crate::query::{AggKind, Query, QueryPredicate, QueryResult};
 use crate::schema::Schema;
 use crate::shard::{shard_of, ShardedDatabase};
+use crate::txn::TxnState;
 
 /// Instrumented access to simulated memory: every load/store both returns
 /// real bytes and drives the cache simulator, unless instrumentation is off
@@ -328,13 +329,16 @@ pub struct IndexMeta {
 pub struct Database {
     /// Execution context (processor + arenas).
     pub ctx: DbCtx,
-    tables: Vec<Table>,
-    indexes: Vec<IndexMeta>,
-    bufpool: BufferPool,
-    profile: EngineProfile,
-    exec_mode: ExecMode,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) indexes: Vec<IndexMeta>,
+    pub(crate) bufpool: BufferPool,
+    pub(crate) profile: EngineProfile,
+    pub(crate) exec_mode: ExecMode,
     page_layout: PageLayout,
     selection_mode: SelectionMode,
+    /// MVCC version chains, open transactions and the write-ahead log
+    /// (see [`crate::txn`]).
+    pub(crate) txn: TxnState,
 }
 
 impl Database {
@@ -352,6 +356,7 @@ impl Database {
             exec_mode: ExecMode::Row,
             page_layout: PageLayout::Nsm,
             selection_mode: SelectionMode::Branching,
+            txn: TxnState::default(),
         }
     }
 
@@ -1411,7 +1416,14 @@ impl Database {
     }
 
     /// Instrumented single-row update: adds `delta` to `set_col` of every
-    /// row whose `key_col` equals `key` (found via the index).
+    /// row whose `key_col` equals `key` (found via the index), as an
+    /// implicit single-statement transaction (WAL-logged and versioned).
+    ///
+    /// Two-phase: every row is located and its new value computed with
+    /// `checked_add` *before* anything mutates, so an overflowing addition
+    /// ([`DbError::ValueOverflow`]) or a mid-statement fault
+    /// ([`DbError::PageCorrupt`], ...) leaves the table untouched — no
+    /// silent wraparound and no partially-applied multi-row update.
     pub fn update_add(
         &mut self,
         table: &str,
@@ -1430,40 +1442,61 @@ impl Database {
         let heap = self.tables[ti].heap.clone();
         let blocks = Arc::clone(&self.profile.blocks);
 
-        let Database {
-            ctx,
-            bufpool,
-            exec_mode,
-            ..
-        } = self;
-        let mut env = ExecEnv {
-            ctx,
-            bufpool,
-            mode: *exec_mode,
-        };
-        let mut cursor = descend_to_leaf(&mut env, &btree, key, &blocks);
-        let mut rows = 0u64;
-        let mut last = 0i32;
-        while let Some((k, rid)) = cursor.next_entry(&mut env, &blocks) {
-            if k != key {
-                break;
+        // Phase 1: locate and compute (instrumented reads, no mutation).
+        let mut updates: Vec<(u64, i32, i32)> = Vec::new();
+        {
+            let Database {
+                ctx,
+                bufpool,
+                exec_mode,
+                ..
+            } = &mut *self;
+            let mut env = ExecEnv {
+                ctx,
+                bufpool,
+                mode: *exec_mode,
+            };
+            let mut cursor = descend_to_leaf(&mut env, &btree, key, &blocks);
+            while let Some((k, rid)) = cursor.next_entry(&mut env, &blocks) {
+                if k != key {
+                    break;
+                }
+                let rid = Rid::unpack(rid);
+                let frame = fetch_record(&mut env, &heap, rid, &blocks)?;
+                env.ctx.exec(&blocks.update_step);
+                let set_addr = heap.field_addr_at(frame, rid.slot, sc);
+                let v = env.ctx.load_i32(set_addr, MemDep::Chase);
+                let nv = v.checked_add(delta).ok_or_else(|| DbError::ValueOverflow {
+                    table: table.to_string(),
+                    col: set_col.to_string(),
+                    key,
+                })?;
+                updates.push((rid.pack(), v, nv));
             }
-            let rid = Rid::unpack(rid);
-            let frame = fetch_record(&mut env, &heap, rid, &blocks)?;
-            env.ctx.exec(&blocks.update_step);
-            let set_addr = heap.field_addr_at(frame, rid.slot, sc);
-            let v = env.ctx.load_i32(set_addr, MemDep::Chase);
-            last = v.wrapping_add(delta);
-            env.ctx.store_i32(set_addr, last, MemDep::Demand);
-            rows += 1;
         }
+        if updates.is_empty() {
+            return Ok(QueryResult {
+                value: 0.0,
+                rows: 0,
+            });
+        }
+        // Phase 2: install as an implicit commit (WAL append-before-apply,
+        // version push, instrumented stores).
+        let last = updates.last().map(|&(_, _, nv)| nv).unwrap_or(0);
+        let rows = updates.len() as u64;
+        self.autocommit_apply_update(ti, sc, &updates)?;
         Ok(QueryResult {
             value: last as f64,
             rows,
         })
     }
 
-    /// Instrumented single-row insert (heap append + index maintenance).
+    /// Instrumented single-row insert (heap append + index maintenance), as
+    /// an implicit single-statement transaction. All-or-nothing: every
+    /// fallible step (arena headroom, fault-injection seams) is validated
+    /// before any byte changes, and a residual index-maintenance failure
+    /// unwinds the heap append — a fault can no longer strand a heap record
+    /// that no index can reach.
     pub fn insert_row(&mut self, table: &str, values: Vec<i32>) -> DbResult<QueryResult> {
         let ti = self.table_idx(table)?;
         let arity = self.tables[ti].schema.arity();
@@ -1473,70 +1506,7 @@ impl Database {
                 got: values.len(),
             });
         }
-        let blocks = Arc::clone(&self.profile.blocks);
-        let mut buf = Vec::with_capacity(arity * 4);
-        for v in &values {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-
-        // Heap append.
-        let table_ref = &mut self.tables[ti];
-        let pages_before = table_ref.heap.n_pages();
-        let rid = table_ref.heap.insert_raw(&mut self.ctx.heap, &buf)?;
-        if table_ref.heap.n_pages() != pages_before {
-            let page_no = table_ref.heap.n_pages() - 1;
-            let addr = table_ref.heap.page_addr(page_no)?;
-            self.bufpool
-                .register(&mut self.ctx.misc, table_ref.heap.page_id(page_no), addr);
-        }
-        // Charge the work: insert path + record store (contiguous under NSM,
-        // one field per minipage under PAX) + header update.
-        self.ctx.exec(&blocks.insert_step);
-        let page_addr = self.tables[ti].heap.page_addr(rid.page)?;
-        store_record_fields(
-            &mut self.ctx,
-            &self.tables[ti].heap,
-            page_addr,
-            rid.slot,
-            MemDep::Demand,
-        );
-        self.ctx
-            .store_touch(page_addr + HDR_NRECS, 4, MemDep::Demand);
-
-        // Index maintenance (instrumented descend, charged leaf shift).
-        let maintained: Vec<usize> = (0..self.indexes.len())
-            .filter(|&i| self.indexes[i].table == ti)
-            .collect();
-        for i in maintained {
-            let key = values[self.indexes[i].col];
-            let btree_snapshot = self.indexes[i].btree.clone();
-            {
-                let Database {
-                    ctx,
-                    bufpool,
-                    exec_mode,
-                    ..
-                } = &mut *self;
-                let mut env = ExecEnv {
-                    ctx,
-                    bufpool,
-                    mode: *exec_mode,
-                };
-                let _ = descend_to_leaf(&mut env, &btree_snapshot, key, &blocks);
-            }
-            self.indexes[i]
-                .btree
-                .insert(&mut self.ctx.index, key, rid.pack());
-            // Entry shift within the leaf: charge a bounded write burst.
-            let leaf = *self.indexes[i]
-                .btree
-                .descend(&self.ctx.index, key)
-                .last()
-                .ok_or_else(|| {
-                    DbError::Internal("B+tree descend reached no leaf during insert".into())
-                })?;
-            self.ctx.store_touch(leaf + 24, 12 * 32, MemDep::Demand);
-        }
+        self.autocommit_insert(ti, values)?;
         Ok(QueryResult {
             value: 0.0,
             rows: 1,
@@ -1692,7 +1662,7 @@ pub(crate) enum ExecOutcome {
 /// again after the next query's [`DbCtx::begin_query`] resets per-query
 /// state, and the arenas/counters tolerate a half-finished query (bump
 /// allocation never leaves dangling references).
-fn catch_internal<T>(f: impl FnOnce() -> DbResult<T>) -> DbResult<T> {
+pub(crate) fn catch_internal<T>(f: impl FnOnce() -> DbResult<T>) -> DbResult<T> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(result) => result,
         Err(payload) => {

@@ -114,6 +114,34 @@ pub enum DbError {
         /// The error the final attempt returned.
         cause: Box<DbError>,
     },
+    /// An arithmetic update would overflow the column's `i32` range. The
+    /// engine refuses the mutation (nothing is applied) instead of silently
+    /// wrapping — a balance must never jump sign because it crossed
+    /// `i32::MAX`.
+    ValueOverflow {
+        /// Table whose column would overflow.
+        table: String,
+        /// Column the update targets.
+        col: String,
+        /// Key value of the row whose update overflowed.
+        key: i32,
+    },
+    /// Snapshot-isolation write conflict: another transaction committed a
+    /// write to the same row after this transaction's snapshot was taken.
+    /// First committer wins; the losing transaction is aborted (its staged
+    /// writes are discarded) and may be retried on a fresh snapshot.
+    TxnConflict {
+        /// Table of the conflicted row.
+        table: String,
+        /// Packed record id of the conflicted row.
+        rid: u64,
+    },
+    /// A transaction handle does not name an open transaction (already
+    /// committed, already aborted, or never begun).
+    TxnUnknown {
+        /// The stale transaction id.
+        txn: u64,
+    },
     /// An executor invariant was violated (including a caught panic) —
     /// always a bug, surfaced as an error so one query cannot take down the
     /// engine.
@@ -225,6 +253,22 @@ impl fmt::Display for DbError {
                 cause,
             } => {
                 write!(f, "shard {shard} failed after {attempts} attempts: {cause}")
+            }
+            DbError::ValueOverflow { table, col, key } => {
+                write!(
+                    f,
+                    "update of {table}.{col} (key {key}) would overflow i32; mutation refused"
+                )
+            }
+            DbError::TxnConflict { table, rid } => {
+                write!(
+                    f,
+                    "write conflict on {table} rid {rid:#x}: a concurrent transaction \
+                     committed first (snapshot isolation, first committer wins)"
+                )
+            }
+            DbError::TxnUnknown { txn } => {
+                write!(f, "transaction {txn} is not open")
             }
             DbError::Internal(m) => write!(f, "internal engine error: {m}"),
         }

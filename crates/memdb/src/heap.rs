@@ -289,6 +289,34 @@ impl HeapFile {
         Ok(rid)
     }
 
+    /// Undoes the most recent [`HeapFile::insert_raw`]: zeroes the record's
+    /// bytes and winds the page header / record count back, making an
+    /// aborted insert invisible to every scan path. The bump arena cannot
+    /// free a page that the undone insert opened — such a page stays
+    /// allocated with `HDR_NRECS == 0`, which scans already skip. This is
+    /// the all-or-nothing backstop for `insert_row`: if index maintenance
+    /// fails after the heap append, the record must not survive un-indexed.
+    pub(crate) fn unappend(&mut self, arena: &mut SimArena) {
+        assert!(self.n_records > 0, "unappend on an empty heap");
+        self.n_records -= 1;
+        let slot_in_page = (self.n_records % self.page_cap as u64) as u32;
+        let page_no = (self.n_records / self.page_cap as u64) as u32;
+        let page = self.pages[page_no as usize];
+        let zeros = vec![0u8; self.record_size as usize];
+        match self.layout {
+            PageLayout::Nsm => {
+                let addr = page + PAGE_HDR + slot_in_page as u64 * self.record_size as u64;
+                arena.write_bytes(addr, &zeros);
+            }
+            PageLayout::Pax => {
+                for c in 0..(self.n_fields() as usize) {
+                    arena.write_bytes(self.field_addr_at(page, slot_in_page, c), &zeros[..4]);
+                }
+            }
+        }
+        arena.write_i32(page + HDR_NRECS, slot_in_page as i32);
+    }
+
     /// Records stored in page `page_no` (raw header read).
     pub fn records_in_page(&self, arena: &SimArena, page_no: u32) -> u32 {
         arena.read_i32(self.pages[page_no as usize] + HDR_NRECS) as u32

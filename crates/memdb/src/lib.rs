@@ -32,6 +32,7 @@ pub mod schema;
 pub mod shard;
 pub mod sql;
 pub mod testutil;
+pub mod txn;
 
 pub use arena::SimArena;
 pub use db::{Database, DbCtx, IndexMeta, Table};
@@ -40,12 +41,13 @@ pub use exec::{AggState, Batch, ExecMode, SelectionMode, BATCH_ROWS};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use fault::{CancelToken, FaultPlan, FaultSite, ResourceBudget, RobustnessStats};
 pub use heap::{HeapFile, PageLayout, Rid, PAGE_HDR, PAGE_SIZE};
-pub use parallel::ParallelConfig;
+pub use parallel::{run_jobs_parallel, ParallelConfig};
 pub use profiles::{EngineBlocks, EngineProfile, EvalMode, JoinAlgo, Materialize, SystemId};
 pub use query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
 pub use schema::{Column, Schema};
 pub use shard::{RouterStats, ShardedDatabase};
 pub use sql::Session;
+pub use txn::{TxnId, TxnStats, Wal, WalOp, WalRecord};
 
 /// The one-stop import for driving the engine through SQL.
 ///
@@ -64,4 +66,5 @@ pub mod prelude {
     pub use crate::query::{AggKind, AggSpec, Query, QueryPredicate, QueryResult};
     pub use crate::shard::ShardedDatabase;
     pub use crate::sql::{CandidateCost, PhysicalConfig, PlanReport, Session};
+    pub use crate::txn::{TxnId, WalRecord};
 }

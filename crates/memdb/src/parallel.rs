@@ -110,40 +110,39 @@ impl ParallelConfig {
     }
 }
 
-/// Runs `op` once per shard across a scoped worker pool with work-stealing
-/// deques, returning per-shard outputs **in shard order** regardless of the
+/// Runs `op` once per job across a scoped worker pool with work-stealing
+/// deques, returning per-job outputs **in job order** regardless of the
 /// schedule.
 ///
-/// Tasks (shard indices) are dealt round-robin into per-worker deques, in
-/// an order shuffled by `seed`; a worker pops its own deque from the front
-/// and steals from the back of a seeded rotation of victims when empty.
-/// With `workers <= 1` the shards run inline on the calling thread in
-/// shard order — the sequential baseline the equivalence suite compares
-/// against.
-fn for_each_shard_parallel<R, F>(
-    shards: &mut [Database],
-    workers: usize,
-    seed: u64,
-    op: F,
-) -> Vec<R>
+/// Tasks (job indices) are dealt round-robin into per-worker deques, in an
+/// order shuffled by `seed`; a worker pops its own deque from the front and
+/// steals from the back of a seeded rotation of victims when empty. With
+/// `workers <= 1` the jobs run inline on the calling thread in job order —
+/// the sequential baseline the equivalence suite compares against.
+///
+/// Each job value is handed to exactly one worker by value (`T: Send`), so
+/// jobs that own mutable state — a `&mut Database` shard, or a whole
+/// [`Database`] replica in the OLTP driver — move across threads without
+/// any shared simulated state.
+pub fn run_jobs_parallel<T, R, F>(jobs: Vec<T>, workers: usize, seed: u64, op: F) -> Vec<R>
 where
+    T: Send,
     R: Send,
-    F: Fn(usize, &mut Database) -> R + Sync,
+    F: Fn(usize, T) -> R + Sync,
 {
-    let n = shards.len();
+    let n = jobs.len();
     let workers = workers.max(1).min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return shards
-            .iter_mut()
+        return jobs
+            .into_iter()
             .enumerate()
-            .map(|(i, s)| op(i, s))
+            .map(|(i, j)| op(i, j))
             .collect();
     }
 
     // Deal tasks round-robin in a seed-shuffled order. The shuffle (like
-    // the steal order below) only stresses the scheduler: per-shard
-    // simulation is schedule-independent, and outputs are re-indexed by
-    // shard below.
+    // the steal order below) only stresses the scheduler: per-job work is
+    // schedule-independent, and outputs are re-indexed by job below.
     let mut order: Vec<usize> = (0..n).collect();
     let mut state = seed ^ 0x5851_f42d_4c95_7f2d;
     for i in (1..n).rev() {
@@ -152,18 +151,17 @@ where
     }
     let deques: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (k, &shard_no) in order.iter().enumerate() {
+    for (k, &job_no) in order.iter().enumerate() {
         deques[k % workers]
             .lock()
             .expect("deque lock poisoned")
-            .push_back(shard_no);
+            .push_back(job_no);
     }
 
-    // One claimable slot per shard hands the exclusive `&mut Database` to
-    // whichever worker wins the task; results land in per-shard cells so
-    // post-processing is in shard order no matter who computed what.
-    let slots: Vec<Mutex<Option<&mut Database>>> =
-        shards.iter_mut().map(|s| Mutex::new(Some(s))).collect();
+    // One claimable slot per job hands the exclusive value to whichever
+    // worker wins the task; results land in per-job cells so
+    // post-processing is in job order no matter who computed what.
+    let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let op = &op;
 
@@ -194,14 +192,14 @@ where
                             }
                         }
                     }
-                    let Some(shard_no) = task else { break };
-                    let db = slots[shard_no]
+                    let Some(job_no) = task else { break };
+                    let job = slots[job_no]
                         .lock()
                         .expect("slot lock poisoned")
                         .take()
-                        .expect("shard task claimed twice");
-                    let out = op(shard_no, db);
-                    *results[shard_no].lock().expect("result lock poisoned") = Some(out);
+                        .expect("job task claimed twice");
+                    let out = op(job_no, job);
+                    *results[job_no].lock().expect("result lock poisoned") = Some(out);
                 }
             });
         }
@@ -212,9 +210,26 @@ where
         .map(|cell| {
             cell.into_inner()
                 .expect("result lock poisoned")
-                .expect("worker pool completed every shard task")
+                .expect("worker pool completed every job task")
         })
         .collect()
+}
+
+/// [`run_jobs_parallel`] specialized to a sharded database's shards: runs
+/// `op` once per shard, outputs in shard order.
+fn for_each_shard_parallel<R, F>(
+    shards: &mut [Database],
+    workers: usize,
+    seed: u64,
+    op: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut Database) -> R + Sync,
+{
+    run_jobs_parallel(shards.iter_mut().collect(), workers, seed, |i, db| {
+        op(i, db)
+    })
 }
 
 /// Folds per-shard `(result, stats)` outputs in shard order: router stats

@@ -189,6 +189,21 @@ pub struct EngineBlocks {
     pub update_step: CodeBlock,
     pub insert_step: CodeBlock,
     pub txn_begin_commit: CodeBlock,
+    /// Per-hop version-chain walk of the MVCC snapshot read path: load a
+    /// superseded row image's header, compare its commit timestamp against
+    /// the reader's snapshot, follow the chain pointer. Pointer-chasing by
+    /// construction — heavily dependency-bound, the `T_DEP`/`T_L2D` face of
+    /// multiversioning.
+    pub version_chase: CodeBlock,
+    /// Per-operation WAL serialization: format one log record and append it
+    /// to the tail. Store-heavy straight-ahead code whose store-buffer
+    /// drains show up as resource stalls (§5.5's "significantly higher"
+    /// OLTP T_DEP).
+    pub wal_append: CodeBlock,
+    /// Commit-protocol path: write-set conflict validation, timestamp
+    /// assignment, commit-record append and version installation — charged
+    /// once per commit/abort on top of the per-op paths.
+    pub txn_commit: CodeBlock,
     /// Guardrail checkpoint path: compare the query's cycle/arena counters
     /// against the armed [`crate::ResourceBudget`] limits. Straight-line
     /// and tiny — charged only at batch/partition boundaries, and only when
@@ -251,6 +266,9 @@ struct SysParams {
     update_step: u32,
     insert_step: u32,
     txn: u32,
+    version_chase: u32,
+    wal_append: u32,
+    txn_commit: u32,
     // pipeline character
     dep_frac: f64,
     fu_frac: f64,
@@ -296,6 +314,9 @@ fn params(sys: SystemId) -> SysParams {
             update_step: 6_000,
             insert_step: 8_000,
             txn: 140_000,
+            version_chase: 700,
+            wal_append: 1_200,
+            txn_commit: 3_000,
             dep_frac: 0.30,
             fu_frac: 0.48,
             branch_density: 0.15,
@@ -324,6 +345,9 @@ fn params(sys: SystemId) -> SysParams {
             update_step: 8_000,
             insert_step: 10_000,
             txn: 170_000,
+            version_chase: 1_100,
+            wal_append: 1_600,
+            txn_commit: 4_000,
             dep_frac: 0.44,
             fu_frac: 0.24,
             branch_density: 0.19,
@@ -352,6 +376,9 @@ fn params(sys: SystemId) -> SysParams {
             update_step: 10_000,
             insert_step: 12_000,
             txn: 190_000,
+            version_chase: 1_400,
+            wal_append: 2_000,
+            txn_commit: 5_000,
             dep_frac: 0.50,
             fu_frac: 0.26,
             branch_density: 0.19,
@@ -380,6 +407,9 @@ fn params(sys: SystemId) -> SysParams {
             update_step: 12_000,
             insert_step: 14_000,
             txn: 210_000,
+            version_chase: 1_700,
+            wal_append: 2_400,
+            txn_commit: 6_000,
             dep_frac: 0.50,
             fu_frac: 0.26,
             branch_density: 0.19,
@@ -714,6 +744,37 @@ impl EngineProfile {
             2048,
             p.dyn_bias,
         );
+        let mut version_chase = place(
+            &mut alloc,
+            "version_chase",
+            p.version_chase,
+            &p,
+            private + 25_600,
+            512,
+            p.dyn_bias,
+        );
+        // The chain walk is serial pointer-chasing: each hop's address
+        // depends on the previous load, so it is the most dependency-bound
+        // path in the engine.
+        version_chase.dep_frac = (version_chase.dep_frac + 0.20).min(0.9);
+        let mut wal_append = place(
+            &mut alloc,
+            "wal_append",
+            p.wal_append,
+            &p,
+            private + 26_112,
+            512,
+            p.dyn_bias,
+        );
+        let mut txn_commit = place(
+            &mut alloc,
+            "txn_commit",
+            p.txn_commit,
+            &p,
+            private + 26_624,
+            1024,
+            p.dyn_bias,
+        );
 
         // Join code is chained-pointer work: dependency-bound even in System
         // A ("except for System A when executing range selection queries,
@@ -733,7 +794,13 @@ impl EngineProfile {
         // Store-heavy OLTP paths (logging, store-buffer drains) carry extra
         // dependency pressure — part of why TPC-C's resource stalls are
         // "significantly higher" (§5.5).
-        for b in [&mut update_step, &mut insert_step, &mut txn_begin_commit] {
+        for b in [
+            &mut update_step,
+            &mut insert_step,
+            &mut txn_begin_commit,
+            &mut wal_append,
+            &mut txn_commit,
+        ] {
             b.dep_frac = (b.dep_frac + 0.14).min(0.9);
         }
 
@@ -838,6 +905,9 @@ impl EngineProfile {
             update_step,
             insert_step,
             txn_begin_commit,
+            version_chase,
+            wal_append,
+            txn_commit,
             budget_check,
             batch,
             qualify_site,

@@ -24,6 +24,7 @@ use crate::db::Database;
 use crate::error::{DbError, DbResult};
 use crate::query::{Query, QueryPredicate, QueryResult};
 use crate::shard::ShardedDatabase;
+use crate::txn::TxnId;
 
 use super::bind::{compile, BoundStatement};
 use super::plan::{plan, PhysicalConfig, PlanReport};
@@ -46,6 +47,8 @@ pub struct Session {
     backend: Backend,
     plans: HashMap<String, Option<PhysicalConfig>>,
     last_report: Option<PlanReport>,
+    /// The open transaction statements are routed through, if any.
+    current: Option<TxnId>,
 }
 
 impl Session {
@@ -55,6 +58,7 @@ impl Session {
             backend: Backend::Single(Box::new(db)),
             plans: HashMap::new(),
             last_report: None,
+            current: None,
         }
     }
 
@@ -67,6 +71,7 @@ impl Session {
             backend: Backend::Sharded(Box::new(db)),
             plans: HashMap::new(),
             last_report: None,
+            current: None,
         }
     }
 
@@ -170,9 +175,18 @@ impl Session {
         match stmt {
             BoundStatement::Scalar(q) => {
                 self.plan_and_apply(text, &BoundStatement::Scalar(q.clone()))?;
-                match &mut self.backend {
-                    Backend::Single(db) => db.run(&q),
-                    Backend::Sharded(db) => db.run(&q),
+                // An open transaction captures point reads and mutations:
+                // reads see the snapshot (plus the session's own staged
+                // writes), mutations stage until COMMIT. Aggregates have no
+                // snapshot-aware path and keep running in autocommit.
+                let routed = matches!(
+                    q,
+                    Query::PointSelect { .. } | Query::UpdateAdd { .. } | Query::InsertRow { .. }
+                );
+                match (&mut self.backend, self.current) {
+                    (Backend::Single(db), Some(tid)) if routed => db.txn_run(tid, &q),
+                    (Backend::Single(db), _) => db.run(&q),
+                    (Backend::Sharded(db), _) => db.run(&q),
                 }
             }
             BoundStatement::Grouped { .. } => Err(DbError::PlanError(
@@ -239,6 +253,58 @@ impl Session {
                 ))
             }
         }
+    }
+
+    /// Opens a transaction; subsequent point reads and mutations through
+    /// [`Session::sql`] run against its snapshot until [`Session::commit`]
+    /// or [`Session::abort`]. One transaction at a time per session;
+    /// beginning while one is open reports a [`DbError::PlanError`], as
+    /// does beginning on a sharded session (the transaction machinery is
+    /// single-core; see [`crate::txn`]).
+    pub fn begin(&mut self) -> DbResult<TxnId> {
+        if self.current.is_some() {
+            return Err(DbError::PlanError(
+                "a transaction is already open on this session".into(),
+            ));
+        }
+        let Backend::Single(db) = &mut self.backend else {
+            return Err(DbError::PlanError(
+                "transactions are not supported on sharded sessions".into(),
+            ));
+        };
+        let tid = db.begin();
+        self.current = Some(tid);
+        Ok(tid)
+    }
+
+    /// Commits the session's open transaction, returning its commit
+    /// timestamp. On [`DbError::TxnConflict`] the transaction was aborted
+    /// (first committer wins) — the session is ready for a fresh
+    /// [`Session::begin`] retry.
+    pub fn commit(&mut self) -> DbResult<u64> {
+        let tid = self.current.take().ok_or(DbError::PlanError(
+            "no transaction is open on this session".to_string(),
+        ))?;
+        let Backend::Single(db) = &mut self.backend else {
+            return Err(DbError::Internal("txn open on sharded session".into()));
+        };
+        db.commit(tid)
+    }
+
+    /// Aborts the session's open transaction, discarding its staged writes.
+    pub fn abort(&mut self) -> DbResult<()> {
+        let tid = self.current.take().ok_or(DbError::PlanError(
+            "no transaction is open on this session".to_string(),
+        ))?;
+        let Backend::Single(db) = &mut self.backend else {
+            return Err(DbError::Internal("txn open on sharded session".into()));
+        };
+        db.abort(tid)
+    }
+
+    /// The open transaction's id, if one is active.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.current
     }
 
     /// Compiles a statement to the engine's [`Query`] IR without planning

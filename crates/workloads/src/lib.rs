@@ -14,6 +14,10 @@
 //!   queries over a lineitem/orders database, ≈100 MB at paper scale);
 //! * [`tpcc`] — the §5.5 TPC-C-like OLTP mix (single warehouse, 10 logical
 //!   clients, five transaction types in the standard mix);
+//! * [`oltp`] — the concurrent deployment of that mix: N clients over
+//!   snapshot-isolation transactions on a tier of node replicas, with
+//!   conflict/abort/retry, TPS + tail latency, a host-side correctness
+//!   oracle and a WAL crash-recovery check;
 //! * [`scale`] — scale factors preserving every paper ratio, selected via
 //!   `WDTG_SCALE=paper|dev|tiny`.
 
@@ -21,6 +25,7 @@
 
 pub mod join;
 pub mod micro;
+pub mod oltp;
 pub mod scale;
 pub mod tpcc;
 pub mod tpcd;
@@ -30,6 +35,7 @@ pub use micro::{
     declare_shard_keys, load_microbench, load_microbench_with_layout, prepare,
     prepare_sharded_with_layout, prepare_with_layout, query, MicroQuery, SweepSpec, DEFAULT_SEED,
 };
+pub use oltp::{run_oltp, OltpConfig, OltpReport};
 pub use scale::Scale;
 pub use tpcc::{TpccDriver, TpccScale, TxnKind};
 pub use tpcd::TpcdScale;

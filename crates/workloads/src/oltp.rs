@@ -1,0 +1,795 @@
+//! Concurrent TPC-C driver over the transaction layer (§5.5, at service
+//! scale).
+//!
+//! [`crate::tpcc`]'s single-stream driver reproduces the paper's setup: ten
+//! logical clients sharing one command stream, no concurrency control
+//! exercised. This module is the OLTP deployment the paper's numbers get
+//! quoted into: N clients issuing the five-transaction mix *concurrently*
+//! under snapshot isolation — overlapping begin/commit windows, real
+//! write-write conflicts on the district and warehouse hot rows, abort and
+//! retry — with throughput (TPS) and tail latency (p99) measured in
+//! simulated time on the paper's 400 MHz processor model.
+//!
+//! # Execution model
+//!
+//! Clients are dealt round-robin across `nodes` independent single-core
+//! database replicas (a shared-nothing service tier; node count is fixed by
+//! config, decoupled from host threads, so results are reproducible on any
+//! machine). Nodes run in parallel on OS threads via
+//! [`wdtg_memdb::run_jobs_parallel`]. Within a node, concurrency is *logical
+//! and deterministic*: execution proceeds in rounds, and in each round every
+//! active client [`begins`](wdtg_memdb::Database::begin) against the same
+//! committed state, stages its whole transaction through
+//! [`txn_run`](wdtg_memdb::Database::txn_run), and then the commits are
+//! applied in a per-round rotated client order. All snapshots in a round
+//! overlap, so first-committer-wins conflict detection fires exactly as it
+//! would under free-running concurrency; a conflicted client retries the
+//! same transaction in the next round (its latency accumulates across
+//! attempts). The rotation guarantees progress: the first committer of a
+//! round can never conflict.
+//!
+//! # Correctness checks
+//!
+//! Every run double-checks itself against a host-side oracle that tracks
+//! the effects of *committed* transactions only: warehouse/district YTD
+//! sums, per-district order sequence numbers, per-customer balance deltas,
+//! per-item stock deltas, and the exact set of committed order ids.
+//! Mismatches count as `wrong_answers`; duplicate order keys and phantom
+//! rows from aborted transactions count as `anomalies`. Each node also
+//! replays its write-ahead log into a freshly-loaded replica and compares
+//! [`state_digest`](wdtg_memdb::Database::state_digest)s — `recovery_ok`
+//! means every node's log replay reproduced its final database
+//! bit-identically.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdtg_memdb::{run_jobs_parallel, Database, DbError, DbResult, Query, TxnId};
+
+use crate::tpcc::{self, TpccScale, TxnKind};
+
+/// Configuration for one concurrent OLTP run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OltpConfig {
+    /// Data scale of every node replica.
+    pub scale: TpccScale,
+    /// Total concurrent clients, dealt round-robin across nodes.
+    pub clients: usize,
+    /// Transactions each client must commit.
+    pub txns_per_client: usize,
+    /// Independent database replicas (capped at `clients`). Fixed by
+    /// config — not by host cores — so simulated results are
+    /// machine-independent.
+    pub nodes: usize,
+    /// Host OS threads executing node replicas (`0` = one per host core).
+    /// Affects wall-clock time only, never simulated results.
+    pub workers: usize,
+    /// Seed for data load and client transaction streams.
+    pub seed: u64,
+    /// Consecutive conflict-aborts before a transaction is abandoned
+    /// (counted in [`OltpReport::retries_exhausted`]; the round rotation
+    /// makes hitting this essentially impossible).
+    pub retry_cap: u32,
+}
+
+impl OltpConfig {
+    /// A service-shaped default: 8 clients over 4 nodes.
+    pub fn new(scale: TpccScale) -> OltpConfig {
+        OltpConfig {
+            scale,
+            clients: 8,
+            txns_per_client: 50,
+            nodes: 4,
+            workers: 0,
+            seed: 42,
+            retry_cap: 64,
+        }
+    }
+}
+
+/// Results of a concurrent OLTP run. All simulated quantities (TPS,
+/// latencies, conflict counts, check outcomes) are bit-identical across
+/// hosts and worker counts for a fixed config; only
+/// [`OltpReport::host_tps`] varies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OltpReport {
+    /// Clients and nodes actually run (nodes after capping at clients).
+    pub clients: usize,
+    /// Node replica count.
+    pub nodes: usize,
+    /// Committed transactions across all nodes.
+    pub committed: u64,
+    /// Committed transactions per kind
+    /// `[new_order, payment, order_status, delivery, stock_level]`.
+    pub per_kind: [u64; 5],
+    /// Commit attempts refused by first-committer-wins conflict detection.
+    pub conflicts: u64,
+    /// Transactions abandoned after [`OltpConfig::retry_cap`] conflicts.
+    pub retries_exhausted: u64,
+    /// Committed throughput in simulated transactions/second: total
+    /// commits divided by the slowest node's simulated busy time.
+    pub sim_tps: f64,
+    /// Median committed-transaction latency in simulated milliseconds
+    /// (sum of all attempts' simulated time, staging plus commit).
+    pub p50_ms: f64,
+    /// 99th-percentile committed-transaction latency, simulated ms.
+    pub p99_ms: f64,
+    /// Committed throughput against host wall-clock time (informational;
+    /// varies with host load and `workers`).
+    pub host_tps: f64,
+    /// Oracle mismatches: committed effects that the final database does
+    /// not reflect (lost updates, wrong sums, unreadable committed rows).
+    pub wrong_answers: u64,
+    /// Serialization anomalies: duplicate order keys, or phantom rows
+    /// escaped from aborted transactions.
+    pub anomalies: u64,
+    /// Whether every node's WAL replay into a fresh replica reproduced the
+    /// final database bit-identically (by [`Database::state_digest`]).
+    pub recovery_ok: bool,
+    /// Total WAL records across nodes (including op, commit and abort
+    /// records).
+    pub wal_records: u64,
+}
+
+/// One pre-generated transaction. Parameters are fixed at generation time;
+/// values that must reflect committed state (order ids, delivery targets)
+/// are resolved at execution time from the snapshot, so a retry re-derives
+/// them.
+#[derive(Debug, Clone)]
+enum TxnSpec {
+    NewOrder {
+        c_id: i32,
+        d_id: i32,
+        lines: Vec<(i32, i32)>,
+    },
+    Payment {
+        c_id: i32,
+        d_id: i32,
+        amount: i32,
+        h_key: i32,
+    },
+    OrderStatus {
+        c_id: i32,
+        pick: u64,
+    },
+    Delivery {
+        pick: u64,
+    },
+    StockLevel {
+        d_id: i32,
+        probes: Vec<i32>,
+    },
+}
+
+impl TxnSpec {
+    fn kind(&self) -> TxnKind {
+        match self {
+            TxnSpec::NewOrder { .. } => TxnKind::NewOrder,
+            TxnSpec::Payment { .. } => TxnKind::Payment,
+            TxnSpec::OrderStatus { .. } => TxnKind::OrderStatus,
+            TxnSpec::Delivery { .. } => TxnKind::Delivery,
+            TxnSpec::StockLevel { .. } => TxnKind::StockLevel,
+        }
+    }
+}
+
+fn kind_slot(kind: TxnKind) -> usize {
+    match kind {
+        TxnKind::NewOrder => 0,
+        TxnKind::Payment => 1,
+        TxnKind::OrderStatus => 2,
+        TxnKind::Delivery => 3,
+        TxnKind::StockLevel => 4,
+    }
+}
+
+/// Generates client `id`'s full transaction stream (the standard
+/// 45/43/4/4/4 mix) deterministically from the run seed.
+fn client_specs(cfg: &OltpConfig, id: usize) -> Vec<TxnSpec> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xC11E_0000 + id as u64).wrapping_mul(0x9e37));
+    let customers = (cfg.scale.customers_per_district * 10) as i32;
+    let items = cfg.scale.items as i32;
+    let mut specs = Vec::with_capacity(cfg.txns_per_client);
+    for t in 0..cfg.txns_per_client {
+        let spec = match rng.random_range(0..100) {
+            0..=44 => {
+                let c_id = rng.random_range(1..=customers);
+                let d_id = rng.random_range(1..=10);
+                let ol_cnt = rng.random_range(5..=15);
+                let lines = (0..ol_cnt)
+                    .map(|_| (rng.random_range(1..=items), rng.random_range(1..=10)))
+                    .collect();
+                TxnSpec::NewOrder { c_id, d_id, lines }
+            }
+            45..=87 => TxnSpec::Payment {
+                c_id: rng.random_range(1..=customers),
+                d_id: rng.random_range(1..=10),
+                amount: rng.random_range(100..5_000),
+                h_key: (id as i32 + 1) * 1_000_000 + t as i32,
+            },
+            88..=91 => TxnSpec::OrderStatus {
+                c_id: rng.random_range(1..=customers),
+                pick: rng.random_range(0..u64::MAX),
+            },
+            92..=95 => TxnSpec::Delivery {
+                pick: rng.random_range(0..u64::MAX),
+            },
+            _ => TxnSpec::StockLevel {
+                d_id: rng.random_range(1..=10),
+                probes: (0..20).map(|_| rng.random_range(1..=items)).collect(),
+            },
+        };
+        specs.push(spec);
+    }
+    specs
+}
+
+/// Effects a staged transaction will have *if it commits* — applied to the
+/// node oracle only on successful commit.
+enum StagedEffect {
+    NewOrder {
+        d_id: i32,
+        o_id: i32,
+        ol_cnt: i32,
+        items: Vec<i32>,
+    },
+    Payment {
+        c_id: i32,
+        d_id: i32,
+        amount: i32,
+    },
+    Delivery {
+        credited: Vec<i32>,
+    },
+    ReadOnly,
+}
+
+/// Host-side model of committed state, per node.
+#[derive(Default)]
+struct Oracle {
+    w_ytd: i64,
+    d_ytd: [i64; 10],
+    d_seq: [i64; 10],
+    /// Committed `(o_id, ol_cnt)` in commit order.
+    orders: Vec<(i32, i32)>,
+    stock_delta: BTreeMap<i32, i64>,
+    cust_delta: BTreeMap<i32, i64>,
+    history_rows: u64,
+    order_lines: u64,
+}
+
+impl Oracle {
+    fn apply(&mut self, eff: &StagedEffect) {
+        match eff {
+            StagedEffect::NewOrder {
+                d_id,
+                o_id,
+                ol_cnt,
+                items,
+            } => {
+                self.d_seq[(*d_id - 1) as usize] += 1;
+                self.orders.push((*o_id, *ol_cnt));
+                self.order_lines += *ol_cnt as u64;
+                for &i in items {
+                    *self.stock_delta.entry(i).or_insert(0) -= 1;
+                }
+            }
+            StagedEffect::Payment { c_id, d_id, amount } => {
+                self.w_ytd += *amount as i64;
+                self.d_ytd[(*d_id - 1) as usize] += *amount as i64;
+                *self.cust_delta.entry(*c_id).or_insert(0) -= *amount as i64;
+                self.history_rows += 1;
+            }
+            StagedEffect::Delivery { credited } => {
+                for &c in credited {
+                    *self.cust_delta.entry(c).or_insert(0) += 10;
+                }
+            }
+            StagedEffect::ReadOnly => {}
+        }
+    }
+}
+
+struct ClientRun {
+    id: usize,
+    specs: std::vec::IntoIter<TxnSpec>,
+    current: Option<TxnSpec>,
+    retries: u32,
+    lat_cycles: f64,
+}
+
+struct NodeOutcome {
+    committed: u64,
+    per_kind: [u64; 5],
+    conflicts: u64,
+    retries_exhausted: u64,
+    latencies: Vec<f64>,
+    cycles: f64,
+    wrong_answers: u64,
+    anomalies: u64,
+    recovery_ok: bool,
+    wal_records: u64,
+}
+
+fn point(table: &str, key_col: &str, key: i32, read_col: &str) -> Query {
+    Query::PointSelect {
+        table: table.into(),
+        key_col: key_col.into(),
+        key,
+        read_col: read_col.into(),
+    }
+}
+
+fn add(table: &str, key_col: &str, key: i32, set_col: &str, delta: i32) -> Query {
+    Query::UpdateAdd {
+        table: table.into(),
+        key_col: key_col.into(),
+        key,
+        set_col: set_col.into(),
+        delta,
+    }
+}
+
+/// Stages `spec`'s statements inside transaction `tid` and returns the
+/// effect to apply to the oracle if the commit later succeeds.
+fn stage(db: &mut Database, tid: TxnId, spec: &TxnSpec, oracle: &Oracle) -> DbResult<StagedEffect> {
+    match spec {
+        TxnSpec::NewOrder { c_id, d_id, lines } => {
+            db.txn_run(tid, &point("customer", "c_id", *c_id, "c_balance"))?;
+            // The order id is derived from the district sequence *in this
+            // snapshot*: concurrent NewOrders on one district derive the
+            // same id and collide on the district row, so only one commits.
+            let nv = db.txn_run(tid, &add("district", "d_id", *d_id, "d_next_o_id", 1))?;
+            let seq = nv.value as i64 - 1;
+            let o_id = d_id * 1_000_000 + seq as i32;
+            let mut order = vec![0i32; 15];
+            order[0] = o_id;
+            order[1] = *c_id;
+            order[2] = *d_id;
+            order[3] = lines.len() as i32;
+            db.txn_run(
+                tid,
+                &Query::InsertRow {
+                    table: "orders".into(),
+                    values: order,
+                },
+            )?;
+            for (line_no, &(i_id, qty)) in lines.iter().enumerate() {
+                db.txn_run(tid, &point("item", "i_id", i_id, "i_price"))?;
+                db.txn_run(tid, &add("stock", "s_i_id", i_id, "s_quantity", -1))?;
+                let mut ol = vec![0i32; 15];
+                ol[0] = o_id * 16 + line_no as i32;
+                ol[1] = o_id;
+                ol[2] = i_id;
+                ol[3] = qty;
+                db.txn_run(
+                    tid,
+                    &Query::InsertRow {
+                        table: "order_line".into(),
+                        values: ol,
+                    },
+                )?;
+            }
+            Ok(StagedEffect::NewOrder {
+                d_id: *d_id,
+                o_id,
+                ol_cnt: lines.len() as i32,
+                items: lines.iter().map(|&(i, _)| i).collect(),
+            })
+        }
+        TxnSpec::Payment {
+            c_id,
+            d_id,
+            amount,
+            h_key,
+        } => {
+            db.txn_run(tid, &add("warehouse", "w_id", 1, "w_ytd", *amount))?;
+            db.txn_run(tid, &add("district", "d_id", *d_id, "d_ytd", *amount))?;
+            db.txn_run(tid, &add("customer", "c_id", *c_id, "c_balance", -*amount))?;
+            let mut h = vec![0i32; 15];
+            h[0] = *h_key;
+            h[1] = *c_id;
+            h[2] = *amount;
+            db.txn_run(
+                tid,
+                &Query::InsertRow {
+                    table: "history".into(),
+                    values: h,
+                },
+            )?;
+            Ok(StagedEffect::Payment {
+                c_id: *c_id,
+                d_id: *d_id,
+                amount: *amount,
+            })
+        }
+        TxnSpec::OrderStatus { c_id, pick } => {
+            db.txn_run(tid, &point("customer", "c_id", *c_id, "c_balance"))?;
+            if !oracle.orders.is_empty() {
+                let (o_id, _) = oracle.orders[(*pick % oracle.orders.len() as u64) as usize];
+                db.txn_run(tid, &point("orders", "o_id", o_id, "o_ol_cnt"))?;
+                db.txn_run(tid, &point("order_line", "ol_o_id", o_id, "ol_qty"))?;
+            }
+            Ok(StagedEffect::ReadOnly)
+        }
+        TxnSpec::Delivery { pick } => {
+            let mut credited = Vec::new();
+            for k in 0..10u64 {
+                if oracle.orders.is_empty() {
+                    break;
+                }
+                let (o_id, _) =
+                    oracle.orders[((pick.wrapping_add(k)) % oracle.orders.len() as u64) as usize];
+                let got = db.txn_run(tid, &point("orders", "o_id", o_id, "o_c_id"))?;
+                if got.rows > 0 {
+                    let c = got.value as i32;
+                    db.txn_run(tid, &add("customer", "c_id", c, "c_balance", 10))?;
+                    credited.push(c);
+                }
+            }
+            Ok(StagedEffect::Delivery { credited })
+        }
+        TxnSpec::StockLevel { d_id, probes } => {
+            db.txn_run(tid, &point("district", "d_id", *d_id, "d_next_o_id"))?;
+            for &i_id in probes {
+                db.txn_run(tid, &point("stock", "s_i_id", i_id, "s_quantity"))?;
+            }
+            Ok(StagedEffect::ReadOnly)
+        }
+    }
+}
+
+/// Runs one node: its client subset in deterministic overlapping rounds.
+/// `fresh` is an identically-configured empty replica used by the
+/// verification pass (initial-image reads, then WAL recovery).
+fn run_node(
+    mut db: Database,
+    fresh: Database,
+    cfg: &OltpConfig,
+    ids: Vec<usize>,
+) -> DbResult<NodeOutcome> {
+    db.ctx.instrument = false;
+    tpcc::load(&mut db, cfg.scale, cfg.seed)?;
+    db.ctx.instrument = true;
+
+    let mut clients: Vec<ClientRun> = ids
+        .iter()
+        .map(|&id| ClientRun {
+            id,
+            specs: client_specs(cfg, id).into_iter(),
+            current: None,
+            retries: 0,
+            lat_cycles: 0.0,
+        })
+        .collect();
+    let mut oracle = Oracle::default();
+    let mut out = NodeOutcome {
+        committed: 0,
+        per_kind: [0; 5],
+        conflicts: 0,
+        retries_exhausted: 0,
+        latencies: Vec::new(),
+        cycles: 0.0,
+        wrong_answers: 0,
+        anomalies: 0,
+        recovery_ok: true,
+        wal_records: 0,
+    };
+    let base_cycles = db.cpu().cycles();
+
+    let mut round: usize = 0;
+    loop {
+        // Active clients this round: anyone retrying or with specs left.
+        let mut batch: Vec<usize> = Vec::new();
+        for (ci, c) in clients.iter_mut().enumerate() {
+            if c.current.is_none() {
+                c.current = c.specs.next();
+                c.retries = 0;
+                c.lat_cycles = 0.0;
+            }
+            if c.current.is_some() {
+                batch.push(ci);
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        // Rotate the commit order so no client is permanently last (the
+        // first committer of a round never conflicts).
+        let rot = round % batch.len();
+        batch.rotate_left(rot);
+
+        // Phase 1: everyone begins and stages against the same committed
+        // state — all snapshots in the round overlap.
+        let mut staged: Vec<(usize, TxnId, StagedEffect, TxnKind)> = Vec::new();
+        for &ci in &batch {
+            let spec = clients[ci]
+                .current
+                .clone()
+                .expect("active client has a spec");
+            let t0 = db.cpu().cycles();
+            db.txn_overhead();
+            db.session_touch(clients[ci].id as u32, 72 * 1024);
+            let tid = db.begin();
+            let eff = stage(&mut db, tid, &spec, &oracle)?;
+            clients[ci].lat_cycles += db.cpu().cycles() - t0;
+            staged.push((ci, tid, eff, spec.kind()));
+        }
+
+        // Phase 2: commit in rotated client order; first committer wins.
+        for (ci, tid, eff, kind) in staged {
+            let t0 = db.cpu().cycles();
+            let res = db.commit(tid);
+            clients[ci].lat_cycles += db.cpu().cycles() - t0;
+            match res {
+                Ok(_ts) => {
+                    oracle.apply(&eff);
+                    out.committed += 1;
+                    out.per_kind[kind_slot(kind)] += 1;
+                    out.latencies.push(clients[ci].lat_cycles);
+                    clients[ci].current = None;
+                }
+                Err(DbError::TxnConflict { .. }) => {
+                    out.conflicts += 1;
+                    clients[ci].retries += 1;
+                    if clients[ci].retries > cfg.retry_cap {
+                        out.retries_exhausted += 1;
+                        clients[ci].current = None;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        round += 1;
+    }
+    out.cycles = db.cpu().cycles() - base_cycles;
+    out.wal_records = db.wal().records().len() as u64;
+
+    verify_node(&mut db, fresh, cfg, &oracle, &mut out)?;
+    Ok(out)
+}
+
+/// Checks the final database against the oracle and replays the WAL into a
+/// fresh replica, comparing digests. Runs uninstrumented — verification is
+/// not part of the measured workload.
+fn verify_node(
+    db: &mut Database,
+    mut fresh: Database,
+    cfg: &OltpConfig,
+    oracle: &Oracle,
+    out: &mut NodeOutcome,
+) -> DbResult<()> {
+    db.ctx.instrument = false;
+
+    // The fresh replica doubles as the pre-run image (for reading initial
+    // balances/stock) and, after WAL replay, as the recovery check.
+    fresh.ctx.instrument = false;
+    tpcc::load(&mut fresh, cfg.scale, cfg.seed)?;
+
+    let check = |got: f64, want: f64, wrong: &mut u64| {
+        if (got - want).abs() > 0.5 {
+            *wrong += 1;
+        }
+    };
+
+    // Warehouse and district running sums, and the order sequence.
+    let w = db.run(&point("warehouse", "w_id", 1, "w_ytd"))?;
+    check(w.value, oracle.w_ytd as f64, &mut out.wrong_answers);
+    for d in 1..=10i32 {
+        let ytd = db.run(&point("district", "d_id", d, "d_ytd"))?;
+        check(
+            ytd.value,
+            oracle.d_ytd[(d - 1) as usize] as f64,
+            &mut out.wrong_answers,
+        );
+        let nxt = db.run(&point("district", "d_id", d, "d_next_o_id"))?;
+        check(
+            nxt.value,
+            (1 + oracle.d_seq[(d - 1) as usize]) as f64,
+            &mut out.wrong_answers,
+        );
+    }
+
+    // Every committed order must be present exactly once with its line
+    // count; duplicates are serialization anomalies.
+    for &(o_id, ol_cnt) in &oracle.orders {
+        let got = db.run(&point("orders", "o_id", o_id, "o_ol_cnt"))?;
+        if got.rows == 0 {
+            out.wrong_answers += 1;
+        } else if got.rows > 1 {
+            out.anomalies += 1;
+        } else {
+            check(got.value, ol_cnt as f64, &mut out.wrong_answers);
+        }
+    }
+
+    // Touched stock and customer rows: final = initial + committed delta.
+    for (&i_id, &delta) in &oracle.stock_delta {
+        let init = fresh.run(&point("stock", "s_i_id", i_id, "s_quantity"))?;
+        let got = db.run(&point("stock", "s_i_id", i_id, "s_quantity"))?;
+        check(got.value, init.value + delta as f64, &mut out.wrong_answers);
+    }
+    for (&c_id, &delta) in &oracle.cust_delta {
+        let init = fresh.run(&point("customer", "c_id", c_id, "c_balance"))?;
+        let got = db.run(&point("customer", "c_id", c_id, "c_balance"))?;
+        check(got.value, init.value + delta as f64, &mut out.wrong_answers);
+    }
+
+    // Aborted transactions must leave no rows behind: grown tables hold
+    // exactly the committed row counts.
+    let counts = [
+        ("orders", oracle.orders.len() as u64),
+        ("order_line", oracle.order_lines),
+        ("history", oracle.history_rows),
+    ];
+    for (table, want) in counts {
+        if db.table(table)?.heap.n_records != want {
+            out.anomalies += 1;
+        }
+    }
+
+    // Crash recovery: replaying the full WAL into the fresh replica must
+    // reproduce the final database bit-for-bit.
+    let records = db.wal().records().to_vec();
+    fresh.replay_wal(&records, db.wal().commit_count())?;
+    if fresh.state_digest() != db.state_digest() {
+        out.recovery_ok = false;
+    }
+    Ok(())
+}
+
+/// Runs the concurrent TPC-C mix per `cfg`, constructing each node replica
+/// with `mk_db` (which fixes the engine profile and CPU model).
+///
+/// Simulated results are deterministic for a fixed config: the same
+/// commits, conflicts, TPS and latency distribution on every host and
+/// every `workers` setting.
+pub fn run_oltp<F>(cfg: &OltpConfig, mk_db: F) -> DbResult<OltpReport>
+where
+    F: Fn() -> Database + Sync,
+{
+    let nodes = cfg.nodes.min(cfg.clients).max(1);
+    let jobs: Vec<Vec<usize>> = (0..nodes)
+        .map(|n| (0..cfg.clients).filter(|c| c % nodes == n).collect())
+        .collect();
+    let workers = if cfg.workers > 0 {
+        cfg.workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+
+    let wall = std::time::Instant::now();
+    let outcomes = run_jobs_parallel(jobs, workers, cfg.seed, |_n, ids| {
+        run_node(mk_db(), mk_db(), cfg, ids)
+    });
+    let wall_secs = wall.elapsed().as_secs_f64().max(1e-9);
+
+    let mut report = OltpReport {
+        clients: cfg.clients,
+        nodes,
+        committed: 0,
+        per_kind: [0; 5],
+        conflicts: 0,
+        retries_exhausted: 0,
+        sim_tps: 0.0,
+        p50_ms: 0.0,
+        p99_ms: 0.0,
+        host_tps: 0.0,
+        wrong_answers: 0,
+        anomalies: 0,
+        recovery_ok: true,
+        wal_records: 0,
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut max_cycles = 0.0f64;
+    for outcome in outcomes {
+        let o = outcome?;
+        report.committed += o.committed;
+        for k in 0..5 {
+            report.per_kind[k] += o.per_kind[k];
+        }
+        report.conflicts += o.conflicts;
+        report.retries_exhausted += o.retries_exhausted;
+        report.wrong_answers += o.wrong_answers;
+        report.anomalies += o.anomalies;
+        report.recovery_ok &= o.recovery_ok;
+        report.wal_records += o.wal_records;
+        latencies.extend(o.latencies);
+        max_cycles = max_cycles.max(o.cycles);
+    }
+
+    // 400 MHz processor model: cycles / 4e8 = seconds.
+    let sim_secs = (max_cycles / 4e8).max(1e-12);
+    report.sim_tps = report.committed as f64 / sim_secs;
+    report.host_tps = report.committed as f64 / wall_secs;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    report.p50_ms = quantile(&latencies, 0.50) / 4e5;
+    report.p99_ms = quantile(&latencies, 0.99) / 4e5;
+    Ok(report)
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdtg_memdb::{EngineProfile, SystemId};
+    use wdtg_sim::{CpuConfig, InterruptCfg};
+
+    fn mk_db() -> Database {
+        Database::new(
+            EngineProfile::system(SystemId::C),
+            CpuConfig::pentium_ii_xeon().with_interrupts(InterruptCfg::disabled()),
+        )
+    }
+
+    fn tiny_cfg() -> OltpConfig {
+        OltpConfig {
+            scale: TpccScale::tiny(),
+            clients: 4,
+            txns_per_client: 10,
+            nodes: 2,
+            workers: 2,
+            seed: 7,
+            retry_cap: 64,
+        }
+    }
+
+    #[test]
+    fn concurrent_mix_commits_cleanly() {
+        let cfg = tiny_cfg();
+        let r = run_oltp(&cfg, mk_db).unwrap();
+        assert_eq!(
+            r.committed + r.retries_exhausted,
+            (cfg.clients * cfg.txns_per_client) as u64
+        );
+        assert_eq!(r.retries_exhausted, 0, "round rotation guarantees progress");
+        assert_eq!(r.wrong_answers, 0, "oracle mismatch");
+        assert_eq!(r.anomalies, 0, "serialization anomaly");
+        assert!(r.recovery_ok, "WAL replay digest mismatch");
+        assert!(r.sim_tps > 0.0 && r.p99_ms >= r.p50_ms);
+    }
+
+    #[test]
+    fn overlapping_writers_do_conflict() {
+        // Many clients on one node hammer the single warehouse row (43%
+        // Payment mix) — with all snapshots overlapping per round, the
+        // non-first committers must lose.
+        let cfg = OltpConfig {
+            scale: TpccScale::tiny(),
+            clients: 6,
+            txns_per_client: 8,
+            nodes: 1,
+            workers: 1,
+            seed: 3,
+            retry_cap: 64,
+        };
+        let r = run_oltp(&cfg, mk_db).unwrap();
+        assert!(r.conflicts > 0, "expected write-write conflicts: {r:?}");
+        assert_eq!((r.wrong_answers, r.anomalies), (0, 0), "{r:?}");
+        assert!(r.recovery_ok);
+    }
+
+    #[test]
+    fn simulated_results_are_host_independent() {
+        let a = run_oltp(&tiny_cfg(), mk_db).unwrap();
+        // Different worker count: same simulated outcome, bit for bit.
+        let mut cfg = tiny_cfg();
+        cfg.workers = 1;
+        let b = run_oltp(&cfg, mk_db).unwrap();
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.conflicts, b.conflicts);
+        assert_eq!(a.per_kind, b.per_kind);
+        assert_eq!(a.sim_tps.to_bits(), b.sim_tps.to_bits());
+        assert_eq!(a.p99_ms.to_bits(), b.p99_ms.to_bits());
+    }
+}

@@ -48,12 +48,34 @@ impl TpccScale {
         }
     }
 
-    /// Reads `WDTG_SCALE` (`paper`/`dev`/`tiny`).
+    /// Resolves a scale name: `None` (variable unset) means [`TpccScale::dev`];
+    /// `"paper"`, `"dev"` and `"tiny"` name their scales; anything else is
+    /// reported as an error rather than silently mapped to a default — a
+    /// typo like `WDTG_SCALE=papr` used to run the dev scale and publish its
+    /// numbers as paper-scale results.
+    pub fn from_name(name: Option<&str>) -> Result<TpccScale, String> {
+        match name {
+            None => Ok(TpccScale::dev()),
+            Some("paper") => Ok(TpccScale::paper()),
+            Some("dev") => Ok(TpccScale::dev()),
+            Some("tiny") => Ok(TpccScale::tiny()),
+            Some(other) => Err(format!(
+                "unrecognized WDTG_SCALE value {other:?}: expected one of \
+                 \"paper\", \"dev\", \"tiny\" (or unset for dev)"
+            )),
+        }
+    }
+
+    /// Reads `WDTG_SCALE` (`paper`/`dev`/`tiny`; unset means `dev`).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value instead of silently falling back to
+    /// `dev` — see [`TpccScale::from_name`].
     pub fn from_env() -> TpccScale {
-        match std::env::var("WDTG_SCALE").as_deref() {
-            Ok("paper") => TpccScale::paper(),
-            Ok("tiny") => TpccScale::tiny(),
-            _ => TpccScale::dev(),
+        let var = std::env::var("WDTG_SCALE").ok();
+        match TpccScale::from_name(var.as_deref()) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -488,6 +510,24 @@ mod tests {
             .unwrap()
             .value;
         assert!(after > before, "payment must add to w_ytd");
+    }
+
+    #[test]
+    fn scale_names_resolve_and_typos_are_refused() {
+        // All four branches of the resolver: unset, the three valid names,
+        // and the regression case — a typo must NOT silently become dev.
+        assert_eq!(TpccScale::from_name(None).unwrap(), TpccScale::dev());
+        assert_eq!(
+            TpccScale::from_name(Some("paper")).unwrap(),
+            TpccScale::paper()
+        );
+        assert_eq!(TpccScale::from_name(Some("dev")).unwrap(), TpccScale::dev());
+        assert_eq!(
+            TpccScale::from_name(Some("tiny")).unwrap(),
+            TpccScale::tiny()
+        );
+        let err = TpccScale::from_name(Some("papr")).unwrap_err();
+        assert!(err.contains("papr") && err.contains("paper"), "{err}");
     }
 
     #[test]
